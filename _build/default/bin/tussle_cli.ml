@@ -1,0 +1,210 @@
+(* The tussle command-line interface.
+
+   Subcommands:
+     experiments [-e ID]   regenerate the paper's experiments
+     scenario              run the actor/mechanism tussle engine
+     market                run the access-provider market model
+     policy FILE REQUEST   evaluate a policy compliance query *)
+
+open Cmdliner
+
+(* ---------- experiments ---------- *)
+
+let experiments_cmd =
+  let id =
+    let doc = "Run a single experiment (E1..E13)." in
+    Arg.(value & opt (some string) None & info [ "e"; "experiment" ] ~doc)
+  in
+  let run id =
+    match id with
+    | None -> if Tussle_experiments.Registry.run_all () then 0 else 1
+    | Some id -> begin
+      match Tussle_experiments.Registry.run_one id with
+      | Ok true -> 0
+      | Ok false -> 1
+      | Error msg ->
+        prerr_endline msg;
+        2
+    end
+  in
+  let doc = "regenerate the paper's experiments (E1..E13)" in
+  Cmd.v (Cmd.info "experiments" ~doc) Term.(const run $ id)
+
+(* ---------- scenario ---------- *)
+
+let scenario_cmd =
+  let rounds =
+    let doc = "Maximum number of rounds." in
+    Arg.(value & opt int 30 & info [ "rounds" ] ~doc)
+  in
+  let kinds =
+    let doc =
+      "Actors to include (comma-separated): user, isp, government, \
+       rights-holder, content-provider, private-network, designer."
+    in
+    Arg.(value & opt string "isp,user,government" & info [ "actors" ] ~doc)
+  in
+  let run rounds kinds =
+    let parse_kind = function
+      | "user" -> Some Tussle_core.Actor.User
+      | "isp" -> Some Tussle_core.Actor.Isp
+      | "government" -> Some Tussle_core.Actor.Government
+      | "rights-holder" -> Some Tussle_core.Actor.Rights_holder
+      | "content-provider" -> Some Tussle_core.Actor.Content_provider
+      | "private-network" -> Some Tussle_core.Actor.Private_network
+      | "designer" -> Some Tussle_core.Actor.Designer
+      | _ -> None
+    in
+    let names = String.split_on_char ',' kinds in
+    let actors =
+      List.filter_map
+        (fun name -> parse_kind (String.trim name))
+        names
+      |> List.mapi (fun i k ->
+             Tussle_core.Actor.make ~id:i
+               ~name:(Tussle_core.Actor.kind_to_string k) k)
+    in
+    if actors = [] then begin
+      prerr_endline "no recognizable actors";
+      2
+    end
+    else begin
+      let result =
+        Tussle_core.Scenario.run ~max_rounds:rounds ~actors
+          ~available:Tussle_core.Mechanism.available_to ()
+      in
+      List.iter
+        (fun r ->
+          let moves =
+            List.filter_map
+              (fun (id, m) ->
+                match m with
+                | Tussle_core.Scenario.Pass -> None
+                | m ->
+                  Some
+                    (Printf.sprintf "%d:%s" id
+                       (Tussle_core.Scenario.move_to_string m)))
+              r.Tussle_core.Scenario.moves
+          in
+          if moves <> [] then
+            Printf.printf "round %2d | %s\n" r.Tussle_core.Scenario.index
+              (String.concat "; " moves))
+        result.Tussle_core.Scenario.rounds;
+      Printf.printf "ending: %s\n"
+        (Tussle_core.Scenario.ending_to_string result.Tussle_core.Scenario.ending);
+      Format.printf "outcome: %a@." Tussle_core.Interest.pp
+        result.Tussle_core.Scenario.final_outcome;
+      0
+    end
+  in
+  let doc = "run the actor/mechanism tussle engine" in
+  Cmd.v (Cmd.info "scenario" ~doc) Term.(const run $ rounds $ kinds)
+
+(* ---------- market ---------- *)
+
+let market_cmd =
+  let providers =
+    Arg.(value & opt int 4 & info [ "providers" ] ~doc:"Number of providers.")
+  in
+  let switching =
+    Arg.(value & opt float 0.0 & info [ "switching-cost" ] ~doc:"Lock-in cost.")
+  in
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"RNG seed.") in
+  let run providers switching seed =
+    let cfg =
+      {
+        Tussle_econ.Market.default_config with
+        Tussle_econ.Market.n_providers = providers;
+        switching_cost = switching;
+      }
+    in
+    let r = Tussle_econ.Market.run (Tussle_prelude.Rng.create seed) cfg in
+    Printf.printf "price      %.3f (salop benchmark %.3f)\n"
+      r.Tussle_econ.Market.mean_price
+      (Tussle_econ.Market.salop_price cfg);
+    Printf.printf "markup     %.3f\n" r.Tussle_econ.Market.mean_markup;
+    Printf.printf "churn      %.1f%%\n" (100.0 *. r.Tussle_econ.Market.churn_rate);
+    Printf.printf "surplus    %.1f\n" r.Tussle_econ.Market.consumer_surplus;
+    Printf.printf "profit     %.1f\n" r.Tussle_econ.Market.provider_profit;
+    Printf.printf "HHI        %.3f\n" r.Tussle_econ.Market.hhi;
+    0
+  in
+  let doc = "run the access-provider market model" in
+  Cmd.v (Cmd.info "market" ~doc) Term.(const run $ providers $ switching $ seed)
+
+(* ---------- policy ---------- *)
+
+let policy_cmd =
+  let file =
+    Arg.(required & pos 0 (some file) None
+         & info [] ~docv:"POLICY-FILE" ~doc:"Policy file to load.")
+  in
+  let request =
+    Arg.(required & pos 1 (some string) None
+         & info [] ~docv:"SUBJECT:ACTION:RESOURCE"
+             ~doc:"Request as subject:action:resource.")
+  in
+  let root =
+    Arg.(value & opt string "root" & info [ "root" ] ~doc:"Trust root.")
+  in
+  let attr =
+    Arg.(value & opt_all string []
+         & info [ "a"; "attr" ] ~doc:"Attribute binding name=value (int or string).")
+  in
+  let run file request root attrs =
+    let read_file path =
+      let ic = open_in path in
+      let n = in_channel_length ic in
+      let s = really_input_string ic n in
+      close_in ic;
+      s
+    in
+    try
+      let policy = Tussle_policy.Parser.parse (read_file file) in
+      match String.split_on_char ':' request with
+      | [ subject; action; resource ] ->
+        let attributes =
+          List.filter_map
+            (fun binding ->
+              match String.index_opt binding '=' with
+              | None -> None
+              | Some i ->
+                let name = String.sub binding 0 i in
+                let v =
+                  String.sub binding (i + 1) (String.length binding - i - 1)
+                in
+                let value =
+                  match int_of_string_opt v with
+                  | Some n -> Tussle_policy.Ast.Int n
+                  | None -> Tussle_policy.Ast.Str v
+                in
+                Some (name, value))
+            attrs
+        in
+        let req =
+          { Tussle_policy.Eval.subject; action; resource; attributes }
+        in
+        let d = Tussle_policy.Eval.decide ~root policy req in
+        print_endline (Tussle_policy.Eval.decision_to_string d);
+        (match d with Tussle_policy.Eval.Allowed -> 0 | _ -> 1)
+      | _ ->
+        prerr_endline "request must be subject:action:resource";
+        2
+    with
+    | Tussle_policy.Parser.Parse_error msg ->
+      Printf.eprintf "parse error: %s\n" msg;
+      2
+    | Tussle_policy.Lexer.Lex_error (msg, pos) ->
+      Printf.eprintf "lex error at %d: %s\n" pos msg;
+      2
+  in
+  let doc = "evaluate a policy compliance query" in
+  Cmd.v (Cmd.info "policy" ~doc) Term.(const run $ file $ request $ root $ attr)
+
+let () =
+  let doc = "the Tussle-in-Cyberspace simulation framework" in
+  let info = Cmd.info "tussle" ~version:"1.0.0" ~doc in
+  let group =
+    Cmd.group info [ experiments_cmd; scenario_cmd; market_cmd; policy_cmd ]
+  in
+  exit (Cmd.eval' group)

@@ -1,0 +1,1 @@
+examples/firewall_tussle.ml: Array List Printf Tussle_netsim Tussle_prelude Tussle_routing Tussle_trust

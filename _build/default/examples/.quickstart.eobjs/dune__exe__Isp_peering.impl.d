@@ -1,0 +1,1 @@
+examples/isp_peering.ml: List Printf String Tussle_gametheory Tussle_netsim Tussle_prelude Tussle_routing

@@ -1,0 +1,1 @@
+examples/policy_lab.ml: List Printf Tussle_netsim Tussle_policy Tussle_trust

@@ -1,0 +1,1 @@
+examples/qos_market.ml: List Printf Tussle_econ Tussle_prelude

@@ -1,0 +1,52 @@
+(* Quickstart: the run-time tussle engine in one page.
+
+   An ISP, a user, and a government contend over a network.  Each round
+   every actor deploys (or withdraws) the mechanism that best serves its
+   interests; mechanisms counter each other (tunnels defeat port
+   filters, encryption defeats DPI and wiretaps).  The paper's claim is
+   that such tussles need not settle — watch for a cycle.
+
+   Run with: dune exec examples/quickstart.exe *)
+
+module Actor = Tussle_core.Actor
+module Interest = Tussle_core.Interest
+module Mechanism = Tussle_core.Mechanism
+module Scenario = Tussle_core.Scenario
+
+let () =
+  let actors =
+    [
+      Actor.make ~id:0 ~name:"broadband-isp" Actor.Isp;
+      Actor.make ~id:1 ~name:"alice" Actor.User;
+      Actor.make ~id:2 ~name:"state" Actor.Government;
+    ]
+  in
+  Printf.printf "=== Tussle quickstart: ISP vs user vs government ===\n\n";
+  List.iter
+    (fun a -> Format.printf "  actor %a@." Actor.pp a)
+    actors;
+  let result = Scenario.run ~max_rounds:20 ~actors ~available:Mechanism.available_to () in
+  Printf.printf "\n--- rounds ---\n";
+  List.iter
+    (fun r ->
+      let moves =
+        List.filter_map
+          (fun (id, m) ->
+            match m with
+            | Scenario.Pass -> None
+            | m -> Some (Printf.sprintf "actor %d: %s" id (Scenario.move_to_string m)))
+          r.Scenario.moves
+      in
+      if moves <> [] then
+        Printf.printf "round %2d | %s\n" r.Scenario.index (String.concat "; " moves))
+    result.Scenario.rounds;
+  Printf.printf "\nending: %s\n" (Scenario.ending_to_string result.Scenario.ending);
+  Format.printf "final outcome: %a@." Interest.pp result.Scenario.final_outcome;
+  Printf.printf "\nfinal utilities:\n";
+  List.iter
+    (fun (id, u) -> Printf.printf "  actor %d: %+.3f\n" id u)
+    result.Scenario.utilities;
+  Printf.printf
+    "\nThe deployment ladder above is the paper's escalation story:\n\
+     filters beget tunnels beget DPI begets encryption — \"there is no\n\
+     final outcome, no stable point\" unless someone runs out of moves.\n"

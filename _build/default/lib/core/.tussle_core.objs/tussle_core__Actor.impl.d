@@ -1,0 +1,1 @@
+lib/core/actor.ml: Format Interest Option

@@ -1,0 +1,1 @@
+lib/core/actor.mli: Format Interest

@@ -1,0 +1,1 @@
+lib/core/actor_network.ml: Array Float List Tussle_prelude

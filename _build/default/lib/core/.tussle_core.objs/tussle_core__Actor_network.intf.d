@@ -1,0 +1,1 @@
+lib/core/actor_network.mli: Tussle_prelude

@@ -1,0 +1,1 @@
+lib/core/guidelines.ml: Format List

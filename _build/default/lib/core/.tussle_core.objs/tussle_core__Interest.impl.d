@@ -1,0 +1,1 @@
+lib/core/interest.ml: Float Format List Option

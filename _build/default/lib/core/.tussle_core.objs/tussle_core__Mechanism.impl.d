@@ -1,0 +1,1 @@
+lib/core/mechanism.ml: Actor Interest List String

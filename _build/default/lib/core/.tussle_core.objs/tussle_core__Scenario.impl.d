@@ -1,0 +1,1 @@
+lib/core/scenario.ml: Actor Hashtbl Interest List Mechanism Printf String

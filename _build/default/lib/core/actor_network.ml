@@ -1,0 +1,122 @@
+module Rng = Tussle_prelude.Rng
+module Stats = Tussle_prelude.Stats
+
+type config = {
+  initial_actors : int;
+  arrival_rate : float;
+  coupling : float;
+  commitment_halflife : float;
+  steps : int;
+}
+
+let default_config =
+  {
+    initial_actors = 20;
+    arrival_rate = 0.0;
+    coupling = 0.3;
+    commitment_halflife = 20.0;
+    steps = 200;
+  }
+
+type snapshot = {
+  step : int;
+  population : int;
+  alignment : float;
+  mean_commitment : float;
+  rigidity : float;
+}
+
+type member = { mutable position : float; mutable age : float; pinned : bool }
+
+let commitment cfg m =
+  if m.pinned then 1.0
+  else 1.0 -. (0.5 ** (m.age /. cfg.commitment_halflife))
+
+let validate cfg =
+  if cfg.initial_actors <= 0 then invalid_arg "Actor_network: no actors";
+  if cfg.arrival_rate < 0.0 then invalid_arg "Actor_network: negative rate";
+  if cfg.coupling <= 0.0 || cfg.coupling > 1.0 then
+    invalid_arg "Actor_network: coupling not in (0,1]";
+  if cfg.commitment_halflife <= 0.0 then
+    invalid_arg "Actor_network: non-positive halflife";
+  if cfg.steps <= 0 then invalid_arg "Actor_network: no steps"
+
+let snapshot_of cfg step members =
+  let positions = Array.of_list (List.map (fun m -> m.position) members) in
+  let commits = Array.of_list (List.map (commitment cfg) members) in
+  let dispersion = if Array.length positions < 2 then 0.0 else Stats.stddev positions in
+  (* max stddev of values in [0,1] is 0.5 (half at 0, half at 1) *)
+  let alignment = Float.max 0.0 (1.0 -. (dispersion /. 0.5)) in
+  let mean_commitment = Stats.mean commits in
+  {
+    step;
+    population = List.length members;
+    alignment;
+    mean_commitment;
+    rigidity = alignment *. mean_commitment;
+  }
+
+let step_members rng cfg members =
+  let positions = List.map (fun m -> m.position) members in
+  let mean =
+    List.fold_left ( +. ) 0.0 positions /. float_of_int (List.length positions)
+  in
+  List.iter
+    (fun m ->
+      if not m.pinned then begin
+        let free = 1.0 -. commitment cfg m in
+        m.position <- m.position +. (cfg.coupling *. free *. (mean -. m.position))
+      end;
+      m.age <- m.age +. 1.0)
+    members;
+  (* Poisson arrivals of fresh, uncommitted actors *)
+  let arrivals =
+    if cfg.arrival_rate <= 0.0 then 0
+    else begin
+      (* inverse-transform Poisson sampling, adequate for small rates *)
+      let l = exp (-.cfg.arrival_rate) in
+      let rec draw k p =
+        let p = p *. Rng.float rng 1.0 in
+        if p < l then k else draw (k + 1) p
+      in
+      draw 0 1.0
+    end
+  in
+  members
+  @ List.init arrivals (fun _ ->
+        { position = Rng.float rng 1.0; age = 0.0; pinned = false })
+
+let run_with rng cfg ~inject =
+  validate cfg;
+  let members =
+    ref
+      (List.init cfg.initial_actors (fun _ ->
+           { position = Rng.float rng 1.0; age = 0.0; pinned = false }))
+  in
+  let snaps = ref [ snapshot_of cfg 0 !members ] in
+  for step = 1 to cfg.steps do
+    members := step_members rng cfg !members;
+    (match inject step with
+    | [] -> ()
+    | extra -> members := !members @ extra);
+    snaps := snapshot_of cfg step !members :: !snaps
+  done;
+  List.rev !snaps
+
+let run rng cfg = run_with rng cfg ~inject:(fun _ -> [])
+
+let final_rigidity snaps =
+  match List.rev snaps with
+  | [] -> invalid_arg "Actor_network.final_rigidity: empty history"
+  | last :: _ -> last.rigidity
+
+let collides rng cfg ~incumbent_size ~incumbent_position =
+  if incumbent_size < 0 then invalid_arg "Actor_network.collides: negative size";
+  if incumbent_position < 0.0 || incumbent_position > 1.0 then
+    invalid_arg "Actor_network.collides: position not in [0,1]";
+  let at = cfg.steps / 2 in
+  run_with rng cfg ~inject:(fun step ->
+      if step = at then
+        List.init incumbent_size (fun _ ->
+            { position = incumbent_position; age = 0.0; pinned = true })
+      else [])

@@ -1,0 +1,50 @@
+(** Actor-network dynamics: durability, churn and freezing (§II-A,
+    §II-C).
+
+    Latour/Callon, operationalized: each actor holds a position in
+    architecture-preference space [0,1] and a commitment that grows
+    with age ("the network gets harder to change as it grows up").
+    Each step, actors drift toward the population mean with a step
+    proportional to how {e uncommitted} they still are; new actors
+    arrive by a Poisson process with fresh, uncommitted positions.
+
+    Rigidity = mean commitment × alignment (1 - normalized dispersion).
+    The paper's prediction, reproduced by experiment E12: "when new
+    applications and user groups cease to come to the Internet ... we
+    can assume that the tensions ... will begin to be resolved, and
+    this will imply a freezing" — rigidity climbs to 1 when the arrival
+    rate is 0 and stays bounded away from 1 while churn continues. *)
+
+type config = {
+  initial_actors : int;
+  arrival_rate : float;  (** expected new actors per step *)
+  coupling : float;  (** drift step toward consensus, in (0, 1] *)
+  commitment_halflife : float;  (** steps for commitment to reach 0.5 *)
+  steps : int;
+}
+
+val default_config : config
+(** 20 actors, coupling 0.3, halflife 20 steps, 200 steps. *)
+
+type snapshot = {
+  step : int;
+  population : int;
+  alignment : float;  (** 1 - dispersion/max_dispersion, in [0,1] *)
+  mean_commitment : float;
+  rigidity : float;  (** alignment × mean commitment *)
+}
+
+val run : Tussle_prelude.Rng.t -> config -> snapshot list
+(** One snapshot per step (plus the initial state). *)
+
+val final_rigidity : snapshot list -> float
+
+val collides :
+  Tussle_prelude.Rng.t -> config -> incumbent_size:int -> incumbent_position:float ->
+  snapshot list
+(** Variant of {!run} where a solidified incumbent actor-network (e.g.
+    "the telephone system" meeting VoIP, §II-C) is injected at step
+    [steps / 2]: [incumbent_size] fully committed actors at
+    [incumbent_position].  The collision knocks alignment down — "the
+    key issue is not a collision of technologies, but a collision
+    between large, heterogeneous actor networks." *)

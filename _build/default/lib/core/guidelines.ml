@@ -1,0 +1,153 @@
+type app_design = {
+  app_name : string;
+  server_choices : int;
+  third_party_mediators_selectable : bool;
+  supports_e2e_encryption : bool;
+  user_controls_in_network_features : bool;
+  interfaces_open : bool;
+  value_flow_designed : bool;
+  identity_framework : bool;
+  contested_functions_separated : bool;
+  failure_reporting : bool;
+  anonymous_mode_honest : bool;
+}
+
+type guideline = {
+  g_id : string;
+  principle : string;
+  check : app_design -> bool;
+  recommendation : string;
+}
+
+let catalogue =
+  [
+    {
+      g_id = "G1";
+      principle = "Protocols must permit all the parties to express choice";
+      check = (fun d -> d.server_choices >= 2);
+      recommendation =
+        "let users select among at least two interchangeable providers of \
+         every serving role (as mail lets users pick SMTP/POP servers)";
+    };
+    {
+      g_id = "G2";
+      principle =
+        "Explicit ability to select what third parties mediate an interaction";
+      check = (fun d -> d.third_party_mediators_selectable);
+      recommendation =
+        "make certifiers, raters and escrow agents pluggable, chosen by the \
+         endpoints, not hard-wired by the application";
+    };
+    {
+      g_id = "G3";
+      principle = "The ultimate defense of the end-to-end mode is encryption";
+      check = (fun d -> d.supports_e2e_encryption);
+      recommendation = "support end-to-end encryption of the payload";
+    };
+    {
+      g_id = "G4";
+      principle =
+        "If the user controls whether in-network features are invoked, the \
+         designer has done as much as they can";
+      check = (fun d -> d.user_controls_in_network_features);
+      recommendation =
+        "gate caches, transcoders and other enhancements on user consent";
+    };
+    {
+      g_id = "G5";
+      principle = "Open interfaces allow competition and run-time choice";
+      check = (fun d -> d.interfaces_open);
+      recommendation =
+        "publish the protocol so independent implementations can interoperate";
+    };
+    {
+      g_id = "G6";
+      principle = "Whatever the compensation, it must flow, as data must flow";
+      check = (fun d -> d.value_flow_designed);
+      recommendation =
+        "design the payment/compensation path for every party whose service \
+         the application consumes";
+    };
+    {
+      g_id = "G7";
+      principle = "A framework for identity, not a single identity scheme";
+      check = (fun d -> d.identity_framework);
+      recommendation =
+        "support role, pseudonymous and real-name presentation rather than \
+         one global namespace";
+    };
+    {
+      g_id = "G8";
+      principle = "Modularize along tussle boundaries";
+      check = (fun d -> d.contested_functions_separated);
+      recommendation =
+        "keep contested functions (billing, moderation, branding) out of the \
+         modules that carry stable function";
+    };
+    {
+      g_id = "G9";
+      principle =
+        "Failures of transparency will occur - design what happens then";
+      check = (fun d -> d.failure_reporting);
+      recommendation =
+        "report failures to the party who can act, in their language";
+    };
+    {
+      g_id = "G10";
+      principle =
+        "If you are trying to act anonymously, it should be hard to disguise \
+         this fact";
+      check = (fun d -> d.anonymous_mode_honest);
+      recommendation =
+        "make anonymous participation distinguishable from identified \
+         participation";
+    };
+  ]
+
+type violation = { guideline : guideline; design : string }
+
+let lint d =
+  List.filter_map
+    (fun g ->
+      if g.check d then None else Some { guideline = g; design = d.app_name })
+    catalogue
+
+let score d =
+  let total = List.length catalogue in
+  let passed = total - List.length (lint d) in
+  float_of_int passed /. float_of_int total
+
+let open_design_reference =
+  {
+    app_name = "federated-mail";
+    server_choices = 5;
+    third_party_mediators_selectable = true;
+    supports_e2e_encryption = true;
+    user_controls_in_network_features = true;
+    interfaces_open = true;
+    value_flow_designed = true;
+    identity_framework = true;
+    contested_functions_separated = true;
+    failure_reporting = true;
+    anonymous_mode_honest = true;
+  }
+
+let walled_garden_reference =
+  {
+    app_name = "walled-garden-messenger";
+    server_choices = 1;
+    third_party_mediators_selectable = false;
+    supports_e2e_encryption = false;
+    user_controls_in_network_features = false;
+    interfaces_open = false;
+    value_flow_designed = true;
+    (* the one thing walled gardens do design is the payment path *)
+    identity_framework = false;
+    contested_functions_separated = false;
+    failure_reporting = false;
+    anonymous_mode_honest = false;
+  }
+
+let pp_violation ppf v =
+  Format.fprintf ppf "%s violates %s (%s): %s" v.design v.guideline.g_id
+    v.guideline.principle v.guideline.recommendation

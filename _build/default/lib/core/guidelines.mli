@@ -1,0 +1,65 @@
+(** Application design guidelines: the linter the paper asks for
+    (§VI-A).
+
+    "If application designers want to preserve choice and end user
+    empowerment, they should be given advice about how to design
+    applications to achieve this goal.  This observation suggests that
+    we should generate 'application design guidelines' that would help
+    designers avoid pitfalls, and deal with the tussles of success."
+
+    An application design is described declaratively; {!lint} checks it
+    against the guidelines distilled from the paper and returns the
+    violations, each carrying the principle it came from and a
+    recommendation.  {!score} is the fraction of guidelines passed. *)
+
+type app_design = {
+  app_name : string;
+  server_choices : int;
+      (** how many interchangeable providers of each serving role the
+          user can pick among (mail: SMTP/POP servers...) *)
+  third_party_mediators_selectable : bool;
+      (** can endpoints choose which mediators (certifiers, raters,
+          escrow) they rely on? *)
+  supports_e2e_encryption : bool;
+  user_controls_in_network_features : bool;
+      (** caches/enhancers are invoked only when the user asks *)
+  interfaces_open : bool;  (** protocol specified so rivals can implement *)
+  value_flow_designed : bool;
+      (** compensation path exists wherever service is consumed *)
+  identity_framework : bool;
+      (** supports multiple identity schemes rather than one namespace *)
+  contested_functions_separated : bool;
+      (** tussle-prone functions modularized away from stable ones *)
+  failure_reporting : bool;
+      (** failures produce reports aimed at the party who can act *)
+  anonymous_mode_honest : bool;
+      (** if anonymity is offered, it is not disguisable as identification *)
+}
+
+type guideline = {
+  g_id : string;  (** "G1".."G10" *)
+  principle : string;  (** the paper's phrase *)
+  check : app_design -> bool;
+  recommendation : string;
+}
+
+val catalogue : guideline list
+(** The ten guidelines, in order. *)
+
+type violation = { guideline : guideline; design : string }
+
+val lint : app_design -> violation list
+(** Violated guidelines, in catalogue order. *)
+
+val score : app_design -> float
+(** Fraction of guidelines passed, in [0, 1]. *)
+
+val open_design_reference : app_design
+(** A design that passes everything — the paper's advice followed to
+    the letter (think: federated mail done right). *)
+
+val walled_garden_reference : app_design
+(** A design that fails nearly everything — the closed, vertically
+    integrated messenger. *)
+
+val pp_violation : Format.formatter -> violation -> unit

@@ -1,0 +1,52 @@
+(** Issues and stances: the axes along which stakeholders contend.
+
+    A {e stance} assigns each issue a weight in [-1, 1]: +1 means the
+    actor wants the issue maximized (e.g. a user on [Privacy]), -1
+    minimized (e.g. a wiretapping government on the same axis).  The
+    alignment of two stances measures whether their interests are
+    "adverse" or merely "different" (§V-D) — the paper's distinction
+    that decides whether mechanism choice can be mutual. *)
+
+type issue =
+  | Transparency  (** packets go in, packets come out *)
+  | Privacy
+  | Control  (** operator/state ability to constrain use *)
+  | Revenue
+  | Openness  (** low barriers to new applications and providers *)
+  | Security
+  | Innovation
+  | Accountability
+
+val all_issues : issue list
+
+val issue_to_string : issue -> string
+
+type stance = (issue * float) list
+(** Missing issues weigh 0.  Construction clamps weights to [-1, 1]. *)
+
+val make : (issue * float) list -> stance
+(** Clamp weights and drop duplicate issues (first binding wins). *)
+
+val weight : stance -> issue -> float
+
+val dot : stance -> stance -> float
+(** Raw inner product over all issues. *)
+
+val alignment : stance -> stance -> float
+(** Cosine similarity in [-1, 1]; 0 when either stance is empty.
+    Positive = shared interests, negative = adverse. *)
+
+val adverse : ?threshold:float -> stance -> stance -> bool
+(** [alignment < -threshold] (default 0.25): "interests are simply
+    adverse, and there is no win-win way to balance them." *)
+
+val merely_different : ?threshold:float -> stance -> stance -> bool
+(** Neither aligned nor adverse beyond the threshold: the case where
+    "the choice of mechanism must itself be mutual." *)
+
+val scale : float -> stance -> stance
+
+val combine : stance list -> stance
+(** Issue-wise sum, clamped to [-1, 1]. *)
+
+val pp : Format.formatter -> stance -> unit

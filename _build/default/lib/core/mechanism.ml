@@ -1,0 +1,104 @@
+type t = {
+  name : string;
+  deployer : Actor.kind;
+  effects : Interest.stance;
+  counters : string list;
+  cost : float;
+}
+
+let make ?(counters = []) ?(cost = 0.1) ~name ~deployer effects =
+  if cost < 0.0 then invalid_arg "Mechanism.make: negative cost";
+  { name; deployer; effects; counters; cost }
+
+(* Newest-wins counter resolution: scan from the most recent deployment
+   backwards; a mechanism is active iff nothing already active (i.e.
+   deployed later) counters it. *)
+let active deployed =
+  let rec scan actives = function
+    | [] -> actives
+    | m :: older ->
+      let countered =
+        List.exists (fun a -> List.mem m.name a.counters) actives
+      in
+      scan (if countered then actives else m :: actives) older
+  in
+  scan [] (List.rev deployed)
+
+let net_effect deployed =
+  Interest.combine (List.map (fun m -> m.effects) (active deployed))
+
+let find deployed name =
+  List.find_opt (fun m -> String.equal m.name name) deployed
+
+let mech = make
+
+open Interest
+
+let firewall =
+  mech ~name:"firewall" ~deployer:Actor.Private_network ~cost:0.2
+    (make [ (Security, 0.7); (Transparency, -0.6); (Openness, -0.3) ])
+
+let port_filter =
+  mech ~name:"port-filter" ~deployer:Actor.Isp ~cost:0.1
+    (make [ (Control, 0.5); (Transparency, -0.5); (Revenue, 0.3) ])
+
+let tunnel =
+  mech ~name:"tunnel" ~deployer:Actor.User ~cost:0.1
+    ~counters:[ "port-filter"; "firewall" ]
+    (make [ (Transparency, 0.4); (Privacy, 0.3); (Control, -0.4) ])
+
+let app_filter =
+  mech ~name:"app-filter" ~deployer:Actor.Isp ~cost:0.3
+    ~counters:[ "tunnel" ]
+    (make [ (Control, 0.6); (Transparency, -0.6); (Privacy, -0.4) ])
+
+let encryption =
+  mech ~name:"encryption" ~deployer:Actor.User ~cost:0.1
+    ~counters:[ "app-filter"; "wiretap" ]
+    (make [ (Privacy, 0.8); (Control, -0.5); (Transparency, 0.2) ])
+
+let wiretap =
+  mech ~name:"wiretap" ~deployer:Actor.Government ~cost:0.3
+    (make [ (Accountability, 0.4); (Control, 0.5); (Privacy, -0.8) ])
+
+let nat =
+  mech ~name:"nat" ~deployer:Actor.User ~cost:0.05
+    (make [ (Control, -0.3); (Transparency, -0.2); (Openness, 0.2) ])
+
+let value_pricing =
+  mech ~name:"value-pricing" ~deployer:Actor.Isp ~cost:0.1
+    (make [ (Revenue, 0.7); (Openness, -0.3) ])
+
+let qos_closed =
+  mech ~name:"qos-closed" ~deployer:Actor.Isp ~cost:0.4
+    (make [ (Revenue, 0.8); (Openness, -0.6); (Innovation, -0.4) ])
+
+let qos_open =
+  mech ~name:"qos-open" ~deployer:Actor.Isp ~cost:0.4
+    (make [ (Revenue, 0.4); (Openness, 0.4); (Innovation, 0.3) ])
+
+let source_routing =
+  mech ~name:"source-routing" ~deployer:Actor.User ~cost:0.2
+    (make [ (Openness, 0.5); (Control, -0.5); (Innovation, 0.3) ])
+
+let overlay =
+  mech ~name:"overlay" ~deployer:Actor.User ~cost:0.2
+    ~counters:[ "source-route-refusal" ]
+    (make [ (Openness, 0.4); (Control, -0.4); (Transparency, 0.3) ])
+
+let open_access_mandate =
+  mech ~name:"open-access-mandate" ~deployer:Actor.Government ~cost:0.3
+    (make [ (Openness, 0.7); (Revenue, -0.4); (Innovation, 0.4) ])
+
+let reputation_service =
+  mech ~name:"reputation-service" ~deployer:Actor.Content_provider ~cost:0.1
+    (make [ (Accountability, 0.6); (Security, 0.4); (Openness, 0.2) ])
+
+let catalogue =
+  [
+    firewall; port_filter; app_filter; tunnel; encryption; wiretap; nat;
+    value_pricing; qos_closed; qos_open; source_routing; overlay;
+    open_access_mandate; reputation_service;
+  ]
+
+let available_to kind = List.filter (fun m -> m.deployer = kind) catalogue

@@ -1,0 +1,1 @@
+lib/econ/intermediary.ml: Array Float Tussle_prelude

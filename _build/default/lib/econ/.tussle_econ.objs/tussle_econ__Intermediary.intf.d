@@ -1,0 +1,1 @@
+lib/econ/intermediary.mli: Tussle_prelude

@@ -1,0 +1,1 @@
+lib/econ/investment.ml: Array List Tussle_gametheory

@@ -1,0 +1,1 @@
+lib/econ/investment.mli: Tussle_gametheory

@@ -1,0 +1,1 @@
+lib/econ/market.ml: Array Float List Tussle_prelude

@@ -1,0 +1,1 @@
+lib/econ/market.mli: Tussle_prelude

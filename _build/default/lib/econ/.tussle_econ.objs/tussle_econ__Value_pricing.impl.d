@@ -1,0 +1,1 @@
+lib/econ/value_pricing.ml: Array Float List

@@ -1,0 +1,1 @@
+lib/econ/vertical.ml: Array Float Tussle_prelude

@@ -1,0 +1,1 @@
+lib/econ/vertical.mli: Tussle_prelude

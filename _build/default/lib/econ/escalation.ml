@@ -1,0 +1,140 @@
+type isp_policy = Carry | Surcharge of float | Refuse
+
+type params = {
+  n_users : float;
+  enc_fraction : float;
+  base_price : float;
+  service_value : float;
+  privacy_value : float;
+  inspection_value : float;
+  competitive : bool;
+}
+
+let validate p =
+  if p.enc_fraction < 0.0 || p.enc_fraction > 1.0 then
+    invalid_arg "Escalation: enc_fraction not in [0,1]";
+  if p.n_users <= 0.0 then invalid_arg "Escalation: no users"
+
+(* Per encrypting user, what does the ISP earn under a policy?  The user
+   picks the best of: comply (drop encryption), pay up, defect (only if
+   competitive), or leave. *)
+let enc_user_value p policy =
+  let stay_clear = p.service_value -. p.base_price in
+  let u_isp_clear = p.base_price +. p.inspection_value in
+  let options =
+    match policy with
+    | Carry ->
+      [ (p.service_value +. p.privacy_value -. p.base_price, p.base_price) ]
+    | Surcharge s ->
+      [
+        (* keep encrypting, pay the surcharge *)
+        (p.service_value +. p.privacy_value -. p.base_price -. s,
+         p.base_price +. s);
+        (* drop encryption instead *)
+        (stay_clear, u_isp_clear);
+      ]
+    | Refuse -> [ (stay_clear, u_isp_clear) ]
+  in
+  let options =
+    if p.competitive then
+      (* defect to a rival that carries encrypted traffic: ISP gets 0.
+         Listed last so an indifferent user stays put. *)
+      options @ [ (p.service_value +. p.privacy_value -. p.base_price, 0.0) ]
+    else options
+  in
+  (* leaving the network entirely *)
+  let options = options @ [ (0.0, 0.0) ] in
+  let best =
+    List.fold_left
+      (fun (bu, bi) (u, i) -> if u > bu +. 1e-12 then (u, i) else (bu, bi))
+      (neg_infinity, 0.0) options
+  in
+  snd best
+
+(* Does the encrypting user end up still encrypting? *)
+let enc_user_encrypts p policy =
+  let stay_clear = p.service_value -. p.base_price in
+  let options =
+    match policy with
+    | Carry ->
+      [ (p.service_value +. p.privacy_value -. p.base_price, true) ]
+    | Surcharge s ->
+      [
+        (p.service_value +. p.privacy_value -. p.base_price -. s, true);
+        (stay_clear, false);
+      ]
+    | Refuse -> [ (stay_clear, false) ]
+  in
+  let options =
+    if p.competitive then
+      options @ [ (p.service_value +. p.privacy_value -. p.base_price, true) ]
+    else options
+  in
+  let options = options @ [ (0.0, false) ] in
+  let best =
+    List.fold_left
+      (fun (bu, be) (u, e) -> if u > bu +. 1e-12 then (u, e) else (bu, be))
+      (neg_infinity, false) options
+  in
+  snd best
+
+let revenue p policy =
+  validate p;
+  let n_enc = p.n_users *. p.enc_fraction in
+  let n_clear = p.n_users -. n_enc in
+  (* clear users always stay and are inspectable *)
+  (n_clear *. (p.base_price +. p.inspection_value))
+  +. (n_enc *. enc_user_value p policy)
+
+let best_policy p ~surcharge_grid =
+  validate p;
+  let candidates =
+    Carry :: Refuse :: List.map (fun s -> Surcharge s) surcharge_grid
+  in
+  match candidates with
+  | [] -> assert false
+  | first :: rest ->
+    List.fold_left
+      (fun (bp, br) c ->
+        let r = revenue p c in
+        if r > br +. 1e-9 then (c, r) else (bp, br))
+      (first, revenue p first)
+      rest
+
+let encryption_survives p ~surcharge_grid =
+  let policy, _ = best_policy p ~surcharge_grid in
+  enc_user_encrypts p policy
+
+let stego_response p ~stego_cost =
+  validate p;
+  if stego_cost < 0.0 then invalid_arg "Escalation.stego_response: negative cost";
+  let stay_clear = p.service_value -. p.base_price in
+  (* user utility, ISP take, still-encrypted *)
+  let options =
+    [
+      (* steganography: looks like plaintext, is not readable *)
+      (p.service_value +. p.privacy_value -. p.base_price -. stego_cost,
+       p.base_price, true);
+      (stay_clear, p.base_price +. p.inspection_value, false);
+    ]
+  in
+  let options =
+    if p.competitive then
+      options
+      @ [ (p.service_value +. p.privacy_value -. p.base_price, 0.0, true) ]
+    else options
+  in
+  let options = options @ [ (0.0, 0.0, false) ] in
+  let _, isp_take, encrypts =
+    List.fold_left
+      (fun ((bu, _, _) as best) ((u, _, _) as o) ->
+        if u > bu +. 1e-12 then o else best)
+      (neg_infinity, 0.0, false)
+      options
+  in
+  let n_enc = p.n_users *. p.enc_fraction in
+  let n_clear = p.n_users -. n_enc in
+  let revenue =
+    (n_clear *. (p.base_price +. p.inspection_value)) +. (n_enc *. isp_take)
+  in
+  (revenue, encrypts)

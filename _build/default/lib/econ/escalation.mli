@@ -1,0 +1,49 @@
+(** The encryption escalation tussle (§VI-A).
+
+    "Encrypting the stream might just be the first step in an escalating
+    tussle ... the response of the provider is to refuse to carry
+    encrypted data.  In the U.S., competition would probably discipline
+    a provider that tried to block encryption.  But a conservative
+    government with a state-run monopoly ISP might."
+
+    A provider facing a user base where a fraction encrypts chooses to
+    carry, surcharge, or refuse encrypted traffic.  Users value basic
+    service at [service_value] and encryption at [privacy_value] extra;
+    under competition a blocked or surcharged user can defect to a rival
+    that carries (keeping both values); under monopoly the alternatives
+    are complying in the clear or leaving the network. *)
+
+type isp_policy = Carry | Surcharge of float | Refuse
+
+type params = {
+  n_users : float;
+  enc_fraction : float;  (** fraction of users who want encryption *)
+  base_price : float;
+  service_value : float;  (** user value of connectivity (>= base_price) *)
+  privacy_value : float;  (** extra value of encrypted operation *)
+  inspection_value : float;
+      (** what the ISP gains per plaintext user (ad profiling, control) *)
+  competitive : bool;
+}
+
+val revenue : params -> isp_policy -> float
+(** ISP profit under a policy, after users respond optimally. *)
+
+val best_policy : params -> surcharge_grid:float list -> isp_policy * float
+(** Profit-maximizing policy over {!Carry}, {!Refuse}, and the surcharge
+    grid. *)
+
+val encryption_survives : params -> surcharge_grid:float list -> bool
+(** Do encrypting users still run encrypted under the ISP's best policy?
+    (They may pay a surcharge and keep encrypting.) *)
+
+val stego_response : params -> stego_cost:float -> float * bool
+(** The next rung of the ladder (§VI-A footnote: "the next step in this
+    sort of escalation is steganography").  Under a {!Refuse} policy
+    with steganography available at per-user cost [stego_cost], each
+    encrypting user picks the best of: hide the encryption inside
+    innocuous-looking traffic (keeps privacy, pays the stego overhead,
+    and the ISP — unable to tell — carries it and collects no
+    inspection value), comply in the clear, defect (competitive only),
+    or leave.  Returns (ISP revenue, does encryption survive).  With
+    cheap steganography the refusal is unenforceable. *)

@@ -1,0 +1,64 @@
+module Rng = Tussle_prelude.Rng
+
+type server = { id : int; quality : float; price : float }
+
+type config = {
+  servers : server list;
+  n_consumers : int;
+  sophistication : float -> float;
+  rater_adoption : float;
+}
+
+type result = {
+  mean_surplus : float;
+  naive_surplus : float;
+  expert_surplus : float;
+  best_server_share : float;
+}
+
+let surplus_of s = s.quality -. s.price
+
+let run rng cfg =
+  if cfg.servers = [] then invalid_arg "Intermediary.run: no servers";
+  if cfg.n_consumers <= 0 then invalid_arg "Intermediary.run: no consumers";
+  if cfg.rater_adoption < 0.0 || cfg.rater_adoption > 1.0 then
+    invalid_arg "Intermediary.run: adoption not in [0,1]";
+  let servers = Array.of_list cfg.servers in
+  let best =
+    Array.fold_left
+      (fun acc s -> if surplus_of s > surplus_of acc then s else acc)
+      servers.(0) servers
+  in
+  let total = ref 0.0 and n_naive = ref 0 and naive = ref 0.0 in
+  let n_expert = ref 0 and expert = ref 0.0 in
+  let best_picks = ref 0 in
+  for _ = 1 to cfg.n_consumers do
+    let s = cfg.sophistication (Rng.float rng 1.0) in
+    let informed =
+      Rng.bernoulli rng s || Rng.bernoulli rng cfg.rater_adoption
+    in
+    let choice = if informed then best else Rng.choice rng servers in
+    let u = surplus_of choice in
+    total := !total +. u;
+    if choice.id = best.id then incr best_picks;
+    if s < 0.5 then begin
+      incr n_naive;
+      naive := !naive +. u
+    end
+    else begin
+      incr n_expert;
+      expert := !expert +. u
+    end
+  done;
+  let safe_div a b = if b = 0 then 0.0 else a /. float_of_int b in
+  {
+    mean_surplus = !total /. float_of_int cfg.n_consumers;
+    naive_surplus = safe_div !naive !n_naive;
+    expert_surplus = safe_div !expert !n_expert;
+    best_server_share = float_of_int !best_picks /. float_of_int cfg.n_consumers;
+  }
+
+let surplus_recovered ~without ~with_rater =
+  let gap = without.expert_surplus -. without.naive_surplus in
+  if Float.abs gap < 1e-12 then 0.0
+  else (with_rater.naive_surplus -. without.naive_surplus) /. gap

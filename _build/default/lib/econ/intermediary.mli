@@ -1,0 +1,38 @@
+(** Choice under bounded sophistication, and rating intermediaries
+    (§IV-B).
+
+    "For naïve users, choice may be a burden, not a blessing.  To
+    compensate ... we may see the emergence of third parties that rate
+    services (the on-line analog of Consumers Reports)."
+
+    Consumers pick one of several servers.  A consumer of sophistication
+    [s] identifies the best (quality - price) server with probability
+    [s], otherwise picks uniformly at random.  A rating intermediary
+    publishes the true ranking; consumers who consult it (with the given
+    adoption rate) choose as if fully sophisticated. *)
+
+type server = { id : int; quality : float; price : float }
+
+type config = {
+  servers : server list;
+  n_consumers : int;
+  sophistication : float -> float;
+      (** maps a uniform draw in [0,1) to a sophistication level, so
+          populations can be skewed naive or expert *)
+  rater_adoption : float;  (** 0.0 = no intermediary *)
+}
+
+type result = {
+  mean_surplus : float;
+  naive_surplus : float;  (** consumers with sophistication < 0.5 *)
+  expert_surplus : float;
+  best_server_share : float;  (** traffic share of the true best server *)
+}
+
+val run : Tussle_prelude.Rng.t -> config -> result
+(** Raises [Invalid_argument] on an empty server list or non-positive
+    population. *)
+
+val surplus_recovered : without:result -> with_rater:result -> float
+(** Fraction of the naive users' surplus gap (vs experts, without a
+    rater) that the intermediary closes.  0 when there was no gap. *)

@@ -1,0 +1,111 @@
+module Bestresponse = Tussle_gametheory.Bestresponse
+
+type regime = { value_flow : bool; consumer_choice : bool }
+
+type params = {
+  n_isps : int;
+  subscribers_per_isp : float;
+  base_margin : float;
+  qos_fee : float;
+  qos_take_rate : float;
+  deploy_cost : float;
+  share_shift : float;
+}
+
+let default_params =
+  {
+    n_isps = 4;
+    subscribers_per_isp = 100.0;
+    base_margin = 1.0;
+    qos_fee = 0.5;
+    qos_take_rate = 0.5;
+    deploy_cost = 30.0;
+    share_shift = 0.09;
+  }
+
+(* Subscriber base of ISP [p] given the deployment profile. *)
+let subscribers prm regime profile p =
+  let deployers =
+    Array.fold_left (fun acc s -> acc + s) 0 profile
+  in
+  let n_deploy = float_of_int deployers in
+  if (not regime.consumer_choice) || deployers = 0
+     || deployers = Array.length profile
+  then prm.subscribers_per_isp
+  else begin
+    let leaving = prm.subscribers_per_isp *. prm.share_shift in
+    if profile.(p) = 1 then begin
+      (* gains an equal split of everyone who leaves non-deployers *)
+      let non_deployers = float_of_int (Array.length profile - deployers) in
+      prm.subscribers_per_isp +. (non_deployers *. leaving /. n_deploy)
+    end
+    else prm.subscribers_per_isp -. leaving
+  end
+
+let payoff prm regime p profile =
+  let subs = subscribers prm regime profile p in
+  let base = subs *. prm.base_margin in
+  if profile.(p) = 0 then base
+  else begin
+    let qos_revenue =
+      if regime.value_flow then subs *. prm.qos_take_rate *. prm.qos_fee
+      else 0.0
+    in
+    base +. qos_revenue -. prm.deploy_cost
+  end
+
+let game prm regime =
+  if prm.n_isps <= 0 then invalid_arg "Investment.game: no ISPs";
+  {
+    Bestresponse.players = prm.n_isps;
+    strategies = Array.make prm.n_isps 2;
+    payoff = (fun p profile -> payoff prm regime p profile);
+  }
+
+type outcome = {
+  equilibrium : int array;
+  deployers : int;
+  deployment_rate : float;
+  total_welfare : float;
+}
+
+let outcome_of prm regime profile =
+  let g = game prm regime in
+  let deployers = Array.fold_left ( + ) 0 profile in
+  {
+    equilibrium = profile;
+    deployers;
+    deployment_rate = float_of_int deployers /. float_of_int prm.n_isps;
+    total_welfare = Bestresponse.social_welfare g profile;
+  }
+
+let solve prm regime =
+  let g = game prm regime in
+  match Bestresponse.converge g ~init:(Array.make prm.n_isps 0) with
+  | Some profile -> outcome_of prm regime profile
+  | None -> begin
+    (* dynamics cycled: report the welfare-best pure Nash, or all-zero *)
+    match Bestresponse.all_pure_nash g with
+    | [] -> outcome_of prm regime (Array.make prm.n_isps 0)
+    | first :: rest ->
+      let best =
+        List.fold_left
+          (fun acc p ->
+            if
+              Bestresponse.social_welfare g p > Bestresponse.social_welfare g acc
+            then p
+            else acc)
+          first rest
+      in
+      outcome_of prm regime best
+  end
+
+let matrix_22 prm =
+  List.map
+    (fun regime -> (regime, solve prm regime))
+    [
+      { value_flow = false; consumer_choice = false };
+      { value_flow = true; consumer_choice = false };
+      { value_flow = false; consumer_choice = true };
+      { value_flow = true; consumer_choice = true };
+    ]

@@ -1,0 +1,57 @@
+(** The QoS deployment game: the paper's §VII post-mortem, as a game.
+
+    "One can see the failure of QoS deployment as a failure first to
+    design any value-transfer mechanism to give the providers the
+    possibility of being rewarded for making the investment (greed),
+    and second, a failure to couple the design to a mechanism whereby
+    the user can exercise choice to select the provider who offered the
+    service (competitive fear)."
+
+    N symmetric ISPs each decide whether to deploy QoS at capital cost
+    [deploy_cost].  Revenues depend on two architectural switches:
+
+    {ul
+    {- [value_flow]: a payment mechanism exists, so a deployer earns
+       [qos_fee] per subscriber who uses QoS;}
+    {- [consumer_choice]: users can steer to QoS-honoring providers, so
+       subscribers shift from non-deployers to deployers.}}
+
+    Each regime is solved by best-response dynamics to a pure Nash
+    equilibrium.  The paper's hypothesis, which the experiment
+    reproduces: deployment only happens when {e both} switches are on. *)
+
+type regime = { value_flow : bool; consumer_choice : bool }
+
+type params = {
+  n_isps : int;
+  subscribers_per_isp : float;  (** symmetric initial base *)
+  base_margin : float;  (** profit per subscriber from basic service *)
+  qos_fee : float;  (** per-subscriber QoS revenue, if chargeable *)
+  qos_take_rate : float;  (** fraction of subscribers buying QoS when offered *)
+  deploy_cost : float;  (** per-period capital+ops cost of deploying *)
+  share_shift : float;
+      (** fraction of each non-deployer's base that defects to deployers
+          when consumers can choose *)
+}
+
+val default_params : params
+(** Calibrated so that neither lever alone covers [deploy_cost], but
+    both together do. *)
+
+val game : params -> regime -> Tussle_gametheory.Bestresponse.game
+(** Strategy 0 = don't deploy, 1 = deploy. *)
+
+type outcome = {
+  equilibrium : int array;  (** per-ISP deployment decision *)
+  deployers : int;
+  deployment_rate : float;
+  total_welfare : float;
+}
+
+val solve : params -> regime -> outcome
+(** Best-response dynamics from all-zero; falls back to exhaustive
+    search if the dynamics cycle. *)
+
+val matrix_22 : params -> (regime * outcome) list
+(** The four regimes of the paper's diagnosis, in the order
+    (F,F), (T,F), (F,T), (T,T). *)

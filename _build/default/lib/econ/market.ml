@@ -1,0 +1,182 @@
+module Rng = Tussle_prelude.Rng
+module Stats = Tussle_prelude.Stats
+
+type config = {
+  n_consumers : int;
+  n_providers : int;
+  wtp : float;
+  transport_cost : float;
+  switching_cost : float;
+  provider_cost : float;
+  periods : int;
+  price_floor : float;
+  price_ceiling : float;
+  price_step : float;
+}
+
+let default_config =
+  {
+    n_consumers = 600;
+    n_providers = 4;
+    wtp = 10.0;
+    transport_cost = 2.0;
+    switching_cost = 0.0;
+    provider_cost = 1.0;
+    periods = 30;
+    price_floor = 0.0;
+    price_ceiling = 10.0;
+    price_step = 0.1;
+  }
+
+type result = {
+  mean_price : float;
+  mean_markup : float;
+  churn_rate : float;
+  consumer_surplus : float;
+  provider_profit : float;
+  hhi : float;
+  subscribed_ratio : float;
+  price_history : float array;
+}
+
+let validate cfg =
+  if cfg.n_consumers <= 0 then invalid_arg "Market: no consumers";
+  if cfg.n_providers <= 0 then invalid_arg "Market: no providers";
+  if cfg.periods <= 0 then invalid_arg "Market: no periods";
+  if cfg.price_step <= 0.0 then invalid_arg "Market: non-positive price step";
+  if cfg.price_ceiling < cfg.price_floor then invalid_arg "Market: empty grid";
+  if cfg.provider_cost < 0.0 || cfg.transport_cost < 0.0
+     || cfg.switching_cost < 0.0
+  then invalid_arg "Market: negative cost"
+
+let circle_distance a b =
+  let d = Float.abs (a -. b) in
+  Float.min d (1.0 -. d)
+
+(* consumer's utility buying from provider j at price p *)
+let utility cfg ~consumer_pos ~current ~j ~provider_pos ~price =
+  let switch_pain =
+    match current with
+    | Some c when c = j -> 0.0
+    | Some _ -> cfg.switching_cost
+    | None -> 0.0
+  in
+  cfg.wtp -. price
+  -. (cfg.transport_cost *. circle_distance consumer_pos provider_pos)
+  -. switch_pain
+
+(* best provider for a consumer given all prices; None = outside option *)
+let choose cfg positions prices ~consumer_pos ~current =
+  let best = ref None in
+  Array.iteri
+    (fun j p ->
+      let u =
+        utility cfg ~consumer_pos ~current ~j ~provider_pos:positions.(j)
+          ~price:p
+      in
+      match !best with
+      | Some (_, bu) when bu >= u -> ()
+      | _ -> if u > 0.0 then best := Some (j, u))
+    prices;
+  !best
+
+let salop_price cfg =
+  cfg.provider_cost +. (cfg.transport_cost /. float_of_int cfg.n_providers)
+
+let run rng cfg =
+  validate cfg;
+  let n = cfg.n_consumers and m = cfg.n_providers in
+  let consumer_pos = Array.init n (fun _ -> Rng.float rng 1.0) in
+  let provider_pos =
+    Array.init m (fun j -> float_of_int j /. float_of_int m)
+  in
+  let prices = Array.make m (salop_price cfg) in
+  let current : int option array = Array.make n None in
+  let grid =
+    let count =
+      int_of_float ((cfg.price_ceiling -. cfg.price_floor) /. cfg.price_step)
+    in
+    Array.init (count + 1) (fun i ->
+        cfg.price_floor +. (float_of_int i *. cfg.price_step))
+  in
+  (* demand and profit for provider j if it posted price p *)
+  let profit_if j p =
+    let saved = prices.(j) in
+    prices.(j) <- p;
+    let subs = ref 0 in
+    for c = 0 to n - 1 do
+      match
+        choose cfg provider_pos prices ~consumer_pos:consumer_pos.(c)
+          ~current:current.(c)
+      with
+      | Some (k, _) when k = j -> incr subs
+      | Some _ | None -> ()
+    done;
+    prices.(j) <- saved;
+    float_of_int !subs *. (p -. cfg.provider_cost)
+  in
+  let warmup = cfg.periods / 3 in
+  let switches = ref 0 and choice_periods = ref 0 in
+  let price_history = Array.make cfg.periods 0.0 in
+  let last_surplus = ref 0.0 and last_profit = ref 0.0 in
+  let last_subs = Array.make m 0 in
+  for period = 0 to cfg.periods - 1 do
+    (* providers best-respond in turn *)
+    for j = 0 to m - 1 do
+      let best_p = ref prices.(j) and best_profit = ref (profit_if j prices.(j)) in
+      Array.iter
+        (fun p ->
+          let pr = profit_if j p in
+          if pr > !best_profit +. 1e-9 then begin
+            best_profit := pr;
+            best_p := p
+          end)
+        grid;
+      prices.(j) <- !best_p
+    done;
+    (* consumers choose *)
+    Array.fill last_subs 0 m 0;
+    let surplus = ref 0.0 and profit = ref 0.0 in
+    if period >= warmup then incr choice_periods;
+    for c = 0 to n - 1 do
+      match
+        choose cfg provider_pos prices ~consumer_pos:consumer_pos.(c)
+          ~current:current.(c)
+      with
+      | Some (j, u) ->
+        (match current.(c) with
+        | Some old when old <> j -> if period >= warmup then incr switches
+        | Some _ -> ()
+        | None -> ());
+        current.(c) <- Some j;
+        last_subs.(j) <- last_subs.(j) + 1;
+        surplus := !surplus +. u;
+        profit := !profit +. (prices.(j) -. cfg.provider_cost)
+      | None -> current.(c) <- None
+    done;
+    last_surplus := !surplus;
+    last_profit := !profit;
+    price_history.(period) <- Stats.mean prices
+  done;
+  let subscribed =
+    Array.fold_left
+      (fun acc c -> match c with Some _ -> acc + 1 | None -> acc)
+      0 current
+  in
+  let share_sizes =
+    Array.of_list
+      (List.filter (fun x -> x > 0.0)
+         (Array.to_list (Array.map float_of_int last_subs)))
+  in
+  {
+    mean_price = Stats.mean prices;
+    mean_markup = Stats.mean prices -. cfg.provider_cost;
+    churn_rate =
+      (if !choice_periods = 0 then 0.0
+       else float_of_int !switches /. float_of_int (n * !choice_periods));
+    consumer_surplus = !last_surplus;
+    provider_profit = !last_profit;
+    hhi = (if Array.length share_sizes = 0 then 0.0 else Stats.hhi share_sizes);
+    subscribed_ratio = float_of_int subscribed /. float_of_int n;
+    price_history;
+  }

@@ -1,0 +1,59 @@
+(** Access-provider market: competition, switching costs, lock-in.
+
+    The model is a Salop circular market — the workhorse model of
+    competition among differentiated providers — extended with consumer
+    switching costs, which is exactly the lever of the paper's
+    provider-lock-in tussle (§V-A1): provider-based addressing makes
+    renumbering (= switching) costly; portable addressing / DHCP +
+    dynamic DNS make it cheap.
+
+    Consumers sit on a unit circle (taste/location); each provider sits
+    at a point and posts a price.  A consumer's per-period utility from
+    provider [j] is
+
+    [wtp - price_j - transport_cost * distance(c, j) - (switching_cost
+    if j differs from the current provider)]
+
+    and the outside option is 0.  Each period every provider
+    best-responds on a price grid to the others' current prices
+    (anticipating consumer choice), then consumers re-choose.  With
+    symmetric providers and zero switching cost this converges near the
+    textbook Salop equilibrium [price = cost + transport_cost / n]; with
+    switching costs, incumbents price up to the lock-in and churn
+    dies. *)
+
+type config = {
+  n_consumers : int;
+  n_providers : int;
+  wtp : float;  (** reservation utility per period *)
+  transport_cost : float;
+  switching_cost : float;
+  provider_cost : float;  (** marginal cost per subscriber-period *)
+  periods : int;
+  price_floor : float;
+  price_ceiling : float;
+  price_step : float;  (** best-response grid resolution *)
+}
+
+val default_config : config
+(** 600 consumers, 4 providers, wtp 10, transport 2, no switching cost,
+    cost 1, 30 periods, grid 0..10 step 0.1. *)
+
+type result = {
+  mean_price : float;  (** across providers, final period *)
+  mean_markup : float;  (** mean_price - provider_cost *)
+  churn_rate : float;  (** switches per consumer-period after warmup *)
+  consumer_surplus : float;  (** total surplus per period, final period *)
+  provider_profit : float;  (** total profit per period, final period *)
+  hhi : float;  (** subscriber concentration, final period *)
+  subscribed_ratio : float;  (** consumers with any provider at the end *)
+  price_history : float array;  (** mean price per period *)
+}
+
+val run : Tussle_prelude.Rng.t -> config -> result
+(** Simulate to the horizon.  Raises [Invalid_argument] on nonsensical
+    configs (no providers, empty grid, negative costs...). *)
+
+val salop_price : config -> float
+(** The textbook benchmark [provider_cost +. transport_cost /.
+    n_providers] for comparison with simulated outcomes. *)

@@ -1,0 +1,116 @@
+type receipt = {
+  payer : int;
+  legs : (int * float) list;
+  total : float;
+}
+
+type escrow = { e_payer : int; e_hops : (int * float) list; e_total : float }
+
+type t = {
+  balances : float array;
+  mutable transfers : (int * int * float) list; (* reversed *)
+  escrows : (int, escrow) Hashtbl.t;
+  mutable next_escrow : int;
+  mutable held : float;
+}
+
+type escrow_id = int
+
+let create ~parties ~initial =
+  if parties <= 0 then invalid_arg "Payment.create: no parties";
+  if initial < 0.0 then invalid_arg "Payment.create: negative initial";
+  {
+    balances = Array.make parties initial;
+    transfers = [];
+    escrows = Hashtbl.create 16;
+    next_escrow = 0;
+    held = 0.0;
+  }
+
+let check t p =
+  if p < 0 || p >= Array.length t.balances then
+    invalid_arg "Payment: unknown party"
+
+let balance t p =
+  check t p;
+  t.balances.(p)
+
+let total_supply t = Array.fold_left ( +. ) 0.0 t.balances +. t.held
+
+let path_total hops =
+  List.fold_left
+    (fun acc (_, price) ->
+      if price < 0.0 then invalid_arg "Payment: negative price"
+      else acc +. price)
+    0.0 hops
+
+let pay_path t ~payer ~hops =
+  check t payer;
+  List.iter (fun (p, _) -> check t p) hops;
+  let total = path_total hops in
+  if t.balances.(payer) < total then Error (`Insufficient t.balances.(payer))
+  else begin
+    t.balances.(payer) <- t.balances.(payer) -. total;
+    List.iter
+      (fun (provider, price) ->
+        t.balances.(provider) <- t.balances.(provider) +. price;
+        if price > 0.0 then
+          t.transfers <- (payer, provider, price) :: t.transfers)
+      hops;
+    Ok { payer; legs = hops; total }
+  end
+
+let authorize t ~payer ~hops =
+  check t payer;
+  List.iter (fun (p, _) -> check t p) hops;
+  let total = path_total hops in
+  if t.balances.(payer) < total then Error (`Insufficient t.balances.(payer))
+  else begin
+    t.balances.(payer) <- t.balances.(payer) -. total;
+    t.held <- t.held +. total;
+    let id = t.next_escrow in
+    t.next_escrow <- id + 1;
+    Hashtbl.replace t.escrows id { e_payer = payer; e_hops = hops; e_total = total };
+    Ok id
+  end
+
+let take_escrow t id =
+  match Hashtbl.find_opt t.escrows id with
+  | None -> invalid_arg "Payment: unknown or settled escrow"
+  | Some e ->
+    Hashtbl.remove t.escrows id;
+    t.held <- t.held -. e.e_total;
+    e
+
+let capture t id =
+  let e = take_escrow t id in
+  List.iter
+    (fun (provider, price) ->
+      t.balances.(provider) <- t.balances.(provider) +. price;
+      if price > 0.0 then
+        t.transfers <- (e.e_payer, provider, price) :: t.transfers)
+    e.e_hops;
+  { payer = e.e_payer; legs = e.e_hops; total = e.e_total }
+
+let refund t id =
+  let e = take_escrow t id in
+  t.balances.(e.e_payer) <- t.balances.(e.e_payer) +. e.e_total
+
+let log t = List.rev t.transfers
+
+let settle_bilateral t =
+  let net = Hashtbl.create 16 in
+  List.iter
+    (fun (src, dst, amount) ->
+      let key = if src < dst then (src, dst) else (dst, src) in
+      let signed = if src < dst then amount else -.amount in
+      let cur = Option.value ~default:0.0 (Hashtbl.find_opt net key) in
+      Hashtbl.replace net key (cur +. signed))
+    (log t);
+  Hashtbl.fold
+    (fun (a, b) v acc ->
+      if v > 1e-12 then (a, b, v) :: acc
+      else if v < -1e-12 then (b, a, -.v) :: acc
+      else acc)
+    net []
+  |> List.sort compare

@@ -1,0 +1,68 @@
+(** The value-flow protocol (§IV-C).
+
+    "In certain forms of tussle and run-time choice there is often an
+    exchange of value for service ...  Whatever the compensation,
+    recognize that it must flow, just as much as data must flow.
+    Sometimes this happens outside the system, sometimes within a
+    protocol.  If this 'value flow' requires a protocol, design it."
+
+    A double-entry ledger with two payment shapes:
+
+    {ul
+    {- {b direct path payment}: the sender pays each provider on the
+       chosen path its declared carriage price — the compensation that
+       makes provider-level source routing acceptable to ISPs (E4);}
+    {- {b escrowed payment}: two-phase — authorize up front, capture on
+       proof of delivery, refund on failure — so payment risk does not
+       have to be resolved by trust alone.}}
+
+    Every movement is recorded; the visible log is the paper's "visible
+    exchange of value". *)
+
+type t
+
+type receipt = {
+  payer : int;
+  legs : (int * float) list;  (** (provider, amount) per hop *)
+  total : float;
+}
+
+val create : parties:int -> initial:float -> t
+(** [parties] accounts, each opened with [initial] balance.  Raises on
+    negative counts/initial. *)
+
+val balance : t -> int -> float
+
+val total_supply : t -> float
+(** Sum of balances plus funds held in open escrows — conserved by
+    every operation. *)
+
+val pay_path :
+  t -> payer:int -> hops:(int * float) list ->
+  (receipt, [ `Insufficient of float ]) result
+(** Pay each provider on the path its price, atomically: either the
+    payer can afford the whole path or nothing moves.  Raises
+    [Invalid_argument] on negative prices or unknown parties. *)
+
+type escrow_id
+
+val authorize :
+  t -> payer:int -> hops:(int * float) list ->
+  (escrow_id, [ `Insufficient of float ]) result
+(** Reserve the path total from the payer's balance. *)
+
+val capture : t -> escrow_id -> receipt
+(** Delivery proven: release the reserved funds to the providers.
+    Raises [Invalid_argument] on an unknown or settled escrow. *)
+
+val refund : t -> escrow_id -> unit
+(** Delivery failed: return the reserved funds to the payer.  Raises
+    [Invalid_argument] on an unknown or settled escrow. *)
+
+val log : t -> (int * int * float) list
+(** All completed transfers (from, to, amount), oldest first. *)
+
+val settle_bilateral : t -> (int * int * float) list
+(** Net the completed transfer log into minimal bilateral settlements:
+    one entry per ordered pair with positive net flow.  Pure
+    reporting — balances are unchanged. *)

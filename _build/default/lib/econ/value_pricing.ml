@@ -1,0 +1,150 @@
+type population = {
+  n_home : int;
+  n_business : int;
+  v_home : float;
+  v_server : float;
+}
+
+type params = {
+  detection_prob : float;
+  caught_penalty : float;
+  provider_cost : float;
+  price_step : float;
+}
+
+let default_population =
+  { n_home = 700; n_business = 300; v_home = 5.0; v_server = 5.0 }
+
+let default_params =
+  {
+    detection_prob = 0.9;
+    caught_penalty = 2.0;
+    provider_cost = 1.0;
+    price_step = 0.25;
+  }
+
+type outcome = {
+  price_home : float;
+  price_business : float;
+  revenue : float;
+  provider_profit : float;
+  consumer_surplus : float;
+  business_on_home_tier : float;
+  discrimination_gap : float;
+}
+
+(* What a business user does, by masking capability.  Returns
+   (expected payment to provider, surplus, on_home_tier). *)
+type business_choice = {
+  pays : float;
+  surplus : float;
+  on_home : float; (* 1.0 when the server runs on the home tier *)
+  subscribes : bool;
+}
+
+let business_best pop prm ~p_h ~p_b ~masked =
+  let v_full = pop.v_home +. pop.v_server in
+  let candidates =
+    (* business tier, legal *)
+    [ { pays = p_b; surplus = v_full -. p_b; on_home = 0.0; subscribes = true } ]
+    @ (if masked then
+         (* home tier, server masked by the tunnel: undetectable *)
+         [ { pays = p_h; surplus = v_full -. p_h; on_home = 1.0; subscribes = true } ]
+       else
+         (* home tier, server in the open: expected detection *)
+         let d = prm.detection_prob in
+         let expected_pay = (d *. p_b) +. ((1.0 -. d) *. p_h) in
+         [
+           {
+             pays = expected_pay;
+             surplus = v_full -. expected_pay -. (d *. prm.caught_penalty);
+             on_home = 1.0 -. d;
+             subscribes = true;
+           };
+         ])
+    @ [
+        (* home tier, forgo the server *)
+        { pays = p_h; surplus = pop.v_home -. p_h; on_home = 0.0; subscribes = true };
+        (* outside option *)
+        { pays = 0.0; surplus = 0.0; on_home = 0.0; subscribes = false };
+      ]
+  in
+  List.fold_left
+    (fun best c -> if c.surplus > best.surplus +. 1e-9 then c else best)
+    (List.hd candidates) (List.tl candidates)
+
+let evaluate pop prm ~p_h ~p_b ~tunnel_adoption =
+  let nh = float_of_int pop.n_home and nb = float_of_int pop.n_business in
+  (* home users *)
+  let home_surplus_each = pop.v_home -. p_h in
+  let home_subscribers = if home_surplus_each >= 0.0 then nh else 0.0 in
+  let home_revenue = home_subscribers *. p_h in
+  let home_surplus = home_subscribers *. home_surplus_each in
+  (* business users: a fraction has tunnels *)
+  let masked_n = nb *. tunnel_adoption in
+  let open_n = nb -. masked_n in
+  let masked_choice = business_best pop prm ~p_h ~p_b ~masked:true in
+  let open_choice = business_best pop prm ~p_h ~p_b ~masked:false in
+  let biz_revenue =
+    (masked_n *. if masked_choice.subscribes then masked_choice.pays else 0.0)
+    +. (open_n *. if open_choice.subscribes then open_choice.pays else 0.0)
+  in
+  let biz_surplus =
+    (masked_n *. Float.max 0.0 masked_choice.surplus)
+    +. (open_n *. Float.max 0.0 open_choice.surplus)
+  in
+  let subscribers =
+    home_subscribers
+    +. (masked_n *. if masked_choice.subscribes then 1.0 else 0.0)
+    +. (open_n *. if open_choice.subscribes then 1.0 else 0.0)
+  in
+  let revenue = home_revenue +. biz_revenue in
+  let profit = revenue -. (subscribers *. prm.provider_cost) in
+  let on_home =
+    if nb = 0.0 then 0.0
+    else
+      ((masked_n *. masked_choice.on_home) +. (open_n *. open_choice.on_home))
+      /. nb
+  in
+  (profit, revenue, home_surplus +. biz_surplus, on_home)
+
+let best_response_pricing pop prm ~tunnel_adoption =
+  if tunnel_adoption < 0.0 || tunnel_adoption > 1.0 then
+    invalid_arg "Value_pricing: adoption not in [0,1]";
+  if prm.price_step <= 0.0 then invalid_arg "Value_pricing: bad price step";
+  let hi = pop.v_home +. pop.v_server +. 1.0 in
+  let steps = int_of_float (hi /. prm.price_step) in
+  let grid = Array.init (steps + 1) (fun i -> float_of_int i *. prm.price_step) in
+  let best = ref None in
+  Array.iter
+    (fun p_h ->
+      Array.iter
+        (fun p_b ->
+          if p_b >= p_h then begin
+            let profit, _, _, _ = evaluate pop prm ~p_h ~p_b ~tunnel_adoption in
+            match !best with
+            | Some (_, _, bp) when bp >= profit -. 1e-9 -> ()
+            | _ -> best := Some (p_h, p_b, profit)
+          end)
+        grid)
+    grid;
+  match !best with
+  | None -> invalid_arg "Value_pricing: empty grid"
+  | Some (p_h, p_b, _) ->
+    let profit, revenue, surplus, on_home =
+      evaluate pop prm ~p_h ~p_b ~tunnel_adoption
+    in
+    {
+      price_home = p_h;
+      price_business = p_b;
+      revenue;
+      provider_profit = profit;
+      consumer_surplus = surplus;
+      business_on_home_tier = on_home;
+      discrimination_gap = p_b -. p_h;
+    }
+
+let sweep pop prm ~adoptions =
+  List.map
+    (fun a -> (a, best_response_pricing pop prm ~tunnel_adoption:a))
+    adoptions

@@ -1,0 +1,53 @@
+(** Value pricing versus masking (§V-A2).
+
+    The provider divides customers by willingness to pay — a cheap
+    "home" tier whose acceptable-use policy forbids running servers, and
+    an expensive "business" tier that permits them (the Internet version
+    of the Saturday-night-stay).  Customers who want servers on the
+    cheap tier can tunnel to disguise their port numbers; detection only
+    catches unmasked violators.
+
+    The experiment sweeps tunneling adoption: as masking spreads, the
+    price-discrimination scheme stops extracting the business users'
+    surplus, the provider's best response converges toward a single
+    price, and surplus shifts from producer to consumer — "the design
+    and deployment of tunnels ... shifts the balance of power from the
+    producer to the consumer." *)
+
+type population = {
+  n_home : int;  (** value service at [v_home], never run servers *)
+  n_business : int;  (** value service at [v_home +. v_server] *)
+  v_home : float;
+  v_server : float;  (** extra value of being allowed to run a server *)
+}
+
+type params = {
+  detection_prob : float;  (** chance an unmasked home-tier server is caught *)
+  caught_penalty : float;  (** forced upgrade hassle, added to business price *)
+  provider_cost : float;  (** cost per subscriber, either tier *)
+  price_step : float;  (** optimization grid resolution *)
+}
+
+val default_population : population
+val default_params : params
+
+type outcome = {
+  price_home : float;
+  price_business : float;
+  revenue : float;
+  provider_profit : float;
+  consumer_surplus : float;
+  business_on_home_tier : float;  (** fraction of business users masking down *)
+  discrimination_gap : float;  (** price_business -. price_home *)
+}
+
+val best_response_pricing :
+  population -> params -> tunnel_adoption:float -> outcome
+(** The provider's profit-maximizing two-tier prices (grid search over
+    both) given that a [tunnel_adoption] fraction of business users can
+    mask, followed by consumer tier choice.  [tunnel_adoption] outside
+    [0,1] raises [Invalid_argument]. *)
+
+val sweep :
+  population -> params -> adoptions:float list -> (float * outcome) list
+(** [best_response_pricing] at each adoption level. *)

@@ -1,0 +1,110 @@
+module Rng = Tussle_prelude.Rng
+
+type regime = Separated | Integrated | Integrated_nondiscrimination
+
+type params = {
+  n_consumers : int;
+  infra_price : float;
+  infra_cost : float;
+  own_quality : float;
+  own_price : float;
+  rival_quality : float;
+  rival_price : float;
+  service_cost : float;
+  degradation : float;
+  survival_share : float;
+}
+
+let default_params =
+  {
+    n_consumers = 1000;
+    infra_price = 2.0;
+    infra_cost = 1.0;
+    own_quality = 4.0;
+    own_price = 1.5;
+    rival_quality = 6.0;
+    rival_price = 4.0;
+    service_cost = 1.0;
+    degradation = 3.5;
+    survival_share = 0.15;
+  }
+
+type outcome = {
+  own_share : float;
+  rival_share : float;
+  rival_survives : bool;
+  platform_profit : float;
+  consumer_surplus : float;
+}
+
+type choice = Own | Rival | Neither
+
+let validate p =
+  if p.n_consumers <= 0 then invalid_arg "Vertical.run: no consumers";
+  if p.degradation < 0.0 then invalid_arg "Vertical.run: negative degradation";
+  if p.survival_share < 0.0 || p.survival_share > 1.0 then
+    invalid_arg "Vertical.run: survival share not in [0,1]"
+
+let pick p ~taste ~rival_available ~rival_quality =
+  let u_own = (taste *. p.own_quality) -. p.own_price -. p.infra_price in
+  let u_rival =
+    if rival_available then
+      (taste *. rival_quality) -. p.rival_price -. p.infra_price
+    else neg_infinity
+  in
+  if u_own <= 0.0 && u_rival <= 0.0 then (Neither, 0.0)
+  else if u_rival > u_own then (Rival, u_rival)
+  else (Own, u_own)
+
+let tally p tastes ~rival_available ~rival_quality =
+  let own = ref 0 and rival = ref 0 and surplus = ref 0.0 in
+  Array.iter
+    (fun taste ->
+      match pick p ~taste ~rival_available ~rival_quality with
+      | Own, u ->
+        incr own;
+        surplus := !surplus +. u
+      | Rival, u ->
+        incr rival;
+        surplus := !surplus +. u
+      | Neither, _ -> ())
+    tastes;
+  (!own, !rival, !surplus)
+
+let run rng p regime =
+  validate p;
+  let tastes = Array.init p.n_consumers (fun _ -> Rng.float rng 2.0) in
+  let effective_rival_quality =
+    match regime with
+    | Integrated -> Float.max 0.0 (p.rival_quality -. p.degradation)
+    | Separated | Integrated_nondiscrimination -> p.rival_quality
+  in
+  let own, rival, surplus =
+    tally p tastes ~rival_available:true ~rival_quality:effective_rival_quality
+  in
+  let n = float_of_int p.n_consumers in
+  let rival_share0 = float_of_int rival /. n in
+  let rival_survives = rival_share0 >= p.survival_share in
+  (* if the rival exits, its customers re-choose without it *)
+  let own, rival, surplus =
+    if rival_survives then (own, rival, surplus)
+    else tally p tastes ~rival_available:false ~rival_quality:0.0
+  in
+  let subscribers = own + rival in
+  let infra_profit =
+    float_of_int subscribers *. (p.infra_price -. p.infra_cost)
+  in
+  let own_service_profit =
+    match regime with
+    | Separated -> 0.0 (* structurally separated: the service arm is a
+                          different firm *)
+    | Integrated | Integrated_nondiscrimination ->
+      float_of_int own *. (p.own_price -. p.service_cost)
+  in
+  {
+    own_share = float_of_int own /. n;
+    rival_share = float_of_int rival /. n;
+    rival_survives;
+    platform_profit = infra_profit +. own_service_profit;
+    consumer_surplus = surplus;
+  }

@@ -1,0 +1,53 @@
+(** Vertical integration and openness (§V-C).
+
+    "Vertical integration — the bundling together of infrastructure and
+    higher-level services — requires the removal of certain forms of
+    openness.  The user may be constrained to use only certain
+    providers of content ... However, vertical integration has nothing
+    to do with a desire to block innovation ... So it would be wise to
+    separate the tussle of vertical integration, about which many feel
+    great passion, from the desire to sustain innovation."
+
+    One infrastructure owner; two services ride it — the owner's own
+    and a higher-quality rival.  Three regimes:
+
+    {ul
+    {- [Separated]: structural separation — the owner carries both
+       services neutrally (and only earns infrastructure revenue);}
+    {- [Integrated]: the owner sells its own service {e and} degrades
+       the rival's delivered quality (foreclosure);}
+    {- [Integrated_nondiscrimination]: the owner keeps its service but
+       a rule forbids degradation — the paper's "separate the two
+       tussles" outcome.}} *)
+
+type regime = Separated | Integrated | Integrated_nondiscrimination
+
+type params = {
+  n_consumers : int;
+  infra_price : float;  (** paid by every subscriber, any service *)
+  infra_cost : float;
+  own_quality : float;
+  own_price : float;  (** the incumbent: cheaper, lower quality *)
+  rival_quality : float;  (** the innovator: better, dearer *)
+  rival_price : float;
+  service_cost : float;
+  degradation : float;  (** quality knocked off the rival when foreclosing *)
+  survival_share : float;  (** rival exits below this share *)
+}
+
+val default_params : params
+
+type outcome = {
+  own_share : float;
+  rival_share : float;
+  rival_survives : bool;
+  platform_profit : float;
+  consumer_surplus : float;
+}
+
+val run : Tussle_prelude.Rng.t -> params -> regime -> outcome
+(** Consumers draw a quality taste uniformly in [0, 2] and pick the
+    service maximizing [taste * quality - service price - infra price]
+    (outside option 0).  If the rival's
+    share falls below [survival_share] it exits and its customers
+    re-choose — the innovation loss shows up in surplus. *)

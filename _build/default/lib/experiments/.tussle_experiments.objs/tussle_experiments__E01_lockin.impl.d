@@ -1,0 +1,1 @@
+lib/experiments/e01_lockin.ml: Experiment List Printf Tussle_econ Tussle_naming Tussle_prelude

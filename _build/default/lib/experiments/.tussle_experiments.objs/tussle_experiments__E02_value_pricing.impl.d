@@ -1,0 +1,1 @@
+lib/experiments/e02_value_pricing.ml: Experiment List Printf Tussle_econ Tussle_prelude

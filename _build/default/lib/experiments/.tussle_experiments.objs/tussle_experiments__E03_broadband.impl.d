@@ -1,0 +1,1 @@
+lib/experiments/e03_broadband.ml: Experiment List Printf Tussle_econ Tussle_prelude

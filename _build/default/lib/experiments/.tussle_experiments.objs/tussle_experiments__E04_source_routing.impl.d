@@ -1,0 +1,1 @@
+lib/experiments/e04_source_routing.ml: Array Experiment List Tussle_netsim Tussle_prelude Tussle_routing

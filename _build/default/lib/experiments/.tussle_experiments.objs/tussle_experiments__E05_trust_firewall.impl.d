@@ -1,0 +1,1 @@
+lib/experiments/e05_trust_firewall.ml: Array Experiment List Tussle_netsim Tussle_prelude Tussle_routing Tussle_trust

@@ -1,0 +1,1 @@
+lib/experiments/e06_qos_deployment.ml: Experiment List Printf Tussle_econ Tussle_prelude

@@ -1,0 +1,1 @@
+lib/experiments/e07_name_isolation.ml: Experiment List Printf Tussle_naming Tussle_prelude

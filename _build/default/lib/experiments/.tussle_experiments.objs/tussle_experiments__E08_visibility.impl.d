@@ -1,0 +1,1 @@
+lib/experiments/e08_visibility.ml: Experiment List Tussle_netsim Tussle_prelude Tussle_routing

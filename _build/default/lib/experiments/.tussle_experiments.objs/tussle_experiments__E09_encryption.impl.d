@@ -1,0 +1,1 @@
+lib/experiments/e09_encryption.ml: Experiment List Printf Tussle_econ Tussle_netsim Tussle_prelude Tussle_routing

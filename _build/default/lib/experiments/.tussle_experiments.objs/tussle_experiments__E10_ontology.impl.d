@@ -1,0 +1,1 @@
+lib/experiments/e10_ontology.ml: Experiment List Tussle_policy Tussle_prelude

@@ -1,0 +1,1 @@
+lib/experiments/e11_game_battery.ml: Experiment Float List Printf Tussle_gametheory Tussle_prelude

@@ -1,0 +1,1 @@
+lib/experiments/e12_actor_network.ml: Experiment List Printf Tussle_core Tussle_prelude

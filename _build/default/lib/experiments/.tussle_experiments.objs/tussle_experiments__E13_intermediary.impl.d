@@ -1,0 +1,1 @@
+lib/experiments/e13_intermediary.ml: Experiment List Printf Tussle_econ Tussle_prelude

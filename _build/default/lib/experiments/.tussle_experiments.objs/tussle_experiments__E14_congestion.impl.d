@@ -1,0 +1,1 @@
+lib/experiments/e14_congestion.ml: Array Experiment List Printf Tussle_netsim Tussle_prelude

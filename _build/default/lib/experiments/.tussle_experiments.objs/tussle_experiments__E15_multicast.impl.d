@@ -1,0 +1,1 @@
+lib/experiments/e15_multicast.ml: Array Experiment List Printf Tussle_netsim Tussle_prelude Tussle_routing

@@ -1,0 +1,1 @@
+lib/experiments/e16_value_flow.ml: Array Experiment Float Hashtbl List Printf Tussle_econ Tussle_netsim Tussle_prelude Tussle_routing

@@ -1,0 +1,1 @@
+lib/experiments/e17_traceback.ml: Experiment List Tussle_prelude Tussle_trust

@@ -1,0 +1,1 @@
+lib/experiments/e18_steganography.ml: Experiment List Printf Tussle_econ Tussle_prelude

@@ -1,0 +1,1 @@
+lib/experiments/e19_scorecard.ml: Experiment List Printf Tussle_core Tussle_prelude

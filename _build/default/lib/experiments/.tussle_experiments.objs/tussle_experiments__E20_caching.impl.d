@@ -1,0 +1,1 @@
+lib/experiments/e20_caching.ml: Array Experiment Float Printf Tussle_netsim Tussle_prelude

@@ -1,0 +1,1 @@
+lib/experiments/e21_diagnosis.ml: Experiment List Printf Tussle_netsim Tussle_prelude

@@ -1,0 +1,1 @@
+lib/experiments/e23_guidelines.ml: Experiment Format List Printf String Tussle_core Tussle_prelude

@@ -1,0 +1,1 @@
+lib/experiments/e24_vertical.ml: Experiment Float List Printf Tussle_econ Tussle_prelude

@@ -1,0 +1,1 @@
+lib/experiments/e25_nat.ml: Experiment List Printf Tussle_netsim Tussle_prelude

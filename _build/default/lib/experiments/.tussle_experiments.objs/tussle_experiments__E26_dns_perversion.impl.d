@@ -1,0 +1,1 @@
+lib/experiments/e26_dns_perversion.ml: Experiment List Tussle_naming Tussle_prelude

@@ -1,0 +1,1 @@
+lib/experiments/e27_transport.ml: Experiment Float Printf Tussle_netsim Tussle_prelude

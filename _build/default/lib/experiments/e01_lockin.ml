@@ -1,0 +1,75 @@
+(* E1 — Provider lock-in from IP addressing (§V-A1).
+
+   The addressing scheme sets the renumbering (switching) cost; the
+   market model turns that cost into prices, churn and surplus. *)
+
+module Rng = Tussle_prelude.Rng
+module Table = Tussle_prelude.Table
+module Market = Tussle_econ.Market
+module Address = Tussle_naming.Address
+
+let schemes =
+  [
+    ("portable PI space", Address.Portable { prefixes = 1 });
+    ("DHCP + dynamic DNS", Address.Dynamic { hosts = 20 });
+    ("provider-based, 1 static host", Address.Provider_based { static_hosts = 1 });
+    ("provider-based, 3 static hosts", Address.Provider_based { static_hosts = 3 });
+    ("provider-based, 6 static hosts", Address.Provider_based { static_hosts = 6 });
+  ]
+
+let run () =
+  let t =
+    Table.create
+      ~aligns:[ Table.Left; Table.Right; Table.Right; Table.Right; Table.Right ]
+      [ "addressing scheme"; "switch cost"; "markup"; "churn"; "consumer surplus" ]
+  in
+  let rows =
+    List.map
+      (fun (name, scheme) ->
+        let cost = Address.switching_cost scheme in
+        let cfg = { Market.default_config with Market.switching_cost = cost } in
+        let r = Market.run (Rng.create 1001) cfg in
+        Table.add_row t
+          [
+            name;
+            Printf.sprintf "%.1f" cost;
+            Printf.sprintf "%.2f" r.Market.mean_markup;
+            Table.fmt_pct r.Market.churn_rate;
+            Printf.sprintf "%.0f" r.Market.consumer_surplus;
+          ];
+        (cost, r))
+      schemes
+  in
+  (* shape: as switching cost rises, markup rises and surplus falls *)
+  let sorted = List.sort (fun (a, _) (b, _) -> compare a b) rows in
+  let markups = List.map (fun (_, r) -> r.Market.mean_markup) sorted in
+  let surpluses = List.map (fun (_, r) -> r.Market.consumer_surplus) sorted in
+  let rec non_decreasing = function
+    | a :: (b :: _ as rest) -> a <= b +. 1e-9 && non_decreasing rest
+    | _ -> true
+  in
+  let rec non_increasing = function
+    | a :: (b :: _ as rest) -> a +. 1e-9 >= b && non_increasing rest
+    | _ -> true
+  in
+  let cheap_markup = List.hd markups in
+  let dear_markup = List.nth markups (List.length markups - 1) in
+  let ok =
+    non_decreasing markups && non_increasing surpluses
+    && dear_markup > cheap_markup +. 0.5
+  in
+  (Table.render t, ok)
+
+let experiment =
+  {
+    Experiment.id = "E1";
+    title = "Provider lock-in from IP addressing";
+    paper_claim =
+      "\"Either a customer is locked into his provider by the \
+       provider-based addresses, or he obtains a separate block of \
+       addresses...  The Internet design should incorporate mechanisms \
+       that make it easy for a host to change addresses\" — portable / \
+       dynamic addressing restores churn and consumer surplus; \
+       provider-based addressing converts renumbering cost into margin.";
+    run;
+  }

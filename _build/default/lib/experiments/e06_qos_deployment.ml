@@ -1,0 +1,51 @@
+(* E6 — The QoS deployment post-mortem as an investment game (§VII). *)
+
+module Table = Tussle_prelude.Table
+module Investment = Tussle_econ.Investment
+
+let run () =
+  let prm = Investment.default_params in
+  let t =
+    Table.create
+      ~aligns:[ Table.Left; Table.Left; Table.Right; Table.Right ]
+      [ "value flow"; "consumer choice"; "deployment"; "welfare" ]
+  in
+  let outcomes = Investment.matrix_22 prm in
+  List.iter
+    (fun ({ Investment.value_flow; consumer_choice }, o) ->
+      Table.add_row t
+        [
+          (if value_flow then "yes" else "no");
+          (if consumer_choice then "yes" else "no");
+          Table.fmt_pct o.Investment.deployment_rate;
+          Printf.sprintf "%.0f" o.Investment.total_welfare;
+        ])
+    outcomes;
+  let rate vf cc =
+    let _, o =
+      List.find
+        (fun ({ Investment.value_flow; consumer_choice }, _) ->
+          value_flow = vf && consumer_choice = cc)
+        outcomes
+    in
+    o.Investment.deployment_rate
+  in
+  let ok =
+    rate false false = 0.0 && rate true false = 0.0 && rate false true = 0.0
+    && rate true true = 1.0
+  in
+  (Table.render t, ok)
+
+let experiment =
+  {
+    Experiment.id = "E6";
+    title = "QoS deployment: greed and fear must both be wired";
+    paper_claim =
+      "\"One can thus see the failure of QoS deployment as a failure \
+       first to design any value-transfer mechanism to give the \
+       providers the possibility of being rewarded for making the \
+       investment (greed), and second, a failure to couple the design to \
+       a mechanism whereby the user can exercise choice to select the \
+       provider who offered the service (competitive fear).\"";
+    run;
+  }

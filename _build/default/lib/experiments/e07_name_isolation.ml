@@ -1,0 +1,70 @@
+(* E7 — Modularize along tussle boundaries: the DNS/trademark case
+   (§IV-A), measured as dispute spillover under the entangled and the
+   separated registry designs. *)
+
+module Rng = Tussle_prelude.Rng
+module Table = Tussle_prelude.Table
+module Registry = Tussle_naming.Registry
+
+let populate rng registry ~labels ~trademarked_share =
+  (* each label gets a machine binding and a mailbox binding from a small
+     site owner; a share of labels are also famous trademarks *)
+  let contested = ref [] in
+  for i = 0 to labels - 1 do
+    let label = Printf.sprintf "name%03d" i in
+    let owner = Printf.sprintf "site%03d" i in
+    ignore (Registry.register registry ~owner ~label Registry.Machine);
+    ignore (Registry.register registry ~owner ~label Registry.Mailbox);
+    if Rng.bernoulli rng trademarked_share then
+      contested := label :: !contested
+  done;
+  List.rev !contested
+
+let run_design design =
+  let rng = Rng.create 1007 in
+  let registry = Registry.create design in
+  let contested =
+    populate rng registry ~labels:200 ~trademarked_share:0.15
+  in
+  List.iter
+    (fun label ->
+      ignore (Registry.dispute registry ~claimant:("brand-" ^ label) ~label))
+    contested;
+  let disputes = Registry.disputes_filed registry in
+  let broken = Registry.disruptions registry in
+  (disputes, broken, Registry.spillover registry)
+
+let run () =
+  let t =
+    Table.create
+      ~aligns:[ Table.Left; Table.Right; Table.Right; Table.Right ]
+      [ "registry design"; "disputes"; "service bindings broken"; "spillover" ]
+  in
+  let results =
+    List.map
+      (fun (name, design) ->
+        let disputes, broken, spill = run_design design in
+        Table.add_row t
+          [ name; string_of_int disputes; string_of_int broken;
+            Printf.sprintf "%.2f" spill ];
+        (design, spill))
+      [ ("entangled (deployed DNS)", Registry.Entangled);
+        ("separated (trademark directory)", Registry.Separated) ]
+  in
+  let spill d = List.assoc d results in
+  let ok = spill Registry.Entangled > 1.0 && spill Registry.Separated = 0.0 in
+  (Table.render t, ok)
+
+let experiment =
+  {
+    Experiment.id = "E7";
+    title = "Tussle isolation in naming (DNS vs separated trademark directory)";
+    paper_claim =
+      "\"Since it was (or should have been) obvious that fights over \
+       trademarks would be a tussle space, names that express trademarks \
+       should be used for as little else as possible\" — in the entangled \
+       design every trademark dispute breaks machine and mailbox \
+       service; the separated design confines disputes to the brand \
+       directory (spillover = 0).";
+    run;
+  }

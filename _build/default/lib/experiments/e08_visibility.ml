@@ -1,0 +1,71 @@
+(* E8 — Information exposure and policy levers: BGP vs OSPF (§IV-C). *)
+
+module Rng = Tussle_prelude.Rng
+module Graph = Tussle_prelude.Graph
+module Table = Tussle_prelude.Table
+module Topology = Tussle_netsim.Topology
+module Linkstate = Tussle_routing.Linkstate
+module Pathvector = Tussle_routing.Pathvector
+module Visibility = Tussle_routing.Visibility
+
+let run () =
+  let rng = Rng.create 1008 in
+  let tt =
+    Topology.two_tier rng ~transits:4 ~accesses:8 ~hosts_per_access:2
+      ~multihoming:2
+  in
+  let g = tt.Topology.graph in
+  let total = Graph.edge_count g in
+  let plain = Graph.map_edges g (fun (e, _) -> e) in
+  let ls = Linkstate.compute plain ~metric:`Hops in
+  let pv = Pathvector.compute g in
+  (* exposure from three vantage points: a stub host, an access ISP, a
+     transit *)
+  let host = List.hd tt.Topology.hosts in
+  let access = List.hd tt.Topology.accesses in
+  let transit = List.hd tt.Topology.transits in
+  let t =
+    Table.create
+      ~aligns:[ Table.Left; Table.Left; Table.Right; Table.Right ]
+      [ "protocol"; "observer"; "links visible"; "policy levers" ]
+  in
+  let ls_levers = string_of_int (Visibility.linkstate_policy_levers ls) in
+  let pv_levers = string_of_int (Visibility.pathvector_policy_levers g) in
+  Table.add_row t
+    [ "link-state"; "any node";
+      Table.fmt_pct (Visibility.linkstate_exposure ls ~total_links:total);
+      ls_levers ];
+  let pv_at label node =
+    Table.add_row t
+      [ "path-vector"; label;
+        Table.fmt_pct (Visibility.pathvector_exposure_at pv ~node ~total_links:total);
+        pv_levers ]
+  in
+  pv_at "stub host" host;
+  pv_at "access ISP" access;
+  pv_at "transit ISP" transit;
+  let exp_at node = Visibility.pathvector_exposure_at pv ~node ~total_links:total in
+  let ok =
+    Visibility.linkstate_exposure ls ~total_links:total = 1.0
+    && exp_at host < 1.0
+    && exp_at access < 1.0
+    && exp_at transit < 1.0
+    && Visibility.linkstate_policy_levers ls = 0
+    && Visibility.pathvector_policy_levers g > 0
+    && Pathvector.reachability_ratio pv = 1.0
+  in
+  (Table.render t, ok)
+
+let experiment =
+  {
+    Experiment.id = "E8";
+    title = "Routing visibility: link-state exposes, path-vector conceals";
+    paper_claim =
+      "\"A link-state routing protocol requires that everyone export his \
+       link costs, while a path vector protocol makes it harder to see \
+       what the internal choices are ... BGP has a different character \
+       than a protocol such as OSPF\" — same topology, full reachability \
+       under both, but only path-vector offers per-neighbour export \
+       policy, and it reveals strictly less to every observer.";
+    run;
+  }

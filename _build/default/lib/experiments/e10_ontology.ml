@@ -1,0 +1,70 @@
+(* E10 — Policy languages bound the expressible tussle (§II-B). *)
+
+module Rng = Tussle_prelude.Rng
+module Table = Tussle_prelude.Table
+module Ontology = Tussle_policy.Ontology
+
+let run () =
+  let rng = Rng.create 1010 in
+  let constraints =
+    Ontology.random_constraints rng ~n:2000 ~anticipated_bias:0.85
+  in
+  let t =
+    Table.create
+      ~aligns:[ Table.Left; Table.Right; Table.Right ]
+      [ "ontology shipped"; "attributes"; "tussles expressible" ]
+  in
+  let std = Ontology.standard_attributes in
+  let take n =
+    let rec go k = function
+      | [] -> []
+      | x :: rest -> if k = 0 then [] else x :: go (k - 1) rest
+    in
+    go n std
+  in
+  let coverage_of attrs =
+    Ontology.coverage (Ontology.make_ontology attrs) constraints
+  in
+  let covers =
+    List.map
+      (fun (name, attrs) ->
+        let c = coverage_of attrs in
+        Table.add_row t
+          [ name; string_of_int (List.length attrs); Table.fmt_pct c ];
+        c)
+      [
+        ("ports only", take 1);
+        ("ports + apps + qos", take 3);
+        ("half the anticipated set", take 5);
+        ("every anticipated attribute", std);
+        ("anticipated + the unforeseen", std @ Ontology.unanticipated_attributes);
+      ]
+  in
+  let full_std = List.nth covers 3 in
+  let with_unforeseen = List.nth covers 4 in
+  let rec non_decreasing = function
+    | a :: (b :: _ as rest) -> a <= b +. 1e-9 && non_decreasing rest
+    | _ -> true
+  in
+  let ok =
+    non_decreasing covers
+    (* the designers' full vocabulary still cannot express the
+       unanticipated tussles: a hard ceiling below 100% *)
+    && full_std < 0.95
+    && full_std > 0.5
+    && with_unforeseen = 1.0
+  in
+  (Table.render t, ok)
+
+let experiment =
+  {
+    Experiment.id = "E10";
+    title = "Ontology bounding: what a policy language cannot say";
+    paper_claim =
+      "\"Implicitly, by imposing an ontology on what can be expressed, \
+       they bound the tussle that can be expressed within defined limits \
+       ... It can also be defeating, if it prevents the system from \
+       capturing and acting on tussles that were not anticipated or seen \
+       as important by the language designers.\"";
+    run;
+  }

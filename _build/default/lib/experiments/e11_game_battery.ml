@@ -1,0 +1,102 @@
+(* E11 — The game-theoretic taxonomy of tussle (§II-B, §V-D): purely
+   conflicting games, coordination games, and the repeated play that
+   turns adversaries into partners. *)
+
+module Table = Tussle_prelude.Table
+module Normal_form = Tussle_gametheory.Normal_form
+module Zerosum = Tussle_gametheory.Zerosum
+module Nash = Tussle_gametheory.Nash
+module Repeated = Tussle_gametheory.Repeated
+module Auction = Tussle_gametheory.Auction
+
+let battery () =
+  let t =
+    Table.create
+      ~aligns:[ Table.Left; Table.Left; Table.Right; Table.Right ]
+      [ "tussle game"; "character"; "pure equilibria"; "all equilibria" ]
+  in
+  let row name character g =
+    let pure = List.length (Normal_form.pure_nash g) in
+    let all = List.length (Nash.support_enumeration g) in
+    Table.add_row t [ name; character; string_of_int pure; string_of_int all ];
+    (pure, all)
+  in
+  let mp = row "matching pennies" "purely conflicting (zero-sum)" Normal_form.matching_pennies in
+  let co = row "pure coordination" "common goal, coordination risk" Normal_form.pure_coordination in
+  let bs = row "battle of sexes" "different but not adverse" Normal_form.battle_of_sexes in
+  let pd = row "prisoner's dilemma" "individually rational ruin" Normal_form.prisoners_dilemma in
+  let pg = row "ISP peering" "PD in business clothes" Normal_form.peering_game in
+  (t, mp, co, bs, pd, pg)
+
+let run () =
+  let t, (mp_pure, mp_all), (co_pure, _), (bs_pure, bs_all), (pd_pure, pd_all),
+      (pg_pure, _) =
+    battery ()
+  in
+  (* zero-sum: fictitious play converges to the game value *)
+  let zs =
+    Zerosum.solve ~iterations:20_000 (Normal_form.row_matrix Normal_form.matching_pennies)
+  in
+  let t2 =
+    Table.create ~aligns:[ Table.Left; Table.Right ]
+      [ "zero-sum solver (matching pennies)"; "value" ]
+  in
+  Table.add_row t2 [ "minimax value (theory)"; "0" ];
+  Table.add_row t2
+    [ "fictitious play estimate"; Printf.sprintf "%.4f" (Zerosum.value_estimate zs) ];
+  Table.add_row t2 [ "bracket width"; Printf.sprintf "%.4f" (Zerosum.gap zs) ];
+  (* repeated peering *)
+  let one_shot = Normal_form.pure_nash Normal_form.peering_game in
+  let repeated =
+    Repeated.play ~rounds:200 Normal_form.peering_game Repeated.tit_for_tat
+      Repeated.tit_for_tat
+  in
+  let t3 =
+    Table.create ~aligns:[ Table.Left; Table.Right ]
+      [ "peering game"; "cooperation rate" ]
+  in
+  Table.add_row t3 [ "one-shot equilibrium"; "0.00 (refuse, refuse)" ];
+  Table.add_row t3
+    [ "repeated, tit-for-tat";
+      Printf.sprintf "%.2f" (Repeated.cooperation_rate repeated) ];
+  (* the tussle-free mechanism: Vickrey truthfulness *)
+  let truthful =
+    Auction.truthful_is_dominant ~auction:Auction.second_price ~valuation:7.0
+      ~bidder:0
+      ~others:[ { Auction.bidder = 1; amount = 5.0 }; { Auction.bidder = 2; amount = 9.0 } ]
+      ~deviations:[ 0.0; 3.0; 5.0; 6.0; 8.0; 9.5; 20.0 ]
+  in
+  let t4 =
+    Table.create ~aligns:[ Table.Left; Table.Left ]
+      [ "mechanism design (Vickrey)"; "result" ]
+  in
+  Table.add_row t4
+    [ "truthful bidding dominant?"; (if truthful then "yes" else "no") ];
+  let ok =
+    mp_pure = 0 && mp_all = 1 (* only the mixed one *)
+    && co_pure = 2
+    && bs_pure = 2 && bs_all = 3
+    && pd_pure = 1 && pd_all = 1
+    && pg_pure = 1
+    && Float.abs (Zerosum.value_estimate zs) < 0.01
+    && one_shot = [ (1, 1) ]
+    && Repeated.cooperation_rate repeated > 0.99
+    && truthful
+  in
+  ( Table.render t ^ "\n" ^ Table.render t2 ^ "\n" ^ Table.render t3 ^ "\n"
+    ^ Table.render t4,
+    ok )
+
+let experiment =
+  {
+    Experiment.id = "E11";
+    title = "The game-theory substrate: from zero-sum to tussle-free mechanisms";
+    paper_claim =
+      "\"A game ... can range from purely conflicting games (so called \
+       zero-sum games) ... to coordination games ... Vickrey showed \
+       how to construct rules of a game that guaranteed tussle-free \
+       actor networks ... revolving around revealing truthful \
+       information\" — and §V-D: repeated interaction is what disciplines \
+       parties whose interests are different but not adverse.";
+    run;
+  }

@@ -1,0 +1,78 @@
+(* E14 — The congestion-control tussle (§II-B): social pressure vs
+   mechanism. *)
+
+module Table = Tussle_prelude.Table
+module Congestion = Tussle_netsim.Congestion
+
+let mk_flows ~total ~aggressive =
+  Array.init total (fun i ->
+      if i < aggressive then Congestion.Aggressive else Congestion.Compliant)
+
+let run () =
+  let t =
+    Table.create
+      ~aligns:[ Table.Right; Table.Left; Table.Right; Table.Right; Table.Right ]
+      [ "cheaters"; "bottleneck"; "honest goodput"; "cheater goodput"; "fairness" ]
+  in
+  let total = 10 in
+  let cells = ref [] in
+  List.iter
+    (fun aggressive ->
+      List.iter
+        (fun (rname, regime) ->
+          let cfg =
+            Congestion.default_config ~kinds:(mk_flows ~total ~aggressive)
+          in
+          let r = Congestion.run cfg regime in
+          cells := ((aggressive, regime), r) :: !cells;
+          Table.add_row t
+            [
+              Printf.sprintf "%d/%d" aggressive total;
+              rname;
+              Printf.sprintf "%.1f" r.Congestion.mean_compliant;
+              Printf.sprintf "%.1f" r.Congestion.mean_aggressive;
+              Printf.sprintf "%.3f" r.Congestion.jain;
+            ])
+        [ ("FIFO (deployed)", Congestion.Fifo);
+          ("fair queueing", Congestion.Fair_queueing) ])
+    [ 0; 1; 3; 5 ];
+  let get a r = List.assoc (a, r) !cells in
+  let fifo_all_honest = get 0 Congestion.Fifo in
+  let fifo_cheaters = get 3 Congestion.Fifo in
+  let fq_cheaters = get 3 Congestion.Fair_queueing in
+  let fair_share = 100.0 /. float_of_int total in
+  let ok =
+    (* all honest: FIFO works acceptably well (the paper: "it has worked
+       acceptably well to date") *)
+    fifo_all_honest.Congestion.jain > 0.95
+    && fifo_all_honest.Congestion.utilization > 0.7
+    (* cheaters under FIFO: nothing bounds the shift — honest flows are
+       starved to a sliver of their fair share *)
+    && fifo_cheaters.Congestion.mean_compliant < 0.05 *. fair_share
+    && fifo_cheaters.Congestion.jain < 0.7
+    (* fair queueing bounds the shift: honest flows keep the share AIMD
+       earns them (unchanged from the all-honest world), and cheaters
+       pick up only the slack honest flows leave, far below their FIFO
+       haul *)
+    && fq_cheaters.Congestion.mean_compliant
+       > 0.9 *. fifo_all_honest.Congestion.mean_compliant
+    && fq_cheaters.Congestion.mean_aggressive
+       < 0.6 *. fifo_cheaters.Congestion.mean_aggressive
+    && fq_cheaters.Congestion.jain > 0.85
+  in
+  (Table.render t, ok)
+
+let experiment =
+  {
+    Experiment.id = "E14";
+    title = "Congestion control: social pressure vs bounding mechanism";
+    paper_claim =
+      "\"TCP congestion control 'works' when and only when the majority \
+       of end-systems both participate and follow a common set of rules \
+       ... Should this balance change, the technical design of the \
+       system will do nothing to bound or guide the resulting shift\" — \
+       under FIFO, aggressive endpoints take what they want; a \
+       fair-queueing bottleneck is a design that does bound the shift \
+       (the Savage-style answer for an uncooperative network).";
+    run;
+  }

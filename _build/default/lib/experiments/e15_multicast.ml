@@ -1,0 +1,97 @@
+(* E15 — The multicast post-mortem (§VII, footnote 19): the exercise,
+   done.  Multicast saves real bandwidth, and still nobody deploys it,
+   because the routers holding the state are not the parties pocketing
+   the savings. *)
+
+module Rng = Tussle_prelude.Rng
+module Table = Tussle_prelude.Table
+module Topology = Tussle_netsim.Topology
+module Multicast = Tussle_routing.Multicast
+
+let run () =
+  let rng = Rng.create 1015 in
+  let g = Topology.barabasi_albert rng 200 2 in
+  let t =
+    Table.create
+      ~aligns:[ Table.Right; Table.Right; Table.Right; Table.Right; Table.Right ]
+      [ "group size"; "unicast links"; "multicast links"; "saving"; "router state" ]
+  in
+  let source = 0 in
+  let savings =
+    List.map
+      (fun size ->
+        let receivers =
+          Array.to_list
+            (Rng.sample rng size (Array.init 199 (fun i -> i + 1)))
+        in
+        let tree = Multicast.shortest_path_tree g ~source ~receivers in
+        let uni = Multicast.unicast_link_load g ~source ~receivers in
+        let multi = Multicast.multicast_link_load tree in
+        let saving = Multicast.savings_ratio g ~source ~receivers in
+        Table.add_row t
+          [
+            string_of_int size;
+            string_of_int uni;
+            string_of_int multi;
+            Table.fmt_pct saving;
+            string_of_int (Multicast.router_state tree);
+          ];
+        (size, saving))
+      [ 5; 20; 50; 100; 150 ]
+  in
+  (* the incentive ledger *)
+  let t2 =
+    Table.create
+      ~aligns:[ Table.Left; Table.Right; Table.Left ]
+      [ "regime"; "ISP profit per period"; "deploys?" ]
+  in
+  let mk payment =
+    {
+      Multicast.groups = 100.0;
+      state_cost = 0.5;
+      bandwidth_value = 2.0;
+      payment;
+    }
+  in
+  let verdicts =
+    List.map
+      (fun (name, payment) ->
+        let p = mk payment in
+        let profit = Multicast.isp_profit p in
+        let d = Multicast.deploys p in
+        Table.add_row t2
+          [ name; Printf.sprintf "%.0f" profit; (if d then "yes" else "no") ];
+        d)
+      [
+        ("savings accrue to content providers only", false);
+        ("value-flow protocol: providers paid per group", true);
+      ]
+  in
+  let monotone =
+    let rec increasing = function
+      | (_, a) :: ((_, b) :: _ as rest) -> a <= b +. 1e-9 && increasing rest
+      | _ -> true
+    in
+    increasing savings
+  in
+  let big_saving = List.exists (fun (_, s) -> s > 0.4) savings in
+  let ok =
+    monotone && big_saving
+    && verdicts = [ false; true ] (* no payment: no deployment *)
+  in
+  (Table.render t ^ "\n" ^ Table.render t2, ok)
+
+let experiment =
+  {
+    Experiment.id = "E15";
+    title = "Multicast: real savings, no deployment (the reader's exercise)";
+    paper_claim =
+      "\"This follows on the failure of multicast to emerge as an open \
+       end-to-end service ... The case study of the failure to deploy \
+       multicast is left as an exercise for the reader\" — tree delivery \
+       saves most of the unicast bandwidth, and savings grow with group \
+       size, yet the ISPs who must hold per-group router state capture \
+       none of that value: without a value-flow mechanism the \
+       deployment ledger is negative.";
+    run;
+  }

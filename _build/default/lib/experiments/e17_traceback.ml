@@ -1,0 +1,59 @@
+(* E17 — IP traceback: design for an uncooperative network (§II-B). *)
+
+module Rng = Tussle_prelude.Rng
+module Table = Tussle_prelude.Table
+module Traceback = Tussle_trust.Traceback
+
+let run () =
+  let path = [ 101; 102; 103; 104; 105; 106; 107; 108 ] in
+  let p = 0.2 in
+  let t =
+    Table.create
+      ~aligns:[ Table.Right; Table.Right; Table.Right ]
+      [ "attack packets observed"; "path accuracy"; "exact reconstruction" ]
+  in
+  let trials = 30 in
+  let accuracies =
+    List.map
+      (fun packets ->
+        let accs =
+          List.init trials (fun k ->
+              let rng = Rng.create (1017 + k) in
+              let obs = Traceback.simulate rng ~path ~p ~packets in
+              let guess = Traceback.reconstruct obs in
+              Traceback.accuracy ~truth:path ~guess)
+        in
+        let mean =
+          List.fold_left ( +. ) 0.0 accs /. float_of_int trials
+        in
+        let exact =
+          float_of_int (List.length (List.filter (fun a -> a = 1.0) accs))
+          /. float_of_int trials
+        in
+        Table.add_row t
+          [ string_of_int packets; Table.fmt_pct mean; Table.fmt_pct exact ];
+        (packets, mean))
+      [ 10; 100; 1_000; 10_000; 100_000 ]
+  in
+  let first = snd (List.hd accuracies) in
+  let last = snd (List.nth accuracies (List.length accuracies - 1)) in
+  let rec non_decreasing = function
+    | (_, a) :: ((_, b) :: _ as rest) -> a <= b +. 0.05 && non_decreasing rest
+    | _ -> true
+  in
+  let ok = first < 0.9 && last > 0.99 && non_decreasing accuracies in
+  (Table.render t, ok)
+
+let experiment =
+  {
+    Experiment.id = "E17";
+    title = "IP traceback: locating an attacker who will not cooperate";
+    paper_claim =
+      "\"Savage makes the point that for each of these functions there \
+       exist alternative approaches ... that allow for solutions in an \
+       uncooperative network\" (citing practical network support for IP \
+       traceback) — probabilistic packet marking lets the victim \
+       reconstruct the attack path from enough packets, with no help \
+       from the attacker or intermediate sources.";
+    run;
+  }

@@ -1,0 +1,71 @@
+(* E18 — The next rung of the encryption ladder: steganography (§VI-A,
+   footnote 17). *)
+
+module Table = Tussle_prelude.Table
+module Escalation = Tussle_econ.Escalation
+
+let params =
+  {
+    Escalation.n_users = 1000.0;
+    enc_fraction = 0.3;
+    base_price = 5.0;
+    service_value = 8.0;
+    privacy_value = 2.0;
+    inspection_value = 1.0;
+    competitive = false;
+  }
+
+let run () =
+  let t =
+    Table.create
+      ~aligns:[ Table.Left; Table.Right; Table.Left ]
+      [ "monopolist refuses encrypted traffic..."; "ISP revenue";
+        "privacy survives?" ]
+  in
+  (* without a counter-move, a monopolist's refusal forces users into
+     the clear (see E9): privacy is gone *)
+  let refusal_revenue = Escalation.revenue params Escalation.Refuse in
+  Table.add_row t
+    [ "no counter-move available"; Printf.sprintf "%.0f" refusal_revenue; "no" ];
+  let rows =
+    List.map
+      (fun cost ->
+        let revenue, survives = Escalation.stego_response params ~stego_cost:cost in
+        Table.add_row t
+          [ Printf.sprintf "steganography at cost %.1f" cost;
+            Printf.sprintf "%.0f" revenue;
+            (if survives then "yes" else "no") ];
+        (cost, revenue, survives))
+      [ 0.5; 1.5; 2.5 ]
+  in
+  let survives_at c =
+    let _, _, s = List.find (fun (x, _, _) -> x = c) rows in
+    s
+  in
+  let revenue_at c =
+    let _, r, _ = List.find (fun (x, _, _) -> x = c) rows in
+    r
+  in
+  let ok =
+    (* cheap stego: refusal unenforceable, privacy survives, and the ISP
+       additionally loses the inspection value it refused for *)
+    survives_at 0.5
+    && revenue_at 0.5 < refusal_revenue
+    (* stego dearer than the privacy it buys: users comply instead *)
+    && not (survives_at 2.5)
+  in
+  (Table.render t, ok)
+
+let experiment =
+  {
+    Experiment.id = "E18";
+    title = "Steganography: the escalation after encryption is refused";
+    paper_claim =
+      "\"The next step in this sort of escalation is steganography — the \
+       hiding of information inside some other form of data.  It is a \
+       signal of a coming tussle that this topic is receiving attention \
+       right now\" — when hiding is cheap, refusing encrypted traffic is \
+       unenforceable and costs the ISP the very inspection value it \
+       refused for; when hiding is dear, the refusal bites.";
+    run;
+  }

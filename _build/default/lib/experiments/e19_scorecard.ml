@@ -1,0 +1,164 @@
+(* E19 — Scoring the paper's designs against its own principles (§IV):
+   choice, visibility, tussle isolation, value flow. *)
+
+module Table = Tussle_prelude.Table
+module Actor = Tussle_core.Actor
+module Metrics = Tussle_core.Metrics
+
+let cp name holder alternatives reveals =
+  {
+    Metrics.cp_name = name;
+    holder;
+    alternatives;
+    reveals_presence = reveals;
+  }
+
+(* The deployed DNS: one namespace for machines, mail and brands; the
+   registrar is the only choice point; disputes are resolved invisibly. *)
+let deployed_dns =
+  {
+    Metrics.design_name = "deployed DNS";
+    control_points = [ cp "registrar" Actor.Content_provider 1 false ];
+    value_flows = [ (Actor.User, Actor.Content_provider) ];
+    service_flows = [ (Actor.User, Actor.Content_provider) ];
+    module_map =
+      {
+        Metrics.modules =
+          [ ("dns", [ "machine-naming"; "mailbox-naming"; "brand-expression" ]) ];
+        contested = [ "brand-expression" ];
+      };
+  }
+
+(* The paper's fix: separate directories, competing registrars, visible
+   dispute handling. *)
+let separated_naming =
+  {
+    Metrics.design_name = "separated naming";
+    control_points = [ cp "registrar" Actor.Content_provider 5 true ];
+    value_flows = [ (Actor.User, Actor.Content_provider) ];
+    service_flows = [ (Actor.User, Actor.Content_provider) ];
+    module_map =
+      {
+        Metrics.modules =
+          [
+            ("machine-names", [ "machine-naming" ]);
+            ("mailboxes", [ "mailbox-naming" ]);
+            ("brand-directory", [ "brand-expression" ]);
+          ];
+        contested = [ "brand-expression" ];
+      };
+  }
+
+(* Provider-controlled routing: the user has no wide-area choice and no
+   payment flows for the choices made. *)
+let provider_routing =
+  {
+    Metrics.design_name = "provider routing (BGP as deployed)";
+    control_points = [ cp "route-selection" Actor.Isp 1 false ];
+    value_flows = [];
+    service_flows = [ (Actor.User, Actor.Isp) ];
+    module_map =
+      {
+        Metrics.modules = [ ("routing", [ "path-selection"; "packet-carriage" ]) ];
+        contested = [ "path-selection" ];
+      };
+  }
+
+(* The paper's proposal: user source routing with payment, fault
+   reporting, separate carriage. *)
+let source_routing_paid =
+  {
+    Metrics.design_name = "source routing + payment";
+    control_points = [ cp "route-selection" Actor.User 3 true ];
+    value_flows = [ (Actor.User, Actor.Isp) ];
+    service_flows = [ (Actor.User, Actor.Isp) ];
+    module_map =
+      {
+        Metrics.modules =
+          [ ("route-choice", [ "path-selection" ]);
+            ("forwarding", [ "packet-carriage" ]) ];
+        contested = [ "path-selection" ];
+      };
+  }
+
+(* Closed QoS: the ISP turns QoS on only for the applications it sells;
+   app identity and service quality are entangled. *)
+let closed_qos =
+  {
+    Metrics.design_name = "closed QoS (ISP-bundled)";
+    control_points = [ cp "qos-activation" Actor.Isp 1 false ];
+    value_flows = [ (Actor.User, Actor.Isp) ];
+    service_flows = [ (Actor.User, Actor.Isp); (Actor.Content_provider, Actor.Isp) ];
+    module_map =
+      {
+        Metrics.modules = [ ("service", [ "qos-selection"; "app-identity" ]) ];
+        contested = [ "qos-selection"; "app-identity" ];
+      };
+  }
+
+(* Open QoS with ToS bits: the user sets the bits; what application runs
+   is modularized away from what service is requested. *)
+let open_qos =
+  {
+    Metrics.design_name = "open QoS (explicit ToS bits)";
+    control_points = [ cp "qos-activation" Actor.User 3 true ];
+    value_flows = [ (Actor.User, Actor.Isp); (Actor.Content_provider, Actor.Isp) ];
+    service_flows = [ (Actor.User, Actor.Isp); (Actor.Content_provider, Actor.Isp) ];
+    module_map =
+      {
+        Metrics.modules =
+          [ ("qos", [ "qos-selection" ]); ("apps", [ "app-identity" ]) ];
+        contested = [ "qos-selection" ];
+      };
+  }
+
+let pairs =
+  [
+    (deployed_dns, separated_naming);
+    (provider_routing, source_routing_paid);
+    (closed_qos, open_qos);
+  ]
+
+let run () =
+  let t =
+    Table.create
+      ~aligns:
+        [ Table.Left; Table.Right; Table.Right; Table.Right; Table.Right;
+          Table.Right ]
+      [ "design"; "choice"; "visibility"; "isolation"; "value flow"; "overall" ]
+  in
+  let score d =
+    let s = Metrics.score d in
+    Table.add_row t
+      [
+        d.Metrics.design_name;
+        Printf.sprintf "%.2f" s.Metrics.choice;
+        Printf.sprintf "%.2f" s.Metrics.visibility;
+        Printf.sprintf "%.2f" s.Metrics.isolation;
+        Printf.sprintf "%.2f" s.Metrics.value_flow;
+        Printf.sprintf "%.2f" s.Metrics.overall;
+      ];
+    s
+  in
+  let ok =
+    List.for_all
+      (fun (bad, good) ->
+        let sb = score bad in
+        let sg = score good in
+        sg.Metrics.overall > sb.Metrics.overall)
+      pairs
+  in
+  (Table.render t, ok)
+
+let experiment =
+  {
+    Experiment.id = "E19";
+    title = "Scoring designs against the paper's own principles";
+    paper_claim =
+      "§IV: design for choice, make the consequences of choice visible, \
+       modularize along tussle boundaries, and let value flow where \
+       service flows.  For each tussle space the paper discusses, the \
+       design it advocates outscores the deployed one on exactly those \
+       axes.";
+    run;
+  }

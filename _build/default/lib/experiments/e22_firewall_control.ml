@@ -1,0 +1,101 @@
+(* E22 — Who sets the firewall policy?  Designing the space, not the
+   answer (§V-B). *)
+
+module Table = Tussle_prelude.Table
+module Packet = Tussle_netsim.Packet
+module Fc = Tussle_trust.Firewall_control
+
+let user_node = 7
+let other_node = 8
+let game_port = Packet.default_port Packet.Game
+
+let user_game_packet id src =
+  Packet.make ~app:Packet.Game ~id ~src ~dst:42 ~created:0.0 ()
+
+(* admin blocks the new application's port for everyone *)
+let admin_block table ~visible =
+  match
+    Fc.add_rule table Fc.Admin ~allow:false ~visible
+      { Fc.any with Fc.sel_port = Some game_port }
+  with
+  | Ok _ -> ()
+  | Error `Beyond_authority -> assert false
+
+(* the user asks for a pinhole over its own traffic *)
+let user_pinhole table =
+  Fc.add_rule table (Fc.End_user user_node) ~allow:true
+    { Fc.any with Fc.sel_src = Some user_node; sel_port = Some game_port }
+
+let run () =
+  let t =
+    Table.create
+      ~aligns:[ Table.Left; Table.Left; Table.Left; Table.Right ]
+      [ "regime"; "user's new app"; "others' new app"; "rule transparency" ]
+  in
+  let report name table =
+    let mine = Fc.permits table (user_game_packet 0 user_node) in
+    let theirs = Fc.permits table (user_game_packet 1 other_node) in
+    Table.add_row t
+      [
+        name;
+        (if mine then "flows" else "blocked");
+        (if theirs then "flows" else "blocked");
+        Table.fmt_pct (Fc.rule_transparency table ~user:user_node);
+      ];
+    (mine, theirs)
+  in
+  (* 1: admin-only authority: the pinhole request cannot win *)
+  let admin_only = Fc.create ~users_may_override:false () in
+  admin_block admin_only ~visible:true;
+  (match user_pinhole admin_only with Ok _ | Error _ -> ());
+  let mine1, theirs1 = report "admin in charge" admin_only in
+  (* 2: the MIDCOM space: users rule their own traffic *)
+  let midcom = Fc.create ~users_may_override:true () in
+  admin_block midcom ~visible:true;
+  (match user_pinhole midcom with Ok _ -> () | Error _ -> assert false);
+  let mine2, theirs2 = report "user controls own traffic (MIDCOM)" midcom in
+  (* 3: covert admin rule: same enforcement, zero visibility *)
+  let covert = Fc.create ~users_may_override:false () in
+  admin_block covert ~visible:false;
+  let mine3, _ = report "admin in charge, rules hidden" covert in
+  (* authority boundary: the user cannot legislate for others *)
+  let overreach =
+    Fc.add_rule midcom (Fc.End_user user_node) ~allow:true
+      { Fc.any with Fc.sel_src = Some other_node }
+  in
+  let footer =
+    Printf.sprintf
+      "\nuser requesting control over someone else's traffic: %s\n\
+       covert regime's enforcement point reveals itself: %b\n"
+      (match overreach with
+      | Error `Beyond_authority -> "refused (beyond authority)"
+      | Ok _ -> "GRANTED (bug)")
+      (Tussle_netsim.Middlebox.reveals_presence (Fc.middlebox covert))
+  in
+  let ok =
+    (not mine1) && (not theirs1) (* admin veto binds everyone *)
+    && mine2
+    && (not theirs2) (* pinhole is scoped to the requester *)
+    && (not mine3)
+    && Fc.rule_transparency admin_only ~user:user_node = 1.0
+    && Fc.rule_transparency covert ~user:user_node = 0.0
+    && overreach = Error `Beyond_authority
+    && not (Tussle_netsim.Middlebox.reveals_presence (Fc.middlebox covert))
+  in
+  (Table.render t ^ footer, ok)
+
+let experiment =
+  {
+    Experiment.id = "E22";
+    title = "Firewall control: who is in charge, and can you read the rules?";
+    paper_claim =
+      "\"Who gets to set the policy in the firewall? ... There is no \
+       single answer, and we better not think we are going to design \
+       it.  All we can design is the space for the tussle ... should \
+       that end user be able to download and examine these rules? ... \
+       there is no obvious way to enforce this requirement, so it \
+       becomes a courtesy\" — the same rule table supports admin-rule, \
+       user-pinhole and covert regimes; authority is bounded (users \
+       only rule their own traffic) and visibility is measurable.";
+    run;
+  }

@@ -1,0 +1,94 @@
+(* E23 — Application design guidelines (§VI-A): the advice, executable. *)
+
+module Table = Tussle_prelude.Table
+module Guidelines = Tussle_core.Guidelines
+
+(* a middling design: encrypted and open, but the operator controls the
+   in-network features and the mediators are hard-wired *)
+let platform_chat =
+  {
+    Guidelines.app_name = "platform-chat";
+    server_choices = 3;
+    third_party_mediators_selectable = false;
+    supports_e2e_encryption = true;
+    user_controls_in_network_features = false;
+    interfaces_open = true;
+    value_flow_designed = true;
+    identity_framework = false;
+    contested_functions_separated = true;
+    failure_reporting = true;
+    anonymous_mode_honest = true;
+  }
+
+let run () =
+  let designs =
+    [
+      Guidelines.open_design_reference;
+      platform_chat;
+      Guidelines.walled_garden_reference;
+    ]
+  in
+  let t =
+    Table.create
+      ~aligns:[ Table.Left; Table.Right; Table.Left ]
+      [ "application design"; "guidelines passed"; "violations" ]
+  in
+  let scored =
+    List.map
+      (fun d ->
+        let violations = Guidelines.lint d in
+        let ids =
+          String.concat " "
+            (List.map
+               (fun v -> v.Guidelines.guideline.Guidelines.g_id)
+               violations)
+        in
+        Table.add_row t
+          [
+            d.Guidelines.app_name;
+            Printf.sprintf "%.0f/10" (10.0 *. Guidelines.score d);
+            (if ids = "" then "-" else ids);
+          ];
+        (d.Guidelines.app_name, Guidelines.score d, violations))
+      designs
+  in
+  let sample_advice =
+    match Guidelines.lint Guidelines.walled_garden_reference with
+    | v :: _ -> Format.asprintf "e.g. %a" Guidelines.pp_violation v
+    | [] -> "(no violations)"
+  in
+  let footer = "\n" ^ sample_advice ^ "\n" in
+  let score_of name =
+    let _, s, _ = List.find (fun (n, _, _) -> n = name) scored in
+    s
+  in
+  let violations_of name =
+    let _, _, v = List.find (fun (n, _, _) -> n = name) scored in
+    v
+  in
+  let ok =
+    score_of "federated-mail" = 1.0
+    && List.length (violations_of "walled-garden-messenger") = 9
+    && score_of "platform-chat" > score_of "walled-garden-messenger"
+    && score_of "platform-chat" < 1.0
+    (* the linter names the G2 mediator-choice failure for platform-chat *)
+    && List.exists
+         (fun v -> v.Guidelines.guideline.Guidelines.g_id = "G2")
+         (violations_of "platform-chat")
+  in
+  (Table.render t ^ footer, ok)
+
+let experiment =
+  {
+    Experiment.id = "E23";
+    title = "Application design guidelines: the paper's advice as a linter";
+    paper_claim =
+      "\"If application designers want to preserve choice and end user \
+       empowerment, they should be given advice about how to design \
+       applications to achieve this goal ... we should generate \
+       'application design guidelines' that would help designers avoid \
+       pitfalls, and deal with the tussles of success\" — ten guidelines \
+       distilled from the text, checked mechanically against declarative \
+       application designs, each violation carrying its recommendation.";
+    run;
+  }

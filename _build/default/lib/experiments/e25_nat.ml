@@ -1,0 +1,98 @@
+(* E25 — NAT: winning the addressing tussle, paying in transparency
+   (§I, §VI-A). *)
+
+module Table = Tussle_prelude.Table
+module Packet = Tussle_netsim.Packet
+module Nat = Tussle_netsim.Nat
+
+let household = [ 100; 101; 102; 103; 104 ]
+
+let run () =
+  let nat = Nat.create ~public:1 ~privates:household in
+  (* every host opens an outbound web flow: all succeed, and the ISP
+     still sees a single address *)
+  let outbound_ok = ref 0 in
+  List.iteri
+    (fun i h ->
+      let p = Packet.make ~app:Packet.Web ~id:i ~src:h ~dst:50 ~created:0.0 () in
+      let q = Nat.translate_out nat p in
+      if q.Packet.src = Nat.public_address nat then incr outbound_ok)
+    household;
+  (* replies to those flows come back in *)
+  let replies_ok = ref 0 in
+  for port = 49152 to 49156 do
+    let reply =
+      Packet.make ~app:Packet.Web ~port ~id:(100 + port) ~src:50 ~dst:1
+        ~created:0.0 ()
+    in
+    match Nat.translate_in nat reply with
+    | Some _ -> incr replies_ok
+    | None -> ()
+  done;
+  (* a new peer-to-peer application tries to call IN to each host *)
+  let unsolicited_ok = ref 0 in
+  List.iteri
+    (fun i _ ->
+      let call =
+        Packet.make ~app:Packet.Game ~port:(27015 + i) ~id:(200 + i) ~src:60
+          ~dst:1 ~created:0.0 ()
+      in
+      match Nat.translate_in nat call with
+      | Some _ -> incr unsolicited_ok
+      | None -> ())
+    household;
+  let p2p_before = !unsolicited_ok in
+  let drops_before = Nat.inbound_drops nat in
+  (* the user's counter-counter-move: port forwards *)
+  List.iteri
+    (fun i h ->
+      Nat.add_port_forward nat ~public_port:(27015 + i) ~host:h ~port:27015)
+    household;
+  let forwarded_ok = ref 0 in
+  List.iteri
+    (fun i _ ->
+      let call =
+        Packet.make ~app:Packet.Game ~port:(27015 + i) ~id:(300 + i) ~src:60
+          ~dst:1 ~created:0.0 ()
+      in
+      match Nat.translate_in nat call with
+      | Some _ -> incr forwarded_ok
+      | None -> ())
+    household;
+  let n = List.length household in
+  let t =
+    Table.create ~aligns:[ Table.Left; Table.Right ] [ "NAT ledger"; "" ]
+  in
+  Table.add_row t [ "hosts in the household"; string_of_int n ];
+  Table.add_row t
+    [ "addresses the ISP can count"; string_of_int (Nat.visible_hosts nat) ];
+  Table.add_row t [ "outbound flows carried"; Printf.sprintf "%d/%d" !outbound_ok n ];
+  Table.add_row t [ "replies translated back"; Printf.sprintf "%d/%d" !replies_ok n ];
+  Table.add_row t
+    [ "unsolicited p2p calls delivered"; Printf.sprintf "%d/%d" p2p_before n ];
+  Table.add_row t
+    [ "after manual port-forwards"; Printf.sprintf "%d/%d" !forwarded_ok n ];
+  let ok =
+    !outbound_ok = n
+    && Nat.visible_hosts nat = 1 (* the user wins the pricing tussle *)
+    && !replies_ok = n (* established flows work: the web is fine *)
+    && p2p_before = 0 (* the new receive-oriented app is dead by default *)
+    && drops_before = n
+    && !forwarded_ok = n (* restored only by manual configuration *)
+  in
+  (Table.render t, ok)
+
+let experiment =
+  {
+    Experiment.id = "E25";
+    title = "NAT: the user wins on addressing and pays in transparency";
+    paper_claim =
+      "\"ISPs give their users a single IP address, and users attach a \
+       network of computers using address translation\" (§I) — five \
+       hosts ride one subscription and the ISP cannot count them; but \
+       the transparent 'what goes in comes out' network is gone (§VI-A): \
+       unsolicited inbound traffic, the lifeblood of a new peer-to-peer \
+       application, dies at the NAT unless the user hand-configures \
+       forwards.";
+    run;
+  }

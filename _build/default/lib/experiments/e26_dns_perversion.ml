@@ -1,0 +1,76 @@
+(* E26 — Intentional perversion of DNS information, and choice as the
+   counter (§IV-D). *)
+
+module Table = Tussle_prelude.Table
+module Resolver = Tussle_naming.Resolver
+
+let zone =
+  Resolver.authority
+    [
+      { Resolver.name = "news.example"; address = 10; ttl = 300.0 };
+      { Resolver.name = "mail.example"; address = 11; ttl = 300.0 };
+      { Resolver.name = "p2p.example"; address = 12; ttl = 300.0 };
+      { Resolver.name = "rival-video.example"; address = 13; ttl = 300.0 };
+    ]
+
+let probe_names =
+  [ "news.example"; "mail.example"; "p2p.example"; "rival-video.example";
+    "tpyo.example"; "another-tpyo.example" ]
+
+let run () =
+  let t =
+    Table.create
+      ~aligns:[ Table.Left; Table.Right; Table.Left ]
+      [ "resolver the user is handed"; "truthful answers"; "what the lies are" ]
+  in
+  let resolvers =
+    [
+      ("honest", Resolver.Honest, "-");
+      ( "NXDOMAIN-monetizing ISP resolver", Resolver.Nxdomain_monetizing 99,
+        "typos resolve to the ad server" );
+      ( "blocking resolver", Resolver.Blocking [ "p2p.example" ],
+        "the disfavored application is unresolvable" );
+      ( "redirecting resolver",
+        Resolver.Redirecting [ ("rival-video.example", 99) ],
+        "the rival's name points at the operator" );
+    ]
+  in
+  let scores =
+    List.map
+      (fun (name, policy, lies) ->
+        let r = Resolver.create ~policy zone in
+        let score = Resolver.truthfulness r ~now:0.0 ~names:probe_names in
+        Table.add_row t [ name; Table.fmt_pct score; lies ];
+        (name, score))
+      resolvers
+  in
+  (* the user's counter-move: switch to a third-party honest resolver *)
+  let switched = Resolver.create ~policy:Resolver.Honest zone in
+  let restored = Resolver.truthfulness switched ~now:0.0 ~names:probe_names in
+  Table.add_row t
+    [ "user switches to a third-party resolver"; Table.fmt_pct restored;
+      "choice restores truth" ];
+  let get name = List.assoc name scores in
+  let ok =
+    get "honest" = 1.0
+    && get "NXDOMAIN-monetizing ISP resolver" < 1.0
+    && get "blocking resolver" < 1.0
+    && get "redirecting resolver" < 1.0
+    && restored = 1.0
+  in
+  (Table.render t, ok)
+
+let experiment =
+  {
+    Experiment.id = "E26";
+    title = "DNS perversion, and resolver choice as the counter-move";
+    paper_claim =
+      "\"the different parties to the tussle use different mechanisms \
+       ... such as restrictions on routing, tunnels and overlays, or \
+       intentional perversion of DNS information\" (§IV-D) — \
+       monetizing, blocking and redirecting resolvers each lie about a \
+       different part of the namespace; the user's remedy is the \
+       paper's own principle, the choice of which resolver to use \
+       (\"users can select what servers they use\").";
+    run;
+  }

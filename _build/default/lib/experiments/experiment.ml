@@ -1,0 +1,19 @@
+type t = {
+  id : string;
+  title : string;
+  paper_claim : string;
+  run : unit -> string * bool;
+}
+
+let render t =
+  let body, ok = t.run () in
+  let header =
+    Printf.sprintf "## %s — %s\n\nPaper claim: %s\n\n" t.id t.title
+      t.paper_claim
+  in
+  let footer =
+    Printf.sprintf "\nshape check: %s\n"
+      (if ok then "HOLDS (matches the paper's qualitative claim)"
+       else "DOES NOT HOLD")
+  in
+  (header ^ body ^ footer, ok)

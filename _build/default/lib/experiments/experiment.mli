@@ -1,0 +1,18 @@
+(** Common shape of a reproduction experiment.
+
+    Every experiment renders one table (the paper has no numbered
+    tables or figures; each experiment operationalizes one qualitative
+    claim from the text — see DESIGN.md's experiment index) and checks
+    its own expected shape, so the harness can report
+    paper-claim-holds / does-not-hold mechanically. *)
+
+type t = {
+  id : string;  (** "E1" ... "E13" *)
+  title : string;
+  paper_claim : string;  (** the sentence from the paper being tested *)
+  run : unit -> string * bool;
+      (** rendered table(s) and whether the expected shape held *)
+}
+
+val render : t -> string * bool
+(** Run and wrap with a header/footer.  The bool is the shape check. *)

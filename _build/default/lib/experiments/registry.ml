@@ -1,0 +1,57 @@
+let all =
+  [
+    E01_lockin.experiment;
+    E02_value_pricing.experiment;
+    E03_broadband.experiment;
+    E04_source_routing.experiment;
+    E05_trust_firewall.experiment;
+    E06_qos_deployment.experiment;
+    E07_name_isolation.experiment;
+    E08_visibility.experiment;
+    E09_encryption.experiment;
+    E10_ontology.experiment;
+    E11_game_battery.experiment;
+    E12_actor_network.experiment;
+    E13_intermediary.experiment;
+    E14_congestion.experiment;
+    E15_multicast.experiment;
+    E16_value_flow.experiment;
+    E17_traceback.experiment;
+    E18_steganography.experiment;
+    E19_scorecard.experiment;
+    E20_caching.experiment;
+    E21_diagnosis.experiment;
+    E22_firewall_control.experiment;
+    E23_guidelines.experiment;
+    E24_vertical.experiment;
+    E25_nat.experiment;
+    E26_dns_perversion.experiment;
+    E27_transport.experiment;
+  ]
+
+let find id =
+  let wanted = String.lowercase_ascii id in
+  List.find_opt
+    (fun e -> String.lowercase_ascii e.Experiment.id = wanted)
+    all
+
+let run_all () =
+  let ok = ref true in
+  List.iter
+    (fun e ->
+      let body, held = Experiment.render e in
+      print_string body;
+      print_newline ();
+      if not held then ok := false)
+    all;
+  Printf.printf "=== %d experiments, shape checks %s ===\n" (List.length all)
+    (if !ok then "ALL HOLD" else "SOME FAILED");
+  !ok
+
+let run_one id =
+  match find id with
+  | None -> Error (Printf.sprintf "unknown experiment %S" id)
+  | Some e ->
+    let body, held = Experiment.render e in
+    print_string body;
+    Ok held

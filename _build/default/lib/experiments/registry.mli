@@ -1,0 +1,14 @@
+(** The experiment registry: every paper claim the harness regenerates. *)
+
+val all : Experiment.t list
+(** E1 through E27 in order. *)
+
+val find : string -> Experiment.t option
+(** Lookup by id (case-insensitive, e.g. "e4" or "E4"). *)
+
+val run_all : unit -> bool
+(** Print every experiment to stdout; [true] iff every shape check
+    held. *)
+
+val run_one : string -> (bool, string) result
+(** Print one experiment by id. *)

@@ -1,0 +1,1 @@
+lib/gametheory/auction.ml: List

@@ -1,0 +1,1 @@
+lib/gametheory/bestresponse.ml: Array List

@@ -1,0 +1,1 @@
+lib/gametheory/linalg.ml: Array Float

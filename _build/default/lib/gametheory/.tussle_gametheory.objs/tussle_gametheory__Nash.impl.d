@@ -1,0 +1,1 @@
+lib/gametheory/nash.ml: Array Float Format Linalg List Normal_form Option

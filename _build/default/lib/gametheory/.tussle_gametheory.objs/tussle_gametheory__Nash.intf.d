@@ -1,0 +1,1 @@
+lib/gametheory/nash.mli: Format Normal_form

@@ -1,0 +1,1 @@
+lib/gametheory/normal_form.ml: Array Float Format Fun List

@@ -1,0 +1,1 @@
+lib/gametheory/normal_form.mli: Format

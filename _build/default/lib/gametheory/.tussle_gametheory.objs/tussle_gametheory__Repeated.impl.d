@@ -1,0 +1,1 @@
+lib/gametheory/repeated.ml: Hashtbl List Normal_form Option Printf Tussle_prelude

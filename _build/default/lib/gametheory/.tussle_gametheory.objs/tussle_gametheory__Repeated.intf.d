@@ -1,0 +1,1 @@
+lib/gametheory/repeated.mli: Normal_form Tussle_prelude

@@ -1,0 +1,1 @@
+lib/gametheory/replicator.ml: Array Float List Normal_form

@@ -1,0 +1,1 @@
+lib/gametheory/replicator.mli: Normal_form

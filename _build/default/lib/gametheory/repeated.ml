@@ -1,0 +1,123 @@
+type strategy = {
+  name : string;
+  first : int;
+  next : own_history:int list -> opp_history:int list -> int;
+}
+
+let all_cooperate =
+  { name = "all-c"; first = 0; next = (fun ~own_history:_ ~opp_history:_ -> 0) }
+
+let all_defect =
+  { name = "all-d"; first = 1; next = (fun ~own_history:_ ~opp_history:_ -> 1) }
+
+let tit_for_tat =
+  {
+    name = "tit-for-tat";
+    first = 0;
+    next =
+      (fun ~own_history:_ ~opp_history ->
+        match opp_history with last :: _ -> last | [] -> 0);
+  }
+
+let grim_trigger =
+  {
+    name = "grim";
+    first = 0;
+    next =
+      (fun ~own_history:_ ~opp_history ->
+        if List.exists (fun m -> m = 1) opp_history then 1 else 0);
+  }
+
+let pavlov =
+  {
+    name = "pavlov";
+    first = 0;
+    next =
+      (fun ~own_history ~opp_history ->
+        match (own_history, opp_history) with
+        | own :: _, opp :: _ ->
+          (* win-stay (opp cooperated), lose-shift (opp defected) *)
+          if opp = 0 then own else 1 - own
+        | _, _ -> 0);
+  }
+
+let random_strategy rng ~p_cooperate =
+  {
+    name = Printf.sprintf "random(%.2f)" p_cooperate;
+    first = (if Tussle_prelude.Rng.bernoulli rng p_cooperate then 0 else 1);
+    next =
+      (fun ~own_history:_ ~opp_history:_ ->
+        if Tussle_prelude.Rng.bernoulli rng p_cooperate then 0 else 1);
+  }
+
+type match_result = {
+  payoff_a : float;
+  payoff_b : float;
+  moves : (int * int) list;
+}
+
+let play ?(delta = 1.0) ~rounds g sa sb =
+  if rounds <= 0 then invalid_arg "Repeated.play: non-positive rounds";
+  if delta <= 0.0 || delta > 1.0 then invalid_arg "Repeated.play: bad delta";
+  if Normal_form.rows g <> 2 || Normal_form.cols g <> 2 then
+    invalid_arg "Repeated.play: stage game must be 2x2";
+  let rec go round ha hb pa pb disc acc =
+    if round >= rounds then
+      { payoff_a = pa; payoff_b = pb; moves = List.rev acc }
+    else begin
+      let ma =
+        if round = 0 then sa.first else sa.next ~own_history:ha ~opp_history:hb
+      in
+      let mb =
+        if round = 0 then sb.first else sb.next ~own_history:hb ~opp_history:ha
+      in
+      let ua, ub = Normal_form.payoff g ma mb in
+      go (round + 1) (ma :: ha) (mb :: hb)
+        (pa +. (disc *. ua))
+        (pb +. (disc *. ub))
+        (disc *. delta)
+        ((ma, mb) :: acc)
+    end
+  in
+  go 0 [] [] 0.0 0.0 1.0 []
+
+let average_payoffs r ~rounds =
+  let n = float_of_int rounds in
+  (r.payoff_a /. n, r.payoff_b /. n)
+
+let tournament ?delta ~rounds g strategies =
+  let scores = Hashtbl.create 8 in
+  let bump name x =
+    let cur = Option.value ~default:0.0 (Hashtbl.find_opt scores name) in
+    Hashtbl.replace scores name (cur +. x)
+  in
+  List.iter (fun s -> bump s.name 0.0) strategies;
+  List.iteri
+    (fun i sa ->
+      List.iteri
+        (fun j sb ->
+          if j >= i then begin
+            let r = play ?delta ~rounds g sa sb in
+            if i = j then bump sa.name r.payoff_a
+            else begin
+              bump sa.name r.payoff_a;
+              bump sb.name r.payoff_b
+            end
+          end)
+        strategies)
+    strategies;
+  Hashtbl.fold (fun name score acc -> (name, score) :: acc) scores []
+  |> List.sort (fun (na, a) (nb, b) ->
+         match compare b a with 0 -> compare na nb | c -> c)
+
+let cooperation_rate r =
+  match r.moves with
+  | [] -> 0.0
+  | moves ->
+    let coop =
+      List.fold_left
+        (fun acc (a, b) ->
+          acc + (if a = 0 then 1 else 0) + if b = 0 then 1 else 0)
+        0 moves
+    in
+    float_of_int coop /. float_of_int (2 * List.length moves)

@@ -1,0 +1,56 @@
+(** Repeated two-player games: tussle "at run time" rather than one-shot.
+
+    The paper observes that many Internet tussles (ISP peering above
+    all) are not one-shot: parties meet again, and that is what
+    disciplines them.  This module plays a stage game repeatedly between
+    strategy automata and reports discounted or average payoffs; the
+    peering experiment shows tit-for-tat sustaining the cooperation that
+    the one-shot equilibrium destroys. *)
+
+type strategy = {
+  name : string;
+  first : int;  (** opening move *)
+  next : own_history:int list -> opp_history:int list -> int;
+  (** next move given full histories, most recent first *)
+}
+
+val all_cooperate : strategy
+val all_defect : strategy
+val tit_for_tat : strategy
+val grim_trigger : strategy
+val pavlov : strategy
+(** Win-stay lose-shift on the PD payoff convention (0 = cooperate). *)
+
+val random_strategy : Tussle_prelude.Rng.t -> p_cooperate:float -> strategy
+
+type match_result = {
+  payoff_a : float;  (** total payoff (discounted if delta < 1) *)
+  payoff_b : float;
+  moves : (int * int) list;  (** chronological *)
+}
+
+val play :
+  ?delta:float ->
+  rounds:int ->
+  Normal_form.t ->
+  strategy ->
+  strategy ->
+  match_result
+(** [play ~rounds g sa sb].  [delta] is the per-round discount factor
+    (default 1.0 = plain sum).  Raises [Invalid_argument] on
+    [rounds <= 0] or [delta] outside (0, 1]. *)
+
+val average_payoffs : match_result -> rounds:int -> float * float
+
+val tournament :
+  ?delta:float ->
+  rounds:int ->
+  Normal_form.t ->
+  strategy list ->
+  (string * float) list
+(** Round-robin (including self-play), total payoff per strategy,
+    sorted descending — the Axelrod experiment shape. *)
+
+val cooperation_rate : match_result -> float
+(** Fraction of moves (both players) that were strategy 0
+    ("cooperate"). *)

@@ -1,0 +1,76 @@
+type state = float array
+
+let check g state =
+  let n = Normal_form.rows g in
+  if Normal_form.cols g <> n then invalid_arg "Replicator: game must be square";
+  if Array.length state <> n then invalid_arg "Replicator: state length";
+  n
+
+let fitness g state i =
+  let n = Array.length state in
+  let acc = ref 0.0 in
+  for j = 0 to n - 1 do
+    let u, _ = Normal_form.payoff g i j in
+    acc := !acc +. (state.(j) *. u)
+  done;
+  !acc
+
+let mean_fitness g state =
+  let n = check g state in
+  let acc = ref 0.0 in
+  for i = 0 to n - 1 do
+    acc := !acc +. (state.(i) *. fitness g state i)
+  done;
+  !acc
+
+let step g state =
+  let n = check g state in
+  (* shift payoffs so that all fitnesses are positive; this preserves
+     the discrete replicator's fixed points (ratios of fitnesses change
+     monotonically identically for all strategies) *)
+  let fits = Array.init n (fun i -> fitness g state i) in
+  let low = Array.fold_left Float.min infinity fits in
+  let shift = if low <= 0.0 then 1.0 -. low else 0.0 in
+  let shifted = Array.map (fun f -> f +. shift) fits in
+  let avg = ref 0.0 in
+  for i = 0 to n - 1 do
+    avg := !avg +. (state.(i) *. shifted.(i))
+  done;
+  if !avg <= 0.0 then Array.copy state
+  else begin
+    let next = Array.init n (fun i -> state.(i) *. shifted.(i) /. !avg) in
+    let s = Array.fold_left ( +. ) 0.0 next in
+    Array.map (fun x -> x /. s) next
+  end
+
+let evolve ?(steps = 100) g state =
+  let rec go k cur acc =
+    if k = 0 then List.rev acc
+    else
+      let next = step g cur in
+      go (k - 1) next (next :: acc)
+  in
+  go steps state [ state ]
+
+let l1_distance a b =
+  let acc = ref 0.0 in
+  Array.iteri (fun i x -> acc := !acc +. Float.abs (x -. b.(i))) a;
+  !acc
+
+let fixed_point ?(steps = 100_000) ?(tolerance = 1e-9) g state =
+  let rec go k cur =
+    if k = 0 then None
+    else
+      let next = step g cur in
+      if l1_distance cur next < tolerance then Some next else go (k - 1) next
+  in
+  go steps state
+
+let is_evolutionarily_stable_pure g s ~invaders =
+  let pay a b = fst (Normal_form.payoff g a b) in
+  List.for_all
+    (fun i ->
+      i = s
+      || pay s s > pay i s
+      || (pay s s = pay i s && pay s i > pay i i))
+    invaders

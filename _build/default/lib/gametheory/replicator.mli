@@ -1,0 +1,32 @@
+(** Replicator dynamics: the paper's "bounded rationality / evolutionary
+    game theory" direction (§II-B, Binmore).
+
+    A population of boundedly rational actors — "ill-informed, myopic"
+    — shifts toward strategies that currently earn above the population
+    average.  Discrete-time replicator update on a symmetric game. *)
+
+type state = float array
+(** Population share per strategy; a probability distribution. *)
+
+val step : Normal_form.t -> state -> state
+(** One replicator update using the row-player payoffs of a symmetric
+    game against the current population mixture.  Payoffs are shifted to
+    be positive internally, which leaves the dynamics' fixed points and
+    orbits unchanged.  Raises [Invalid_argument] if the game is not
+    square or the state has the wrong length. *)
+
+val evolve : ?steps:int -> Normal_form.t -> state -> state list
+(** Trajectory (including the initial state), default 100 steps. *)
+
+val fixed_point :
+  ?steps:int -> ?tolerance:float -> Normal_form.t -> state -> state option
+(** Run until successive states differ by less than [tolerance] in L1
+    (default 1e-9), or [None] after [steps] (default 100_000). *)
+
+val mean_fitness : Normal_form.t -> state -> float
+(** Average payoff in the population. *)
+
+val is_evolutionarily_stable_pure :
+  Normal_form.t -> int -> invaders:int list -> bool
+(** Crude ESS check for a pure strategy against a list of pure invaders:
+    E(s,s) > E(i,s), or E(s,s) = E(i,s) and E(s,i) > E(i,i). *)

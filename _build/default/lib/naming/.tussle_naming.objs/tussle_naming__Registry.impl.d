@@ -1,0 +1,1 @@
+lib/naming/registry.ml: Hashtbl List Option String

@@ -1,0 +1,1 @@
+lib/naming/registry.mli:

@@ -1,0 +1,1 @@
+lib/naming/resolver.ml: Hashtbl List

@@ -1,0 +1,1 @@
+lib/naming/resolver.mli:

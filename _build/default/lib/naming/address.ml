@@ -1,0 +1,30 @@
+type scheme =
+  | Provider_based of { static_hosts : int }
+  | Dynamic of { hosts : int }
+  | Portable of { prefixes : int }
+
+let switching_cost ?(per_static_host = 1.0) ?(site_overhead = 0.5) = function
+  | Provider_based { static_hosts } ->
+    if static_hosts < 0 then invalid_arg "Address: negative hosts";
+    float_of_int static_hosts *. per_static_host
+  | Dynamic { hosts } ->
+    if hosts < 0 then invalid_arg "Address: negative hosts";
+    site_overhead
+  | Portable _ -> 0.0
+
+let routing_table_burden ~core_routers = function
+  | Provider_based _ | Dynamic _ -> 0.0
+  | Portable { prefixes } ->
+    if prefixes < 0 then invalid_arg "Address: negative prefixes";
+    float_of_int (prefixes * core_routers)
+
+let total_cost ?per_static_host ?site_overhead ?(slot_cost = 0.01)
+    ~core_routers scheme =
+  switching_cost ?per_static_host ?site_overhead scheme
+  +. (slot_cost *. routing_table_burden ~core_routers scheme)
+
+let scheme_to_string = function
+  | Provider_based { static_hosts } ->
+    Printf.sprintf "provider-based(%d static hosts)" static_hosts
+  | Dynamic { hosts } -> Printf.sprintf "dynamic(%d hosts)" hosts
+  | Portable { prefixes } -> Printf.sprintf "portable(%d prefixes)" prefixes

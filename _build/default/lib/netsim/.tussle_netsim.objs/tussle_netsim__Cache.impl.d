@@ -1,0 +1,1 @@
+lib/netsim/cache.ml: Hashtbl List Packet

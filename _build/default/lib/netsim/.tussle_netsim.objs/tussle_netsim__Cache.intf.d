@@ -1,0 +1,1 @@
+lib/netsim/cache.mli: Packet

@@ -1,0 +1,1 @@
+lib/netsim/congestion.ml: Array Float List

@@ -1,0 +1,1 @@
+lib/netsim/diagnosis.ml: Array Engine List Middlebox Net Packet

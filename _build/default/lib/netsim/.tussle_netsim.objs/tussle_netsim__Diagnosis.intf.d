@@ -1,0 +1,1 @@
+lib/netsim/diagnosis.mli: Engine Net Packet

@@ -1,0 +1,1 @@
+lib/netsim/engine.ml: Float Hashtbl Option Tussle_prelude

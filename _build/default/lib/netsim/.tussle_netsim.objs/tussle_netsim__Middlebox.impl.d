@@ -1,0 +1,1 @@
+lib/netsim/middlebox.ml: List Packet

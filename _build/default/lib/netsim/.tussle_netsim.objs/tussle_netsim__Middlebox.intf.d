@@ -1,0 +1,1 @@
+lib/netsim/middlebox.mli: Packet

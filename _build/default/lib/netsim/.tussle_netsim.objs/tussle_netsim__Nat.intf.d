@@ -1,0 +1,1 @@
+lib/netsim/nat.mli: Packet

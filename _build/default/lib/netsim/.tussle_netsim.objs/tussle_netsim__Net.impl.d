@@ -1,0 +1,1 @@
+lib/netsim/net.ml: Array Engine Hashtbl Link List Middlebox Option Packet Tussle_prelude

@@ -1,0 +1,1 @@
+lib/netsim/topology.ml: Array Hashtbl Link List Tussle_prelude

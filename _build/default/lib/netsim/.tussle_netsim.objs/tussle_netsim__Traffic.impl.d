@@ -1,0 +1,1 @@
+lib/netsim/traffic.ml: Engine Net Packet Tussle_prelude

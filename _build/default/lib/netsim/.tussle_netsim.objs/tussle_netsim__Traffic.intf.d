@@ -1,0 +1,1 @@
+lib/netsim/traffic.mli: Engine Net Packet Tussle_prelude

@@ -1,0 +1,1 @@
+lib/netsim/transport.ml: Engine Float Hashtbl Net Option Packet Traffic

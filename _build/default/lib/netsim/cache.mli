@@ -1,0 +1,45 @@
+(** In-network content caching: enhancing the mature application
+    (§VI-A).
+
+    "The desire to improve important applications (e.g., the Web),
+    leads to the deployment of caches, mirror sites, kludges to the DNS
+    and so on ... and an increasing focus on improving existing
+    applications at the expense of new ones."
+
+    A cache sits at a node and serves known application content
+    locally.  Crucially, it only understands the {e mature} protocol it
+    was built for: requests from a new application pass through
+    untouched, so the optimization widens the performance gap between
+    incumbent and newcomer — the innovation-barrier effect E20
+    measures.  Encrypted content cannot be cached either (the same
+    §VI-A tension: the ISP's enhancement needs to peek). *)
+
+type t
+
+val create : ?capacity:int -> app:Packet.app -> unit -> t
+(** A cache for one application's content, holding up to [capacity]
+    distinct objects (default 128, LRU eviction). *)
+
+val lookup : t -> key:int -> bool
+(** Is the object present?  Updates recency and hit/miss counters. *)
+
+val insert : t -> key:int -> unit
+(** Add an object (evicting the least recently used if full). *)
+
+val app : t -> Packet.app
+
+val hits : t -> int
+
+val misses : t -> int
+
+val hit_ratio : t -> float
+(** hits / lookups; 0 before any lookup. *)
+
+val size : t -> int
+
+val serves : t -> Packet.t -> bool
+(** Can this cache serve this packet's request?  True only when the
+    packet's application matches, the payload is not end-to-end
+    encrypted, and the object (keyed by the packet's destination and
+    port) is cached.  A miss inserts the object, modelling
+    fetch-and-store. *)

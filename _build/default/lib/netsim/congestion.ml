@@ -1,0 +1,143 @@
+type flow_kind = Compliant | Aggressive
+
+type regime = Fifo | Fair_queueing
+
+type config = {
+  capacity : float;
+  rounds : int;
+  flows : flow_kind array;
+  increase : float;
+}
+
+let default_config ~kinds =
+  { capacity = 100.0; rounds = 400; flows = kinds; increase = 1.0 }
+
+type result = {
+  throughput : float array;
+  mean_compliant : float;
+  mean_aggressive : float;
+  jain : float;
+  utilization : float;
+  loss_rate : float;
+}
+
+let jain_index xs =
+  if Array.length xs = 0 then invalid_arg "Congestion.jain_index: empty";
+  let s = Array.fold_left ( +. ) 0.0 xs in
+  let s2 = Array.fold_left (fun acc x -> acc +. (x *. x)) 0.0 xs in
+  if s2 = 0.0 then 0.0
+  else s *. s /. (float_of_int (Array.length xs) *. s2)
+
+let max_min_allocation demands capacity =
+  let n = Array.length demands in
+  let alloc = Array.make n 0.0 in
+  let satisfied = Array.make n false in
+  let rec fill remaining_capacity unsatisfied =
+    if unsatisfied > 0 && remaining_capacity > 1e-12 then begin
+      let share = remaining_capacity /. float_of_int unsatisfied in
+      (* flows whose demand is below the fair share get their demand *)
+      let newly = ref 0 and used = ref 0.0 in
+      Array.iteri
+        (fun i d ->
+          if (not satisfied.(i)) && d <= share +. 1e-12 then begin
+            alloc.(i) <- d;
+            satisfied.(i) <- true;
+            incr newly;
+            used := !used +. d
+          end)
+        demands;
+      if !newly > 0 then
+        fill (remaining_capacity -. !used) (unsatisfied - !newly)
+      else
+        (* everyone left wants more than the share: split evenly *)
+        Array.iteri
+          (fun i _ ->
+            if not satisfied.(i) then begin
+              alloc.(i) <- share;
+              satisfied.(i) <- true
+            end)
+          demands
+    end
+  in
+  fill capacity n;
+  alloc
+
+let validate cfg =
+  if Array.length cfg.flows = 0 then invalid_arg "Congestion.run: no flows";
+  if cfg.capacity <= 0.0 then invalid_arg "Congestion.run: non-positive capacity";
+  if cfg.rounds <= 0 then invalid_arg "Congestion.run: non-positive rounds";
+  if cfg.increase <= 0.0 then invalid_arg "Congestion.run: non-positive increase"
+
+let run cfg regime =
+  validate cfg;
+  let n = Array.length cfg.flows in
+  let window = Array.make n 1.0 in
+  let measure_from = cfg.rounds / 2 in
+  let delivered_acc = Array.make n 0.0 in
+  let measured_rounds = cfg.rounds - measure_from in
+  let offered_total = ref 0.0 and delivered_total = ref 0.0 in
+  for round = 0 to cfg.rounds - 1 do
+    let demand = Array.copy window in
+    let total = Array.fold_left ( +. ) 0.0 demand in
+    let delivered =
+      match regime with
+      | Fifo ->
+        if total <= cfg.capacity then demand
+        else Array.map (fun d -> d /. total *. cfg.capacity) demand
+      | Fair_queueing -> max_min_allocation demand cfg.capacity
+    in
+    if round >= measure_from then begin
+      Array.iteri
+        (fun i d -> delivered_acc.(i) <- delivered_acc.(i) +. d)
+        delivered;
+      offered_total := !offered_total +. total;
+      delivered_total :=
+        !delivered_total +. Array.fold_left ( +. ) 0.0 delivered
+    end;
+    (* congestion signal *)
+    let congested =
+      match regime with
+      | Fifo -> total > cfg.capacity
+      | Fair_queueing -> false (* handled per-flow below *)
+    in
+    Array.iteri
+      (fun i kind ->
+        let saw_loss =
+          match regime with
+          | Fifo -> congested
+          | Fair_queueing ->
+            (* a flow only sees loss when it pushed beyond its allocation *)
+            demand.(i) > delivered.(i) +. 1e-9
+        in
+        match kind with
+        | Compliant ->
+          if saw_loss then window.(i) <- Float.max 1.0 (window.(i) /. 2.0)
+          else window.(i) <- window.(i) +. cfg.increase
+        | Aggressive ->
+          (* ignores congestion entirely *)
+          window.(i) <- window.(i) +. cfg.increase)
+      cfg.flows
+  done;
+  let throughput =
+    Array.map (fun acc -> acc /. float_of_int measured_rounds) delivered_acc
+  in
+  let mean_of kind =
+    let xs =
+      Array.to_list throughput
+      |> List.filteri (fun i _ -> cfg.flows.(i) = kind)
+    in
+    match xs with
+    | [] -> 0.0
+    | _ -> List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs)
+  in
+  {
+    throughput;
+    mean_compliant = mean_of Compliant;
+    mean_aggressive = mean_of Aggressive;
+    jain = jain_index throughput;
+    utilization =
+      !delivered_total /. (cfg.capacity *. float_of_int measured_rounds);
+    loss_rate =
+      (if !offered_total = 0.0 then 0.0
+       else (!offered_total -. !delivered_total) /. !offered_total);
+  }

@@ -1,0 +1,54 @@
+(** The congestion-control tussle (§II-B).
+
+    "TCP congestion control 'works' when and only when the majority of
+    end-systems both participate and follow a common set of rules ...
+    Should this balance change, the technical design of the system will
+    do nothing to bound or guide the resulting shift."
+
+    A synchronized fluid model of AIMD flows sharing one bottleneck.
+    Compliant flows halve their window on congestion; aggressive flows
+    (Savage's misbehaving endpoints) ignore the signal.  Two bottleneck
+    disciplines:
+
+    {ul
+    {- [Fifo]: the deployed design — capacity is shared in proportion
+       to demand, and nothing bounds an aggressive flow;}
+    {- [Fair_queueing]: a design that {e does} bound the shift — max-min
+       allocation caps every flow at its fair share regardless of how
+       hard it pushes.}} *)
+
+type flow_kind = Compliant | Aggressive
+
+type regime = Fifo | Fair_queueing
+
+type config = {
+  capacity : float;  (** bottleneck capacity per round *)
+  rounds : int;
+  flows : flow_kind array;
+  increase : float;  (** additive increase per round (AIMD "a") *)
+}
+
+val default_config : kinds:flow_kind array -> config
+(** capacity 100, 400 rounds, additive increase 1. *)
+
+type result = {
+  throughput : float array;  (** mean per-flow goodput over the last half *)
+  mean_compliant : float;  (** 0 when there are no compliant flows *)
+  mean_aggressive : float;
+  jain : float;  (** Jain fairness index of [throughput] *)
+  utilization : float;  (** mean delivered / capacity *)
+  loss_rate : float;  (** offered - delivered, as a share of offered *)
+}
+
+val run : config -> regime -> result
+(** Deterministic synchronized simulation.  Raises [Invalid_argument]
+    on an empty flow set or non-positive capacity/rounds. *)
+
+val jain_index : float array -> float
+(** (sum x)^2 / (n * sum x^2); 1.0 = perfectly fair.  Raises on empty
+    input; 0 when all-zero. *)
+
+val max_min_allocation : float array -> float -> float array
+(** [max_min_allocation demands capacity] is the classic water-filling
+    allocation: every flow gets [min demand fair_share] with the spare
+    capacity redistributed.  Exposed for tests. *)

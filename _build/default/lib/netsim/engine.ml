@@ -1,0 +1,67 @@
+type event_id = int
+
+type event = { id : event_id; action : t -> unit }
+
+and t = {
+  mutable clock : float;
+  queue : event Tussle_prelude.Pqueue.t;
+  cancelled : (event_id, unit) Hashtbl.t;
+  mutable next_id : event_id;
+  mutable executed : int;
+}
+
+let create () =
+  {
+    clock = 0.0;
+    queue = Tussle_prelude.Pqueue.create ();
+    cancelled = Hashtbl.create 64;
+    next_id = 0;
+    executed = 0;
+  }
+
+let now t = t.clock
+
+let schedule t at action =
+  if not (Float.is_finite at) then invalid_arg "Engine.schedule: non-finite time";
+  if at < t.clock then invalid_arg "Engine.schedule: time in the past";
+  let id = t.next_id in
+  t.next_id <- id + 1;
+  Tussle_prelude.Pqueue.push t.queue at { id; action };
+  id
+
+let schedule_after t delay action =
+  if delay < 0.0 then invalid_arg "Engine.schedule_after: negative delay";
+  schedule t (t.clock +. delay) action
+
+let cancel t id = Hashtbl.replace t.cancelled id ()
+
+let pending t = Tussle_prelude.Pqueue.length t.queue
+
+let fire t at ev =
+  t.clock <- at;
+  if Hashtbl.mem t.cancelled ev.id then Hashtbl.remove t.cancelled ev.id
+  else begin
+    t.executed <- t.executed + 1;
+    ev.action t
+  end
+
+let step t =
+  match Tussle_prelude.Pqueue.pop t.queue with
+  | None -> false
+  | Some (at, ev) ->
+    fire t at ev;
+    true
+
+let run ?until t =
+  let horizon = Option.value ~default:infinity until in
+  let rec loop () =
+    match Tussle_prelude.Pqueue.peek t.queue with
+    | None -> ()
+    | Some (at, _) when at > horizon -> if Float.is_finite horizon then t.clock <- horizon
+    | Some _ ->
+      ignore (step t);
+      loop ()
+  in
+  loop ()
+
+let events_executed t = t.executed

@@ -1,0 +1,47 @@
+(** Discrete-event simulation engine.
+
+    Events are closures scheduled at absolute simulation times.  The
+    engine guarantees deterministic execution order: events fire in
+    non-decreasing time, FIFO among events scheduled for the same time.
+    Scheduling in the past raises [Invalid_argument].
+
+    An event may schedule further events and may cancel pending ones by
+    id.  [run] drives the simulation to quiescence or to a time horizon. *)
+
+type t
+
+type event_id
+(** Handle for cancellation. *)
+
+val create : unit -> t
+(** Fresh engine at time [0.0]. *)
+
+val now : t -> float
+(** Current simulation time. *)
+
+val schedule : t -> float -> (t -> unit) -> event_id
+(** [schedule t at f] fires [f] at absolute time [at].  Raises
+    [Invalid_argument] if [at < now t] or [at] is not finite. *)
+
+val schedule_after : t -> float -> (t -> unit) -> event_id
+(** [schedule_after t delay f] is [schedule t (now t +. delay) f].
+    Raises [Invalid_argument] on negative [delay]. *)
+
+val cancel : t -> event_id -> unit
+(** Cancel a pending event; cancelling an already-fired or unknown id is a
+    no-op. *)
+
+val pending : t -> int
+(** Number of events still queued (cancelled events may be counted until
+    they are reaped). *)
+
+val run : ?until:float -> t -> unit
+(** Execute events until the queue is empty or the next event lies beyond
+    [until].  On return with [until] set, [now] equals [min until
+    last-event-time] advanced to [until] if the horizon was hit. *)
+
+val step : t -> bool
+(** Execute exactly one event; [false] when the queue was empty. *)
+
+val events_executed : t -> int
+(** Count of events fired so far (diagnostics and benchmarks). *)

@@ -1,0 +1,69 @@
+type t = {
+  latency : float;
+  bandwidth_bps : float;
+  queue_capacity : int;
+  mutable busy_until : float;
+  (* departure times of packets still queued or in service, oldest first *)
+  mutable departures : float list;
+  mutable busy_time : float;
+  mutable sent : int;
+  mutable dropped : int;
+}
+
+let make ?(queue_capacity = 64) ~latency ~bandwidth_bps () =
+  if latency <= 0.0 then invalid_arg "Link.make: non-positive latency";
+  if bandwidth_bps <= 0.0 then invalid_arg "Link.make: non-positive bandwidth";
+  if queue_capacity <= 0 then invalid_arg "Link.make: non-positive capacity";
+  {
+    latency;
+    bandwidth_bps;
+    queue_capacity;
+    busy_until = 0.0;
+    departures = [];
+    busy_time = 0.0;
+    sent = 0;
+    dropped = 0;
+  }
+
+let latency l = l.latency
+
+let bandwidth_bps l = l.bandwidth_bps
+
+let transmission_delay l bytes =
+  float_of_int (bytes * 8) /. l.bandwidth_bps
+
+let reap l now =
+  l.departures <- List.filter (fun d -> d > now) l.departures
+
+let queued l ~now =
+  reap l now;
+  List.length l.departures
+
+let try_enqueue l ~now bytes =
+  reap l now;
+  if List.length l.departures >= l.queue_capacity then begin
+    l.dropped <- l.dropped + 1;
+    `Dropped
+  end
+  else begin
+    let start = Float.max now l.busy_until in
+    let tx = transmission_delay l bytes in
+    let departure = start +. tx in
+    l.busy_until <- departure;
+    l.busy_time <- l.busy_time +. tx;
+    l.departures <- l.departures @ [ departure ];
+    l.sent <- l.sent + 1;
+    `Sent (departure +. l.latency)
+  end
+
+let utilization l ~now =
+  if now <= 0.0 then 0.0 else Float.min 1.0 (l.busy_time /. now)
+
+let packets_sent l = l.sent
+
+let packets_dropped l = l.dropped
+
+let reset_counters l =
+  l.sent <- 0;
+  l.dropped <- 0;
+  l.busy_time <- 0.0

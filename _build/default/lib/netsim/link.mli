@@ -1,0 +1,40 @@
+(** Point-to-point links: latency, bandwidth and a drop-tail queue.
+
+    The serialization + propagation model is standard:
+    departure = arrival + queueing + size/bandwidth, arrival at the far
+    end after [latency].  The queue bounds the number of packets in
+    flight on the link; arrivals beyond capacity are dropped (drop-tail). *)
+
+type t
+
+val make :
+  ?queue_capacity:int -> latency:float -> bandwidth_bps:float -> unit -> t
+(** [make ~latency ~bandwidth_bps ()].  Latency in seconds, bandwidth in
+    bits per second, queue capacity in packets (default 64).  Raises
+    [Invalid_argument] on non-positive latency/bandwidth. *)
+
+val latency : t -> float
+
+val bandwidth_bps : t -> float
+
+val transmission_delay : t -> int -> float
+(** [transmission_delay l bytes] = serialization time of [bytes]. *)
+
+val try_enqueue : t -> now:float -> int -> [ `Sent of float | `Dropped ]
+(** [try_enqueue l ~now bytes] models a packet offered to the link at
+    [now].  [`Sent arrival] gives the time the packet reaches the far
+    end; [`Dropped] means the queue was full.  The link keeps internal
+    state (busy-until time and queue occupancy), so calls must be made in
+    non-decreasing [now] order. *)
+
+val queued : t -> now:float -> int
+(** Packets currently occupying the queue at time [now]. *)
+
+val utilization : t -> now:float -> float
+(** Fraction of elapsed time the link spent transmitting, in [0,1]. *)
+
+val packets_sent : t -> int
+
+val packets_dropped : t -> int
+
+val reset_counters : t -> unit

@@ -1,0 +1,64 @@
+(** Middleboxes: in-network control points where tussle is exercised.
+
+    A middlebox inspects packets transiting its node and decides their
+    fate.  Crucially for the paper's argument (§VI-A), a middlebox sees
+    only what the packet *exposes*: an encrypted or tunneled packet hides
+    its application, so application filters silently fail against it —
+    "peeking is irresistible [...] the ultimate defense is end-to-end
+    encryption."
+
+    The [reveals_presence] flag models the paper's visibility principle:
+    a courteous device announces that it imposed a limitation (so faults
+    can be isolated and tussles can be managed); a covert one does not. *)
+
+type action =
+  | Forward  (** pass unchanged *)
+  | Drop  (** discard (filtering, firewalling) *)
+  | Degrade  (** strip QoS to best-effort (closed QoS deployment) *)
+  | Tap  (** copy to an observer, then forward (wiretap) *)
+
+type t
+
+val name : t -> string
+
+val reveals_presence : t -> bool
+
+val decide : t -> Packet.t -> action
+(** Apply the policy and update counters. *)
+
+val inspected : t -> int
+
+val dropped : t -> int
+
+val tapped : t -> int
+
+val degraded : t -> int
+
+val make :
+  ?reveals_presence:bool -> name:string -> (Packet.t -> action) -> t
+(** General middlebox from a decision function (default: reveals
+    presence). *)
+
+val port_filter : ?reveals_presence:bool -> blocked:int list -> unit -> t
+(** Drop packets whose {e visible} port is blocked.  Tunneling defeats
+    it. *)
+
+val app_filter : ?reveals_presence:bool -> blocked:Packet.app list -> unit -> t
+(** Drop packets whose {e visible} application is blocked.  Encryption
+    and tunneling defeat it. *)
+
+val trust_firewall :
+  ?reveals_presence:bool -> admits:(src:int -> dst:int -> bool) -> unit -> t
+(** The paper's "trust-aware firewall": admits or refuses based on {e who
+    is communicating} rather than what protocol is visible, so it is
+    immune to port games and does not collateral-damage new
+    applications. *)
+
+val wiretap : unit -> t
+(** Taps every packet it can read; encrypted payloads are still tapped
+    but yield no application information (see {!Packet.visible_app}). *)
+
+val qos_stripper : ?reveals_presence:bool -> honor:(Packet.t -> bool) -> unit -> t
+(** Degrades QoS on packets the operator chooses not to honor — the
+    closed-QoS behaviour of §VII ("only turn them on for applications
+    that they sell"). *)

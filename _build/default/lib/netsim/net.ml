@@ -1,0 +1,167 @@
+module Graph = Tussle_prelude.Graph
+
+type drop_reason =
+  | No_route
+  | Queue_full of int * int
+  | Filtered of string * int
+  | Ttl_exceeded
+
+type outcome =
+  | Delivered of { latency : float; degraded : bool; tapped : bool }
+  | Lost of drop_reason
+
+type forwarding = node:int -> target:int -> Packet.t -> int option
+
+type transit = {
+  mutable waypoints : int list;
+  mutable degraded : bool;
+  mutable tapped : bool;
+}
+
+type t = {
+  links : Link.t Graph.t;
+  forwarding : forwarding;
+  middleboxes : (int, Middlebox.t list) Hashtbl.t;
+  transits : (int, transit) Hashtbl.t;
+  mutable outcomes : (Packet.t * outcome) list; (* reversed *)
+  mutable observers : (Packet.t -> outcome -> unit) list; (* reversed *)
+  ttl : int;
+}
+
+let create ?(ttl = 64) links forwarding =
+  if ttl <= 0 then invalid_arg "Net.create: non-positive ttl";
+  {
+    links;
+    forwarding;
+    middleboxes = Hashtbl.create 16;
+    transits = Hashtbl.create 64;
+    outcomes = [];
+    observers = [];
+    ttl;
+  }
+
+let add_middlebox t node mb =
+  let cur = Option.value ~default:[] (Hashtbl.find_opt t.middleboxes node) in
+  Hashtbl.replace t.middleboxes node (cur @ [ mb ])
+
+let middleboxes_at t node =
+  Option.value ~default:[] (Hashtbl.find_opt t.middleboxes node)
+
+let finish t p outcome =
+  Hashtbl.remove t.transits p.Packet.id;
+  t.outcomes <- (p, outcome) :: t.outcomes;
+  List.iter (fun observe -> observe p outcome) (List.rev t.observers)
+
+let on_complete t observe = t.observers <- observe :: t.observers
+
+(* Run the node's middleboxes; [Some reason] means the packet died here. *)
+let run_middleboxes t node p state =
+  let rec apply = function
+    | [] -> None
+    | mb :: rest -> begin
+      match Middlebox.decide mb p with
+      | Middlebox.Forward -> apply rest
+      | Middlebox.Drop -> Some (Filtered (Middlebox.name mb, node))
+      | Middlebox.Degrade ->
+        state.degraded <- true;
+        apply rest
+      | Middlebox.Tap ->
+        state.tapped <- true;
+        apply rest
+    end
+  in
+  apply (middleboxes_at t node)
+
+let rec arrive t engine p node =
+  Packet.record_hop p node;
+  let state = Hashtbl.find t.transits p.Packet.id in
+  match run_middleboxes t node p state with
+  | Some reason -> finish t p (Lost reason)
+  | None ->
+    (* consume a reached waypoint *)
+    (match state.waypoints with
+    | w :: rest when w = node -> state.waypoints <- rest
+    | _ -> ());
+    if node = p.Packet.dst && state.waypoints = [] then
+      let latency = Engine.now engine -. p.Packet.created in
+      finish t p
+        (Delivered { latency; degraded = state.degraded; tapped = state.tapped })
+    else if List.length p.Packet.hops >= t.ttl then
+      finish t p (Lost Ttl_exceeded)
+    else
+      let target =
+        match state.waypoints with w :: _ -> w | [] -> p.Packet.dst
+      in
+      match t.forwarding ~node ~target p with
+      | None -> finish t p (Lost No_route)
+      | Some next -> begin
+        match Graph.find_edge t.links node next with
+        | None -> finish t p (Lost No_route)
+        | Some link -> begin
+          match Link.try_enqueue link ~now:(Engine.now engine) p.Packet.size_bytes with
+          | `Dropped -> finish t p (Lost (Queue_full (node, next)))
+          | `Sent arrival_time ->
+            ignore
+              (Engine.schedule engine arrival_time (fun engine ->
+                   arrive t engine p next))
+        end
+      end
+
+let inject t engine p =
+  if Hashtbl.mem t.transits p.Packet.id then
+    invalid_arg "Net.inject: duplicate packet id in flight";
+  Hashtbl.replace t.transits p.Packet.id
+    { waypoints = p.Packet.source_route; degraded = false; tapped = false };
+  ignore
+    (Engine.schedule engine (Engine.now engine) (fun engine ->
+         arrive t engine p p.Packet.src))
+
+let outcomes t = List.rev t.outcomes
+
+let delivered_count t =
+  List.length
+    (List.filter (fun (_, o) -> match o with Delivered _ -> true | Lost _ -> false)
+       t.outcomes)
+
+let lost_count t =
+  List.length
+    (List.filter (fun (_, o) -> match o with Lost _ -> true | Delivered _ -> false)
+       t.outcomes)
+
+let delivery_ratio t =
+  let n = List.length t.outcomes in
+  if n = 0 then 0.0 else float_of_int (delivered_count t) /. float_of_int n
+
+let mean_latency t =
+  let latencies =
+    List.filter_map
+      (fun (_, o) ->
+        match o with Delivered d -> Some d.latency | Lost _ -> None)
+      t.outcomes
+  in
+  match latencies with
+  | [] -> None
+  | _ -> Some (Tussle_prelude.Stats.mean (Array.of_list latencies))
+
+let drop_reason_label = function
+  | No_route -> "no-route"
+  | Queue_full _ -> "queue-full"
+  | Filtered (name, _) -> "filtered:" ^ name
+  | Ttl_exceeded -> "ttl-exceeded"
+
+let losses_by_reason t =
+  let tbl = Hashtbl.create 8 in
+  List.iter
+    (fun (_, o) ->
+      match o with
+      | Delivered _ -> ()
+      | Lost r ->
+        let label = drop_reason_label r in
+        let cur = Option.value ~default:0 (Hashtbl.find_opt tbl label) in
+        Hashtbl.replace tbl label (cur + 1))
+    t.outcomes;
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl [] |> List.sort compare
+
+let clear_outcomes t = t.outcomes <- []
+
+let links t = t.links

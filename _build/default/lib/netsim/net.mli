@@ -1,0 +1,69 @@
+(** The packet-level network: links + forwarding + middleboxes + outcomes.
+
+    [Net] wires a link graph to a forwarding policy and executes packet
+    transit on a discrete-event {!Engine}.  Middleboxes attached to nodes
+    inspect every packet transiting that node (including source and
+    destination nodes — a host firewall is a middlebox at the host).
+
+    Loose source routes are honoured: a packet with waypoints is routed
+    toward each waypoint in turn using the same forwarding tables, which
+    is exactly how user-selected provider-level routes ride on top of
+    provider-selected routing (§V-A4). *)
+
+type drop_reason =
+  | No_route  (** forwarding returned no next hop *)
+  | Queue_full of int * int  (** link (u, v) dropped it *)
+  | Filtered of string * int  (** middlebox name, node *)
+  | Ttl_exceeded
+
+type outcome =
+  | Delivered of { latency : float; degraded : bool; tapped : bool }
+  | Lost of drop_reason
+
+type forwarding = node:int -> target:int -> Packet.t -> int option
+(** Next hop from [node] toward [target] for this packet, or [None]. *)
+
+type t
+
+val create :
+  ?ttl:int -> Link.t Tussle_prelude.Graph.t -> forwarding -> t
+(** [create links fwd].  [ttl] (default 64) bounds hop count. *)
+
+val add_middlebox : t -> int -> Middlebox.t -> unit
+(** Attach a middlebox at a node; multiple middleboxes run in attachment
+    order. *)
+
+val middleboxes_at : t -> int -> Middlebox.t list
+
+val inject : t -> Engine.t -> Packet.t -> unit
+(** Offer a packet to the network at the engine's current time.  The
+    outcome is recorded when transit completes (run the engine). *)
+
+val on_complete : t -> (Packet.t -> outcome -> unit) -> unit
+(** Register a completion observer, called (in registration order) the
+    moment any packet's transit completes — while the engine is still
+    running, so observers can schedule follow-up events (ACKs,
+    retransmissions).  Observers also see probe traffic; filter by
+    packet id. *)
+
+val outcomes : t -> (Packet.t * outcome) list
+(** All completed packets, in completion order. *)
+
+val delivered_count : t -> int
+
+val lost_count : t -> int
+
+val delivery_ratio : t -> float
+(** Delivered / completed; [0.] when nothing completed. *)
+
+val mean_latency : t -> float option
+(** Mean end-to-end latency over delivered packets. *)
+
+val losses_by_reason : t -> (string * int) list
+(** Aggregated loss counts keyed by a stable reason label. *)
+
+val clear_outcomes : t -> unit
+
+val links : t -> Link.t Tussle_prelude.Graph.t
+
+val drop_reason_label : drop_reason -> string

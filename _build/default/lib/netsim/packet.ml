@@ -1,0 +1,73 @@
+type qos = Best_effort | Assured | Premium
+
+type app = Web | Mail | Voip | File_sharing | Game | Attack
+
+type t = {
+  id : int;
+  src : int;
+  dst : int;
+  size_bytes : int;
+  port : int;
+  app : app;
+  qos : qos;
+  encrypted : bool;
+  tunneled : bool;
+  source_route : int list;
+  created : float;
+  mutable hops : int list;
+}
+
+let default_port = function
+  | Web -> 80
+  | Mail -> 25
+  | Voip -> 5060
+  | File_sharing -> 6881
+  | Game -> 27015
+  | Attack -> 445
+
+let make ?port ?(app = Web) ?(qos = Best_effort) ?(encrypted = false)
+    ?(tunneled = false) ?(source_route = []) ?(size_bytes = 1500) ~id ~src
+    ~dst ~created () =
+  let port = Option.value ~default:(default_port app) port in
+  if size_bytes <= 0 then invalid_arg "Packet.make: non-positive size";
+  {
+    id;
+    src;
+    dst;
+    size_bytes;
+    port;
+    app;
+    qos;
+    encrypted;
+    tunneled;
+    source_route;
+    created;
+    hops = [];
+  }
+
+let visible_port p = if p.tunneled then 443 else p.port
+
+let visible_app p = if p.encrypted || p.tunneled then None else Some p.app
+
+let record_hop p node = p.hops <- node :: p.hops
+
+let path p = List.rev p.hops
+
+let app_to_string = function
+  | Web -> "web"
+  | Mail -> "mail"
+  | Voip -> "voip"
+  | File_sharing -> "file-sharing"
+  | Game -> "game"
+  | Attack -> "attack"
+
+let qos_to_string = function
+  | Best_effort -> "best-effort"
+  | Assured -> "assured"
+  | Premium -> "premium"
+
+let pp ppf p =
+  Format.fprintf ppf "#%d %d->%d %s/%d qos=%s%s%s" p.id p.src p.dst
+    (app_to_string p.app) p.port (qos_to_string p.qos)
+    (if p.encrypted then " enc" else "")
+    (if p.tunneled then " tun" else "")

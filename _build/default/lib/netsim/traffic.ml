@@ -1,0 +1,39 @@
+module Rng = Tussle_prelude.Rng
+
+type t = { rng : Rng.t; mutable next_id : int }
+
+let create rng = { rng; next_id = 0 }
+
+let fresh_id t =
+  let id = t.next_id in
+  t.next_id <- id + 1;
+  id
+
+let next_packet t ?port ?app ?qos ?encrypted ?tunneled ?source_route
+    ?size_bytes ~src ~dst ~created () =
+  Packet.make ?port ?app ?qos ?encrypted ?tunneled ?source_route ?size_bytes
+    ~id:(fresh_id t) ~src ~dst ~created ()
+
+let poisson_flow t engine net ~rate ~count ~make =
+  if rate <= 0.0 then invalid_arg "Traffic.poisson_flow: non-positive rate";
+  let rec emit remaining at =
+    if remaining > 0 then
+      ignore
+        (Engine.schedule engine at (fun engine ->
+             let p = make t ~created:(Engine.now engine) in
+             Net.inject net engine p;
+             let gap = Rng.exponential t.rng ~rate in
+             emit (remaining - 1) (Engine.now engine +. gap)))
+  in
+  emit count (Engine.now engine)
+
+let constant_flow t engine net ~interval ~count ~make =
+  if interval < 0.0 then invalid_arg "Traffic.constant_flow: negative interval";
+  let start = Engine.now engine in
+  for i = 0 to count - 1 do
+    let at = start +. (float_of_int i *. interval) in
+    ignore
+      (Engine.schedule engine at (fun engine ->
+           let p = make t ~created:(Engine.now engine) in
+           Net.inject net engine p))
+  done

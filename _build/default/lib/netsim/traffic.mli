@@ -1,0 +1,51 @@
+(** Traffic generation: reproducible synthetic workloads.
+
+    Allocates globally unique packet ids per generator and schedules
+    injections on the engine.  Arrival processes are Poisson (the usual
+    open-loop model) or constant-rate. *)
+
+type t
+(** A packet-id allocator bound to an RNG stream. *)
+
+val create : Tussle_prelude.Rng.t -> t
+
+val fresh_id : t -> int
+
+val next_packet :
+  t ->
+  ?port:int ->
+  ?app:Packet.app ->
+  ?qos:Packet.qos ->
+  ?encrypted:bool ->
+  ?tunneled:bool ->
+  ?source_route:int list ->
+  ?size_bytes:int ->
+  src:int ->
+  dst:int ->
+  created:float ->
+  unit ->
+  Packet.t
+(** Fresh packet with the next id. *)
+
+val poisson_flow :
+  t ->
+  Engine.t ->
+  Net.t ->
+  rate:float ->
+  count:int ->
+  make:(t -> created:float -> Packet.t) ->
+  unit
+(** Schedule [count] packets from a Poisson process of intensity [rate]
+    (packets/second) starting at the engine's current time.  [make]
+    builds each packet (so callers control src/dst/app/qos/encryption per
+    packet). *)
+
+val constant_flow :
+  t ->
+  Engine.t ->
+  Net.t ->
+  interval:float ->
+  count:int ->
+  make:(t -> created:float -> Packet.t) ->
+  unit
+(** Schedule [count] packets at fixed spacing [interval]. *)

@@ -1,0 +1,145 @@
+type behaviour = Compliant | Aggressive
+
+type t = {
+  behaviour : behaviour;
+  engine : Engine.t;
+  net : Net.t;
+  gen : Traffic.t;
+  src : int;
+  dst : int;
+  total : int;
+  increase : float;
+  ack_delay : float;
+  loss_timeout : float;
+  mutable cwnd : float;
+  mutable next_seq : int; (* next data sequence number to send fresh *)
+  mutable outstanding : int; (* seqs sent at least once and not yet acked *)
+  (* packet id -> sequence number, for packets currently in the net *)
+  seq_of_packet : (int, int) Hashtbl.t;
+  acked_seqs : (int, unit) Hashtbl.t;
+  mutable pending_retransmit : int list;
+  mutable retransmissions : int;
+  mutable losses : int;
+  mutable started : float;
+  mutable finish_time : float option;
+}
+
+(* the window bounds unacknowledged sequences (TCP's flight size), not
+   packets momentarily in the network: otherwise a sender whose packets
+   die quickly could pump fresh data without limit *)
+let window_room t =
+  t.outstanding < int_of_float (Float.max 1.0 t.cwnd)
+
+let send_seq t seq =
+  let p =
+    Traffic.next_packet t.gen ~src:t.src ~dst:t.dst
+      ~created:(Engine.now t.engine) ()
+  in
+  Hashtbl.replace t.seq_of_packet p.Packet.id seq;
+  Net.inject t.net t.engine p
+
+let rec fill_window t =
+  (* retransmissions first: they do not change the outstanding count *)
+  match t.pending_retransmit with
+  | seq :: rest ->
+    t.pending_retransmit <- rest;
+    t.retransmissions <- t.retransmissions + 1;
+    send_seq t seq;
+    fill_window t
+  | [] ->
+    if window_room t && t.next_seq < t.total then begin
+      let seq = t.next_seq in
+      t.next_seq <- seq + 1;
+      t.outstanding <- t.outstanding + 1;
+      send_seq t seq;
+      fill_window t
+    end
+
+let on_ack t seq =
+  if not (Hashtbl.mem t.acked_seqs seq) then begin
+    Hashtbl.replace t.acked_seqs seq ();
+    t.outstanding <- t.outstanding - 1
+  end;
+  (match t.behaviour with
+  | Compliant -> t.cwnd <- t.cwnd +. (t.increase /. Float.max 1.0 t.cwnd)
+  | Aggressive -> t.cwnd <- t.cwnd +. (t.increase /. Float.max 1.0 t.cwnd));
+  if Hashtbl.length t.acked_seqs >= t.total && t.finish_time = None then
+    t.finish_time <- Some (Engine.now t.engine)
+  else fill_window t
+
+let on_loss t seq =
+  t.losses <- t.losses + 1;
+  (match t.behaviour with
+  | Compliant -> t.cwnd <- Float.max 1.0 (t.cwnd /. 2.0)
+  | Aggressive -> ());
+  if not (Hashtbl.mem t.acked_seqs seq) then
+    t.pending_retransmit <- t.pending_retransmit @ [ seq ];
+  fill_window t
+
+let observer t (p : Packet.t) outcome =
+  match Hashtbl.find_opt t.seq_of_packet p.Packet.id with
+  | None -> () (* someone else's packet *)
+  | Some seq ->
+    Hashtbl.remove t.seq_of_packet p.Packet.id;
+    (match outcome with
+    | Net.Delivered _ ->
+      (* the ACK rides back on an uncongested reverse channel *)
+      ignore
+        (Engine.schedule_after t.engine t.ack_delay (fun _ -> on_ack t seq))
+    | Net.Lost _ ->
+      (* loss detected only after the retransmission timer *)
+      ignore
+        (Engine.schedule_after t.engine t.loss_timeout (fun _ ->
+             on_loss t seq)))
+
+let start ?(behaviour = Compliant) ?(initial_window = 1.0) ?(increase = 1.0)
+    ?(ack_delay = 0.002) ?loss_timeout engine net gen ~src ~dst ~total_packets =
+  if total_packets <= 0 then invalid_arg "Transport.start: nothing to send";
+  if initial_window < 1.0 then invalid_arg "Transport.start: window < 1";
+  if ack_delay <= 0.0 then invalid_arg "Transport.start: non-positive ack delay";
+  let loss_timeout = Option.value ~default:(10.0 *. ack_delay) loss_timeout in
+  if loss_timeout <= 0.0 then invalid_arg "Transport.start: non-positive timeout";
+  let t =
+    {
+      behaviour;
+      engine;
+      net;
+      gen;
+      src;
+      dst;
+      total = total_packets;
+      increase;
+      ack_delay;
+      loss_timeout;
+      cwnd = initial_window;
+      next_seq = 0;
+      outstanding = 0;
+      seq_of_packet = Hashtbl.create 64;
+      acked_seqs = Hashtbl.create 64;
+      pending_retransmit = [];
+      retransmissions = 0;
+      losses = 0;
+      started = Engine.now engine;
+      finish_time = None;
+    }
+  in
+  Net.on_complete net (observer t);
+  fill_window t;
+  t
+
+let completed t = t.finish_time <> None
+
+let acked t = Hashtbl.length t.acked_seqs
+
+let retransmissions t = t.retransmissions
+
+let losses t = t.losses
+
+let cwnd t = t.cwnd
+
+let finish_time t = t.finish_time
+
+let goodput t ~now =
+  let stop = match t.finish_time with Some f -> f | None -> now in
+  let elapsed = stop -. t.started in
+  if elapsed <= 0.0 then 0.0 else float_of_int (acked t) /. elapsed

@@ -1,0 +1,63 @@
+(** Closed-loop transport: window-based, ACK-clocked, AIMD — and its
+    misbehaving variant.
+
+    This is the packet-level companion of {!Congestion}'s fluid model,
+    for experiments that need real queues and real drops.  A connection
+    transfers [total_packets] data packets from [src] to [dst] over a
+    {!Net}:
+
+    {ul
+    {- up to [cwnd] packets are kept in flight;}
+    {- a delivery is acknowledged after one ACK delay (the reverse path
+       is modelled as a fixed-latency, uncongested channel — ACKs are
+       small and rarely the bottleneck; this keeps the forward queues
+       the only contention point);}
+    {- on an ACK, a compliant connection grows [cwnd] by
+       [increase / cwnd] (additive increase per RTT);}
+    {- on a loss, a compliant connection halves [cwnd] and retransmits;
+       an {e aggressive} one just retransmits — Savage's endpoint that
+       ignores congestion.}} *)
+
+type behaviour = Compliant | Aggressive
+
+type t
+
+val start :
+  ?behaviour:behaviour ->
+  ?initial_window:float ->
+  ?increase:float ->
+  ?ack_delay:float ->
+  ?loss_timeout:float ->
+  Engine.t ->
+  Net.t ->
+  Traffic.t ->
+  src:int ->
+  dst:int ->
+  total_packets:int ->
+  t
+(** Open the connection and send the first window.  The connection
+    registers a {!Net.on_complete} observer; create all connections
+    before running the engine.  Defaults: compliant, initial window 1,
+    additive increase 1 per RTT, ACK delay 2 ms, loss timeout 10x the
+    ACK delay (a retransmission timer well above the RTT, as real
+    stacks use — it also keeps a misbehaving sender's packet storm
+    paced rather than instantaneous). *)
+
+val completed : t -> bool
+(** All data packets delivered and acknowledged. *)
+
+val acked : t -> int
+(** Distinct data packets acknowledged so far. *)
+
+val retransmissions : t -> int
+
+val losses : t -> int
+
+val cwnd : t -> float
+
+val finish_time : t -> float option
+(** Engine time at which the transfer completed. *)
+
+val goodput : t -> now:float -> float
+(** Acknowledged packets per second, up to [now] (or the finish time if
+    earlier).  0 before anything is acknowledged. *)

@@ -1,0 +1,1 @@
+lib/policy/ast.ml: Format List String

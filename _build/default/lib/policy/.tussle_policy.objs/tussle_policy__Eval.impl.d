@@ -1,0 +1,1 @@
+lib/policy/eval.ml: Ast List String

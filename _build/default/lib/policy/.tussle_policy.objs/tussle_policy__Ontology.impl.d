@@ -1,0 +1,1 @@
+lib/policy/ontology.ml: Array List Printf Tussle_prelude

@@ -1,0 +1,1 @@
+lib/policy/ontology.mli: Tussle_prelude

@@ -1,0 +1,41 @@
+module Rng = Tussle_prelude.Rng
+
+type ontology = string list
+
+type constraint_demand = { label : string; footprint : string list }
+
+let make_ontology attrs = List.sort_uniq compare attrs
+
+let expressible ont c = List.for_all (fun a -> List.mem a ont) c.footprint
+
+let coverage ont cs =
+  match cs with
+  | [] -> 1.0
+  | _ ->
+    let ok = List.length (List.filter (expressible ont) cs) in
+    float_of_int ok /. float_of_int (List.length cs)
+
+let standard_attributes =
+  [
+    "port"; "app"; "qos"; "size"; "encrypted"; "tunneled"; "src-trust";
+    "time-of-day"; "payment";
+  ]
+
+let unanticipated_attributes =
+  [
+    "jurisdiction"; "copyright-status"; "carbon-intensity"; "ai-generated";
+    "age-attestation"; "exclusive-deal";
+  ]
+
+let random_constraints rng ~n ~anticipated_bias =
+  if n < 0 then invalid_arg "Ontology.random_constraints: negative n";
+  let std = Array.of_list standard_attributes in
+  let unant = Array.of_list unanticipated_attributes in
+  List.init n (fun i ->
+      let k = 1 + Rng.int rng 3 in
+      let pick () =
+        if Rng.bernoulli rng anticipated_bias then Rng.choice rng std
+        else Rng.choice rng unant
+      in
+      let footprint = List.sort_uniq compare (List.init k (fun _ -> pick ())) in
+      { label = Printf.sprintf "constraint-%d" i; footprint })

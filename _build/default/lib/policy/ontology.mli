@@ -1,0 +1,47 @@
+(** Ontology bounding: what a policy language can and cannot say.
+
+    §II-B: "by imposing an ontology on what can be expressed, \[policy
+    languages\] bound the tussle that can be expressed within defined
+    limits ... It can also be defeating, if it prevents the system from
+    capturing and acting on tussles that were not anticipated."
+
+    We make that measurable.  An ontology is the set of attributes the
+    language's deployment exposes.  A {e tussle constraint} is a demand
+    some stakeholder wants enforced, with a footprint of attributes it
+    needs.  A constraint is expressible iff its footprint is contained
+    in the ontology.  Experiment E10 sweeps ontology size against a
+    constraint population that includes "unanticipated" attributes and
+    shows the expressiveness ceiling. *)
+
+type ontology = string list
+(** Attribute vocabulary (deduplicated on construction). *)
+
+type constraint_demand = {
+  label : string;
+  footprint : string list;  (** attributes the constraint needs *)
+}
+
+val make_ontology : string list -> ontology
+
+val expressible : ontology -> constraint_demand -> bool
+
+val coverage : ontology -> constraint_demand list -> float
+(** Fraction of constraints expressible.  1.0 on an empty list. *)
+
+val standard_attributes : string list
+(** The vocabulary an anticipated-tussles designer would ship: port,
+    app, qos, size, encrypted, tunneled, src-trust, time-of-day, payment. *)
+
+val unanticipated_attributes : string list
+(** Attributes of tussles the designers did not foresee (the paper's
+    warning): jurisdiction, copyright-status, carbon-intensity,
+    ai-generated, age-attestation, exclusive-deal. *)
+
+val random_constraints :
+  Tussle_prelude.Rng.t ->
+  n:int ->
+  anticipated_bias:float ->
+  constraint_demand list
+(** Synthesize [n] constraints with 1–3 attributes each; each attribute
+    is drawn from {!standard_attributes} with probability
+    [anticipated_bias], otherwise from {!unanticipated_attributes}. *)

@@ -1,0 +1,174 @@
+exception Parse_error of string
+
+type state = { mutable tokens : Lexer.token list }
+
+let peek st = match st.tokens with [] -> Lexer.EOF | t :: _ -> t
+
+let advance st =
+  match st.tokens with [] -> () | _ :: rest -> st.tokens <- rest
+
+let expect st tok what =
+  if peek st = tok then advance st
+  else
+    raise
+      (Parse_error
+         (Printf.sprintf "expected %s, found %s" what
+            (Lexer.token_to_string (peek st))))
+
+let parse_name st =
+  match peek st with
+  | Lexer.IDENT s ->
+    advance st;
+    s
+  | Lexer.STRING s ->
+    advance st;
+    s
+  | Lexer.STAR ->
+    advance st;
+    "*"
+  | t ->
+    raise
+      (Parse_error
+         (Printf.sprintf "expected a name, found %s" (Lexer.token_to_string t)))
+
+let binop_of_token = function
+  | Lexer.OP_EQ -> Some Ast.Eq
+  | Lexer.OP_NEQ -> Some Ast.Neq
+  | Lexer.OP_LT -> Some Ast.Lt
+  | Lexer.OP_LE -> Some Ast.Le
+  | Lexer.OP_GT -> Some Ast.Gt
+  | Lexer.OP_GE -> Some Ast.Ge
+  | _ -> None
+
+let parse_term st =
+  match peek st with
+  | Lexer.IDENT s ->
+    advance st;
+    Ast.Attr s
+  | Lexer.INT n ->
+    advance st;
+    Ast.Const (Ast.Int n)
+  | Lexer.STRING s ->
+    advance st;
+    Ast.Const (Ast.Str s)
+  | Lexer.KW_TRUE ->
+    advance st;
+    Ast.Const (Ast.Bool true)
+  | Lexer.KW_FALSE ->
+    advance st;
+    Ast.Const (Ast.Bool false)
+  | t ->
+    raise
+      (Parse_error
+         (Printf.sprintf "expected a term, found %s" (Lexer.token_to_string t)))
+
+let rec parse_or st =
+  let left = parse_and st in
+  if peek st = Lexer.KW_OR then begin
+    advance st;
+    Ast.Or (left, parse_or st)
+  end
+  else left
+
+and parse_and st =
+  let left = parse_not st in
+  if peek st = Lexer.KW_AND then begin
+    advance st;
+    Ast.And (left, parse_and st)
+  end
+  else left
+
+and parse_not st =
+  if peek st = Lexer.KW_NOT then begin
+    advance st;
+    Ast.Not (parse_not st)
+  end
+  else parse_atom st
+
+and parse_atom st =
+  match peek st with
+  | Lexer.LPAREN ->
+    advance st;
+    let e = parse_or st in
+    expect st Lexer.RPAREN "')'";
+    e
+  | Lexer.KW_TRUE ->
+    advance st;
+    Ast.Const (Ast.Bool true)
+  | Lexer.KW_FALSE ->
+    advance st;
+    Ast.Const (Ast.Bool false)
+  | _ -> begin
+    let left = parse_term st in
+    match binop_of_token (peek st) with
+    | Some op ->
+      advance st;
+      let right = parse_term st in
+      Ast.Cmp (op, left, right)
+    | None ->
+      raise
+        (Parse_error
+           (Printf.sprintf "expected a comparison operator, found %s"
+              (Lexer.token_to_string (peek st))))
+  end
+
+let parse_assertion_body st =
+  let issuer = parse_name st in
+  expect st Lexer.KW_SAYS "'says'";
+  let effect =
+    match peek st with
+    | Lexer.KW_ALLOW ->
+      advance st;
+      Ast.Allow
+    | Lexer.KW_DENY ->
+      advance st;
+      Ast.Deny
+    | t ->
+      raise
+        (Parse_error
+           (Printf.sprintf "expected 'allow' or 'deny', found %s"
+              (Lexer.token_to_string t)))
+  in
+  let subject = parse_name st in
+  let action = parse_name st in
+  expect st Lexer.KW_ON "'on'";
+  let resource = parse_name st in
+  let condition =
+    if peek st = Lexer.KW_WHERE then begin
+      advance st;
+      Some (parse_or st)
+    end
+    else None
+  in
+  let delegable =
+    if peek st = Lexer.KW_DELEGABLE then begin
+      advance st;
+      true
+    end
+    else false
+  in
+  expect st Lexer.DOT "'.'";
+  { Ast.issuer; effect; subject; action; resource; condition; delegable }
+
+let parse text =
+  let st = { tokens = Lexer.tokenize text } in
+  let rec go acc =
+    if peek st = Lexer.EOF then List.rev acc
+    else go (parse_assertion_body st :: acc)
+  in
+  go []
+
+let parse_assertion text =
+  match parse text with
+  | [ a ] -> a
+  | l ->
+    raise
+      (Parse_error
+         (Printf.sprintf "expected exactly one assertion, found %d"
+            (List.length l)))
+
+let parse_expr text =
+  let st = { tokens = Lexer.tokenize text } in
+  let e = parse_or st in
+  if peek st <> Lexer.EOF then raise (Parse_error "trailing input after expression");
+  e

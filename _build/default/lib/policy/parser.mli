@@ -1,0 +1,29 @@
+(** Recursive-descent parser for the policy language.
+
+    Grammar:
+    {v
+      policy     := assertion*
+      assertion  := name "says" ("allow" | "deny") name name "on" name
+                    [ "where" orexpr ] [ "delegable" ] "."
+      name       := IDENT | STRING | "*"
+      orexpr     := andexpr { "or" andexpr }
+      andexpr    := notexpr { "and" notexpr }
+      notexpr    := "not" notexpr | atom
+      atom       := "(" orexpr ")" | "true" | "false" | term RELOP term
+      term       := IDENT | INT | STRING
+    v}
+
+    An IDENT term in a condition denotes an attribute lookup; INT and
+    STRING are constants. *)
+
+exception Parse_error of string
+
+val parse : string -> Ast.policy
+(** Parse a whole policy text.  Raises {!Parse_error} or
+    {!Lexer.Lex_error}. *)
+
+val parse_assertion : string -> Ast.assertion
+(** Parse exactly one assertion. *)
+
+val parse_expr : string -> Ast.expr
+(** Parse a bare condition expression (for tests and interactive use). *)

@@ -1,0 +1,1 @@
+lib/prelude/graph.ml: Array Hashtbl List Option Pqueue Queue

@@ -1,0 +1,1 @@
+lib/prelude/table.ml: Array List Printf String

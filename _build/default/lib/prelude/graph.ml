@@ -1,0 +1,134 @@
+type 'e t = {
+  n : int;
+  adj : (int * 'e) list array; (* reversed insertion order internally *)
+  mutable edges : int;
+}
+
+let create n =
+  if n < 0 then invalid_arg "Graph.create: negative size";
+  { n; adj = Array.make (max n 1) []; edges = 0 }
+
+let node_count g = g.n
+
+let edge_count g = g.edges
+
+let check_node g u name =
+  if u < 0 || u >= g.n then invalid_arg (name ^ ": node out of range")
+
+let add_edge g u v label =
+  check_node g u "Graph.add_edge";
+  check_node g v "Graph.add_edge";
+  g.adj.(u) <- (v, label) :: g.adj.(u);
+  g.edges <- g.edges + 1
+
+let add_undirected g u v label =
+  add_edge g u v label;
+  add_edge g v u label
+
+let succ g u =
+  check_node g u "Graph.succ";
+  List.rev g.adj.(u)
+
+let find_edge g u v =
+  check_node g u "Graph.find_edge";
+  check_node g v "Graph.find_edge";
+  let rec last_match acc = function
+    | [] -> acc
+    | (w, e) :: rest -> last_match (if w = v then Some e else acc) rest
+  in
+  (* adj is reversed, so the last match in it is the first inserted. *)
+  last_match None g.adj.(u)
+
+let iter_edges g f =
+  for u = 0 to g.n - 1 do
+    List.iter (fun (v, e) -> f u v e) (List.rev g.adj.(u))
+  done
+
+let fold_edges g ~init ~f =
+  let acc = ref init in
+  iter_edges g (fun u v e -> acc := f !acc u v e);
+  !acc
+
+let map_edges g fn =
+  let h = create g.n in
+  iter_edges g (fun u v e -> add_edge h u v (fn e));
+  h
+
+let dijkstra g ~weight ~source =
+  check_node g source "Graph.dijkstra";
+  let dist = Array.make g.n infinity in
+  let pred = Array.make g.n (-1) in
+  let visited = Array.make g.n false in
+  let frontier = Pqueue.create () in
+  dist.(source) <- 0.0;
+  Pqueue.push frontier 0.0 source;
+  let rec loop () =
+    match Pqueue.pop frontier with
+    | None -> ()
+    | Some (d, u) ->
+      if not visited.(u) then begin
+        visited.(u) <- true;
+        let relax (v, e) =
+          let w = weight e in
+          if w < 0.0 then invalid_arg "Graph.dijkstra: negative weight";
+          let nd = d +. w in
+          if nd < dist.(v) then begin
+            dist.(v) <- nd;
+            pred.(v) <- u;
+            Pqueue.push frontier nd v
+          end
+        in
+        List.iter relax g.adj.(u)
+      end;
+      loop ()
+  in
+  loop ();
+  (dist, pred)
+
+let shortest_path g ~weight u v =
+  let dist, pred = dijkstra g ~weight ~source:u in
+  if dist.(v) = infinity then None
+  else begin
+    let rec build node acc =
+      if node = u then u :: acc else build pred.(node) (node :: acc)
+    in
+    Some (dist.(v), build v [])
+  end
+
+let bfs_order g source =
+  check_node g source "Graph.bfs_order";
+  let seen = Array.make g.n false in
+  let queue = Queue.create () in
+  seen.(source) <- true;
+  Queue.add source queue;
+  let order = ref [] in
+  while not (Queue.is_empty queue) do
+    let u = Queue.take queue in
+    order := u :: !order;
+    let visit (v, _) =
+      if not seen.(v) then begin
+        seen.(v) <- true;
+        Queue.add v queue
+      end
+    in
+    List.iter visit (List.rev g.adj.(u))
+  done;
+  List.rev !order
+
+let is_connected g =
+  g.n = 0 || List.length (bfs_order g 0) = g.n
+
+let transpose g =
+  let h = create g.n in
+  iter_edges g (fun u v e -> add_edge h v u e);
+  h
+
+let degree_histogram g =
+  let tbl = Hashtbl.create 16 in
+  for u = 0 to g.n - 1 do
+    let d = List.length g.adj.(u) in
+    let cur = Option.value ~default:0 (Hashtbl.find_opt tbl d) in
+    Hashtbl.replace tbl d (cur + 1)
+  done;
+  Hashtbl.fold (fun d c acc -> (d, c) :: acc) tbl []
+  |> List.sort compare

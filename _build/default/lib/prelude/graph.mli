@@ -1,0 +1,62 @@
+(** Directed graphs with integer nodes and labelled edges.
+
+    Nodes are dense integers [0 .. node_count - 1].  Edge labels carry
+    whatever the client needs (link metadata, business relationships).
+    Shortest paths are computed against a client-supplied non-negative
+    weight function, so the same graph serves latency, cost, and hop
+    metrics. *)
+
+type 'e t
+(** A graph whose edges are labelled with ['e]. *)
+
+val create : int -> 'e t
+(** [create n] makes a graph with nodes [0 .. n-1] and no edges. *)
+
+val node_count : 'e t -> int
+
+val edge_count : 'e t -> int
+
+val add_edge : 'e t -> int -> int -> 'e -> unit
+(** [add_edge g u v label] adds a directed edge.  Multiple edges between the
+    same pair are permitted.  Raises [Invalid_argument] on out-of-range
+    nodes. *)
+
+val add_undirected : 'e t -> int -> int -> 'e -> unit
+(** Adds both [u -> v] and [v -> u] with the same label. *)
+
+val succ : 'e t -> int -> (int * 'e) list
+(** Out-neighbours with edge labels, in insertion order. *)
+
+val find_edge : 'e t -> int -> int -> 'e option
+(** First edge label from [u] to [v], if any. *)
+
+val iter_edges : 'e t -> (int -> int -> 'e -> unit) -> unit
+
+val fold_edges : 'e t -> init:'a -> f:('a -> int -> int -> 'e -> 'a) -> 'a
+
+val map_edges : 'e t -> ('e -> 'f) -> 'f t
+
+val dijkstra :
+  'e t -> weight:('e -> float) -> source:int -> float array * int array
+(** [dijkstra g ~weight ~source] returns [(dist, pred)]: distance from
+    [source] to every node ([infinity] if unreachable) and predecessor node
+    ([-1] for the source and unreachable nodes).  [weight] must be
+    non-negative; a negative weight raises [Invalid_argument]. *)
+
+val shortest_path :
+  'e t -> weight:('e -> float) -> int -> int -> (float * int list) option
+(** [shortest_path g ~weight u v] is [Some (dist, path)] where [path] is the
+    node sequence [u; ...; v], or [None] if unreachable. *)
+
+val bfs_order : 'e t -> int -> int list
+(** Nodes reachable from a source in breadth-first order. *)
+
+val is_connected : 'e t -> bool
+(** True when every node is reachable from node 0 in the underlying
+    directed sense.  Vacuously true for the empty graph. *)
+
+val transpose : 'e t -> 'e t
+(** Reverse every edge. *)
+
+val degree_histogram : 'e t -> (int * int) list
+(** [(out_degree, how_many_nodes)] pairs, ascending by degree. *)

@@ -1,0 +1,89 @@
+type 'a entry = { key : float; seq : int; value : 'a }
+
+type 'a t = {
+  mutable data : 'a entry array;
+  mutable size : int;
+  mutable next_seq : int;
+}
+
+let create () = { data = [||]; size = 0; next_seq = 0 }
+
+let length q = q.size
+
+let is_empty q = q.size = 0
+
+(* entry a sorts before entry b: smaller key first, then earlier seq. *)
+let before a b = a.key < b.key || (a.key = b.key && a.seq < b.seq)
+
+let grow q e =
+  let cap = Array.length q.data in
+  if q.size = cap then begin
+    let ncap = if cap = 0 then 16 else 2 * cap in
+    let ndata = Array.make ncap e in
+    Array.blit q.data 0 ndata 0 q.size;
+    q.data <- ndata
+  end
+
+let rec sift_up q i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if before q.data.(i) q.data.(parent) then begin
+      let tmp = q.data.(i) in
+      q.data.(i) <- q.data.(parent);
+      q.data.(parent) <- tmp;
+      sift_up q parent
+    end
+  end
+
+let rec sift_down q i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let smallest = ref i in
+  if l < q.size && before q.data.(l) q.data.(!smallest) then smallest := l;
+  if r < q.size && before q.data.(r) q.data.(!smallest) then smallest := r;
+  if !smallest <> i then begin
+    let tmp = q.data.(i) in
+    q.data.(i) <- q.data.(!smallest);
+    q.data.(!smallest) <- tmp;
+    sift_down q !smallest
+  end
+
+let push q key value =
+  let e = { key; seq = q.next_seq; value } in
+  q.next_seq <- q.next_seq + 1;
+  grow q e;
+  q.data.(q.size) <- e;
+  q.size <- q.size + 1;
+  sift_up q (q.size - 1)
+
+let peek q =
+  if q.size = 0 then None
+  else
+    let e = q.data.(0) in
+    Some (e.key, e.value)
+
+let pop q =
+  if q.size = 0 then None
+  else begin
+    let e = q.data.(0) in
+    q.size <- q.size - 1;
+    if q.size > 0 then begin
+      q.data.(0) <- q.data.(q.size);
+      sift_down q 0
+    end;
+    Some (e.key, e.value)
+  end
+
+let clear q =
+  q.data <- [||];
+  q.size <- 0
+
+let to_sorted_list q =
+  let entries = Array.sub q.data 0 q.size in
+  let copy = { data = entries; size = q.size; next_seq = q.next_seq } in
+  (* Array.sub shares no structure with q.data mutations below. *)
+  let rec drain acc =
+    match pop copy with
+    | None -> List.rev acc
+    | Some kv -> drain (kv :: acc)
+  in
+  drain []

@@ -1,0 +1,29 @@
+(** Mutable binary-heap priority queue (min-heap by a user-supplied key).
+
+    Used as the event queue of the discrete-event simulator and as the
+    frontier of shortest-path searches.  Ties are broken by insertion
+    order (FIFO among equal keys), which discrete-event simulation
+    requires for determinism. *)
+
+type 'a t
+
+val create : unit -> 'a t
+(** Empty queue with float keys. *)
+
+val length : 'a t -> int
+
+val is_empty : 'a t -> bool
+
+val push : 'a t -> float -> 'a -> unit
+(** [push q key v] inserts [v] with priority [key]. *)
+
+val pop : 'a t -> (float * 'a) option
+(** Remove and return the minimum-key element, FIFO among ties. *)
+
+val peek : 'a t -> (float * 'a) option
+(** Minimum-key element without removal. *)
+
+val clear : 'a t -> unit
+
+val to_sorted_list : 'a t -> (float * 'a) list
+(** Non-destructive drain: all elements in pop order. *)

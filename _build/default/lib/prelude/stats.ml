@@ -1,0 +1,136 @@
+let check_nonempty name xs =
+  if Array.length xs = 0 then invalid_arg (name ^ ": empty input")
+
+let total xs = Array.fold_left ( +. ) 0.0 xs
+
+let mean xs =
+  check_nonempty "Stats.mean" xs;
+  total xs /. float_of_int (Array.length xs)
+
+let variance xs =
+  check_nonempty "Stats.variance" xs;
+  let m = mean xs in
+  let acc = Array.fold_left (fun acc x -> acc +. ((x -. m) *. (x -. m))) 0.0 xs in
+  acc /. float_of_int (Array.length xs)
+
+let stddev xs = sqrt (variance xs)
+
+let sorted_copy xs =
+  let ys = Array.copy xs in
+  Array.sort compare ys;
+  ys
+
+let median xs =
+  check_nonempty "Stats.median" xs;
+  let ys = sorted_copy xs in
+  let n = Array.length ys in
+  if n mod 2 = 1 then ys.(n / 2)
+  else (ys.((n / 2) - 1) +. ys.(n / 2)) /. 2.0
+
+let percentile xs p =
+  check_nonempty "Stats.percentile" xs;
+  if p < 0.0 || p > 100.0 then invalid_arg "Stats.percentile: p out of range";
+  let ys = sorted_copy xs in
+  let n = Array.length ys in
+  if n = 1 then ys.(0)
+  else
+    let rank = p /. 100.0 *. float_of_int (n - 1) in
+    let lo = int_of_float (Float.floor rank) in
+    let hi = int_of_float (Float.ceil rank) in
+    if lo = hi then ys.(lo)
+    else
+      let frac = rank -. float_of_int lo in
+      ys.(lo) +. (frac *. (ys.(hi) -. ys.(lo)))
+
+let minimum xs =
+  check_nonempty "Stats.minimum" xs;
+  Array.fold_left min xs.(0) xs
+
+let maximum xs =
+  check_nonempty "Stats.maximum" xs;
+  Array.fold_left max xs.(0) xs
+
+let gini xs =
+  check_nonempty "Stats.gini" xs;
+  Array.iter (fun x -> if x < 0.0 then invalid_arg "Stats.gini: negative value") xs;
+  let s = total xs in
+  if s <= 0.0 then invalid_arg "Stats.gini: zero total";
+  let ys = sorted_copy xs in
+  let n = Array.length ys in
+  (* Gini = (2 * sum_i i*y_i) / (n * sum y) - (n+1)/n  with 1-based i. *)
+  let weighted = ref 0.0 in
+  for i = 0 to n - 1 do
+    weighted := !weighted +. (float_of_int (i + 1) *. ys.(i))
+  done;
+  let nf = float_of_int n in
+  ((2.0 *. !weighted) /. (nf *. s)) -. ((nf +. 1.0) /. nf)
+
+let hhi xs =
+  check_nonempty "Stats.hhi" xs;
+  let s = total xs in
+  if s <= 0.0 then invalid_arg "Stats.hhi: zero total";
+  Array.fold_left (fun acc x -> acc +. ((x /. s) ** 2.0)) 0.0 xs
+
+let correlation xs ys =
+  let n = Array.length xs in
+  if n <> Array.length ys then invalid_arg "Stats.correlation: length mismatch";
+  if n < 2 then invalid_arg "Stats.correlation: need at least 2 points";
+  let mx = mean xs and my = mean ys in
+  let sxy = ref 0.0 and sxx = ref 0.0 and syy = ref 0.0 in
+  for i = 0 to n - 1 do
+    let dx = xs.(i) -. mx and dy = ys.(i) -. my in
+    sxy := !sxy +. (dx *. dy);
+    sxx := !sxx +. (dx *. dx);
+    syy := !syy +. (dy *. dy)
+  done;
+  if !sxx = 0.0 || !syy = 0.0 then
+    invalid_arg "Stats.correlation: zero variance";
+  !sxy /. sqrt (!sxx *. !syy)
+
+let histogram ?(bins = 10) xs =
+  check_nonempty "Stats.histogram" xs;
+  if bins <= 0 then invalid_arg "Stats.histogram: bins must be positive";
+  let lo = minimum xs and hi = maximum xs in
+  let width =
+    if hi > lo then (hi -. lo) /. float_of_int bins else 1.0
+  in
+  let counts = Array.make bins 0 in
+  Array.iter
+    (fun x ->
+      let b = int_of_float ((x -. lo) /. width) in
+      let b = if b >= bins then bins - 1 else if b < 0 then 0 else b in
+      counts.(b) <- counts.(b) + 1)
+    xs;
+  Array.mapi
+    (fun i c ->
+      (lo +. (float_of_int i *. width), lo +. (float_of_int (i + 1) *. width), c))
+    counts
+
+type summary = {
+  n : int;
+  mean : float;
+  stddev : float;
+  min : float;
+  p25 : float;
+  p50 : float;
+  p75 : float;
+  max : float;
+}
+
+let summarize xs =
+  check_nonempty "Stats.summarize" xs;
+  {
+    n = Array.length xs;
+    mean = mean xs;
+    stddev = stddev xs;
+    min = minimum xs;
+    p25 = percentile xs 25.0;
+    p50 = percentile xs 50.0;
+    p75 = percentile xs 75.0;
+    max = maximum xs;
+  }
+
+let pp_summary ppf s =
+  Format.fprintf ppf
+    "n=%d mean=%.4g sd=%.4g min=%.4g p25=%.4g p50=%.4g p75=%.4g max=%.4g"
+    s.n s.mean s.stddev s.min s.p25 s.p50 s.p75 s.max

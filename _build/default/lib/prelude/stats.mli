@@ -1,0 +1,62 @@
+(** Descriptive statistics used by the experiment harness.
+
+    All functions take plain [float array]s (or lists where noted) and are
+    total over non-empty input; empty input raises [Invalid_argument] except
+    where a neutral value exists. *)
+
+val mean : float array -> float
+(** Arithmetic mean.  Raises on empty input. *)
+
+val variance : float array -> float
+(** Population variance (biased, divides by [n]).  Raises on empty input. *)
+
+val stddev : float array -> float
+(** Population standard deviation. *)
+
+val median : float array -> float
+(** Median (average of middle two for even length).  Does not mutate its
+    argument.  Raises on empty input. *)
+
+val percentile : float array -> float -> float
+(** [percentile xs p] for [p] in [\[0,100\]], linear interpolation between
+    order statistics.  Raises on empty input or out-of-range [p]. *)
+
+val minimum : float array -> float
+val maximum : float array -> float
+
+val total : float array -> float
+(** Sum; [0.] on empty input. *)
+
+val gini : float array -> float
+(** Gini coefficient of a non-negative distribution: 0 = perfectly equal,
+    approaching 1 = concentrated.  Raises if any value is negative or the
+    sum is zero. *)
+
+val hhi : float array -> float
+(** Herfindahl–Hirschman index of market shares computed from raw sizes:
+    sum of squared shares, in (0, 1].  1 = monopoly.  Raises on zero
+    total. *)
+
+val correlation : float array -> float array -> float
+(** Pearson correlation.  Raises on length mismatch, length < 2, or zero
+    variance. *)
+
+val histogram : ?bins:int -> float array -> (float * float * int) array
+(** [histogram ~bins xs] returns [(lo, hi, count)] per bin over the data
+    range.  Default 10 bins.  Raises on empty input. *)
+
+type summary = {
+  n : int;
+  mean : float;
+  stddev : float;
+  min : float;
+  p25 : float;
+  p50 : float;
+  p75 : float;
+  max : float;
+}
+
+val summarize : float array -> summary
+(** Five-number-plus summary.  Raises on empty input. *)
+
+val pp_summary : Format.formatter -> summary -> unit

@@ -1,0 +1,60 @@
+type t = {
+  parent : int array;
+  rank : int array;
+  size : int array;
+  mutable sets : int;
+}
+
+let create n =
+  if n < 0 then invalid_arg "Union_find.create: negative size";
+  {
+    parent = Array.init n (fun i -> i);
+    rank = Array.make n 0;
+    size = Array.make n 1;
+    sets = n;
+  }
+
+let check t i =
+  if i < 0 || i >= Array.length t.parent then
+    invalid_arg "Union_find: element out of range"
+
+let rec find t i =
+  check t i;
+  let p = t.parent.(i) in
+  if p = i then i
+  else begin
+    let root = find t p in
+    t.parent.(i) <- root;
+    root
+  end
+
+let union t a b =
+  let ra = find t a and rb = find t b in
+  if ra = rb then false
+  else begin
+    let ra, rb =
+      if t.rank.(ra) < t.rank.(rb) then (rb, ra) else (ra, rb)
+    in
+    t.parent.(rb) <- ra;
+    t.size.(ra) <- t.size.(ra) + t.size.(rb);
+    if t.rank.(ra) = t.rank.(rb) then t.rank.(ra) <- t.rank.(ra) + 1;
+    t.sets <- t.sets - 1;
+    true
+  end
+
+let same t a b = find t a = find t b
+
+let count t = t.sets
+
+let set_size t i = t.size.(find t i)
+
+let groups t =
+  let tbl = Hashtbl.create 16 in
+  let n = Array.length t.parent in
+  for i = n - 1 downto 0 do
+    let r = find t i in
+    let members = Option.value ~default:[] (Hashtbl.find_opt tbl r) in
+    Hashtbl.replace tbl r (i :: members)
+  done;
+  Hashtbl.fold (fun _ members acc -> members :: acc) tbl []
+  |> List.sort compare

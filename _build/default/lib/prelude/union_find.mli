@@ -1,0 +1,27 @@
+(** Disjoint-set forest with path compression and union by rank.
+
+    Used to track coalition / alignment structure in the actor-network
+    model and connectivity in topology generators. *)
+
+type t
+
+val create : int -> t
+(** [create n] makes [n] singleton sets labelled [0 .. n-1]. *)
+
+val find : t -> int -> int
+(** Canonical representative; compresses paths. *)
+
+val union : t -> int -> int -> bool
+(** Merge the two sets; returns [false] when already joined. *)
+
+val same : t -> int -> int -> bool
+
+val count : t -> int
+(** Number of distinct sets. *)
+
+val set_size : t -> int -> int
+(** Size of the set containing the given element. *)
+
+val groups : t -> int list list
+(** All sets as lists of members, each sorted ascending; groups ordered by
+    their smallest member. *)

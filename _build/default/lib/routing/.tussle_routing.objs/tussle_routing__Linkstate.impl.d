@@ -1,0 +1,1 @@
+lib/routing/linkstate.ml: Array List Tussle_netsim Tussle_prelude

@@ -1,0 +1,1 @@
+lib/routing/linkstate.mli: Tussle_netsim Tussle_prelude

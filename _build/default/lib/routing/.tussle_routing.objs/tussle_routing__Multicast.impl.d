@@ -1,0 +1,1 @@
+lib/routing/multicast.ml: Array Hashtbl List Tussle_prelude

@@ -1,0 +1,1 @@
+lib/routing/multicast.mli: Tussle_netsim Tussle_prelude

@@ -1,0 +1,1 @@
+lib/routing/overlay.ml: Linkstate List Option Tussle_netsim Tussle_prelude

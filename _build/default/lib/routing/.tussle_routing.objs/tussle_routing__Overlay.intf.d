@@ -1,0 +1,1 @@
+lib/routing/overlay.mli: Linkstate Tussle_netsim Tussle_prelude

@@ -1,0 +1,1 @@
+lib/routing/pathvector.ml: Array Hashtbl List Option Tussle_netsim Tussle_prelude

@@ -1,0 +1,1 @@
+lib/routing/pathvector.mli: Tussle_netsim Tussle_prelude

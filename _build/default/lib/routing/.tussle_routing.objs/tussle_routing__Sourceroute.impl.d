@@ -1,0 +1,1 @@
+lib/routing/sourceroute.ml: List Tussle_netsim

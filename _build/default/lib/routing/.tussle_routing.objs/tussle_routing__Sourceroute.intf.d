@@ -1,0 +1,1 @@
+lib/routing/sourceroute.mli: Tussle_netsim

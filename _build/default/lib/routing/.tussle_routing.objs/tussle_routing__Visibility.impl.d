@@ -1,0 +1,1 @@
+lib/routing/visibility.ml: Hashtbl Linkstate List Pathvector Tussle_prelude

@@ -1,0 +1,1 @@
+lib/routing/visibility.mli: Linkstate Pathvector Tussle_netsim Tussle_prelude

@@ -1,0 +1,63 @@
+module Graph = Tussle_prelude.Graph
+module Topology = Tussle_netsim.Topology
+
+type t = {
+  n : int;
+  dist : float array array; (* dist.(src).(dst) *)
+  pred : int array array; (* pred.(src).(dst) = predecessor on path from src *)
+  costs : (int * int * float) list;
+}
+
+let compute g ~metric =
+  let weight (e : Topology.edge) =
+    match metric with `Latency -> e.Topology.latency | `Hops -> 1.0
+  in
+  let n = Graph.node_count g in
+  let dist = Array.make n [||] and pred = Array.make n [||] in
+  for src = 0 to n - 1 do
+    let d, p = Graph.dijkstra g ~weight ~source:src in
+    dist.(src) <- d;
+    pred.(src) <- p
+  done;
+  let costs =
+    Graph.fold_edges g ~init:[] ~f:(fun acc u v e -> (u, v, weight e) :: acc)
+    |> List.rev
+  in
+  { n; dist; pred; costs }
+
+let check t node name =
+  if node < 0 || node >= t.n then invalid_arg (name ^ ": node out of range")
+
+let path t ~src ~dst =
+  check t src "Linkstate.path";
+  check t dst "Linkstate.path";
+  if t.dist.(src).(dst) = infinity then None
+  else begin
+    let rec build node acc =
+      if node = src then src :: acc else build t.pred.(src).(node) (node :: acc)
+    in
+    Some (build dst [])
+  end
+
+let next_hop t ~node ~dst =
+  check t node "Linkstate.next_hop";
+  check t dst "Linkstate.next_hop";
+  if node = dst then None
+  else
+    match path t ~src:node ~dst with
+    | Some (_ :: hop :: _) -> Some hop
+    | Some _ | None -> None
+
+let distance t ~src ~dst =
+  check t src "Linkstate.distance";
+  check t dst "Linkstate.distance";
+  let d = t.dist.(src).(dst) in
+  if d = infinity then None else Some d
+
+let forwarding t ~node ~target packet =
+  ignore packet;
+  next_hop t ~node ~dst:target
+
+let visible_link_costs t = t.costs
+
+let node_count t = t.n

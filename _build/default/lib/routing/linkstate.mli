@@ -1,0 +1,34 @@
+(** Link-state routing (OSPF-like): every node floods its link costs,
+    every node computes shortest paths over the full map.
+
+    The tussle-relevant property (§IV-C): a link-state protocol "requires
+    that everyone export his link costs" — internal choices are fully
+    visible, and there is no per-neighbour policy lever.  The routing
+    visibility experiment contrasts this with path-vector. *)
+
+type t
+
+val compute :
+  Tussle_netsim.Topology.edge Tussle_prelude.Graph.t ->
+  metric:[ `Latency | `Hops ] ->
+  t
+(** Run Dijkstra from every node over the flooded map. *)
+
+val next_hop : t -> node:int -> dst:int -> int option
+(** Forwarding table lookup. *)
+
+val distance : t -> src:int -> dst:int -> float option
+
+val path : t -> src:int -> dst:int -> int list option
+(** Full path [src; ...; dst]. *)
+
+val forwarding : t -> Tussle_netsim.Net.forwarding
+(** Adapt to the simulator's forwarding signature ([target]-based, so
+    loose source routes work unchanged). *)
+
+val visible_link_costs : t -> (int * int * float) list
+(** Every (u, v, cost) in the flooded database — what {e any} participant
+    (or competitor) can read.  This is the protocol's information
+    exposure. *)
+
+val node_count : t -> int

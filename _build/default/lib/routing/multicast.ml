@@ -1,0 +1,84 @@
+module Graph = Tussle_prelude.Graph
+
+type tree = {
+  source : int;
+  receivers : int list;
+  edges : (int * int) list;
+}
+
+let shortest_path_tree g ~source ~receivers =
+  let _, pred = Graph.dijkstra g ~weight:(fun _ -> 1.0) ~source in
+  let edge_set = Hashtbl.create 64 in
+  let add_path r =
+    (* walk predecessors back to the source, collecting edges *)
+    let rec walk node =
+      let p = pred.(node) in
+      if p >= 0 then begin
+        if not (Hashtbl.mem edge_set (p, node)) then begin
+          Hashtbl.replace edge_set (p, node) ();
+          walk p
+        end
+        (* already joined the tree: the rest of the path is present *)
+      end
+    in
+    if r <> source && pred.(r) >= 0 then walk r
+  in
+  List.iter add_path receivers;
+  let edges = Hashtbl.fold (fun e () acc -> e :: acc) edge_set [] in
+  { source; receivers; edges = List.sort compare edges }
+
+let covered t =
+  let reachable = Hashtbl.create 16 in
+  Hashtbl.replace reachable t.source ();
+  (* tree edges are parent->child along shortest paths; propagate *)
+  let rec saturate () =
+    let changed = ref false in
+    List.iter
+      (fun (u, v) ->
+        if Hashtbl.mem reachable u && not (Hashtbl.mem reachable v) then begin
+          Hashtbl.replace reachable v ();
+          changed := true
+        end)
+      t.edges;
+    if !changed then saturate ()
+  in
+  saturate ();
+  List.filter (fun r -> Hashtbl.mem reachable r) t.receivers
+
+let multicast_link_load t = List.length t.edges
+
+let unicast_link_load g ~source ~receivers =
+  let dist, _ = Graph.dijkstra g ~weight:(fun _ -> 1.0) ~source in
+  List.fold_left
+    (fun acc r ->
+      if r = source || dist.(r) = infinity then acc
+      else acc + int_of_float dist.(r))
+    0 receivers
+
+let savings_ratio g ~source ~receivers =
+  let uni = unicast_link_load g ~source ~receivers in
+  if uni = 0 then 0.0
+  else
+    let t = shortest_path_tree g ~source ~receivers in
+    1.0 -. (float_of_int (multicast_link_load t) /. float_of_int uni)
+
+let router_state t =
+  (* nodes with tree children hold forwarding state for the group *)
+  let parents = Hashtbl.create 16 in
+  List.iter (fun (u, _) -> Hashtbl.replace parents u ()) t.edges;
+  Hashtbl.length parents
+
+type deployment_params = {
+  groups : float;
+  state_cost : float;
+  bandwidth_value : float;
+  payment : bool;
+}
+
+let isp_profit p =
+  if p.groups < 0.0 || p.state_cost < 0.0 || p.bandwidth_value < 0.0 then
+    invalid_arg "Multicast.isp_profit: negative parameter";
+  let revenue = if p.payment then p.groups *. p.bandwidth_value else 0.0 in
+  revenue -. (p.groups *. p.state_cost)
+
+let deploys p = isp_profit p > 0.0

@@ -1,0 +1,64 @@
+(** Multicast: the other failed open end-to-end service (§VII).
+
+    "This follows on the failure of multicast to emerge as an open
+    end-to-end service ... The case study of the failure to deploy
+    multicast is left as an exercise for the reader."  We do the
+    exercise: source-rooted shortest-path trees quantify the bandwidth
+    multicast saves, and the deployment game shows why savings alone
+    never deployed it — the routers holding per-group state are not the
+    parties reaping the savings.
+
+    Trees are shortest-path trees (DVMRP/PIM-style), built from the
+    link-state map. *)
+
+type tree = {
+  source : int;
+  receivers : int list;
+  edges : (int * int) list;  (** directed tree edges, parent -> child *)
+}
+
+val shortest_path_tree :
+  Tussle_netsim.Topology.edge Tussle_prelude.Graph.t ->
+  source:int -> receivers:int list -> tree
+(** Union of shortest paths (hop metric) from [source] to each
+    reachable receiver.  Unreachable receivers are silently absent from
+    the tree (check {!covered}).  Raises [Invalid_argument] on
+    out-of-range nodes. *)
+
+val covered : tree -> int list
+(** Receivers actually reachable through the tree. *)
+
+val multicast_link_load : tree -> int
+(** Links a single multicast transmission crosses: the tree edges. *)
+
+val unicast_link_load :
+  Tussle_netsim.Topology.edge Tussle_prelude.Graph.t ->
+  source:int -> receivers:int list -> int
+(** Links crossed when the source unicasts a copy to every reachable
+    receiver: the sum of shortest-path lengths. *)
+
+val savings_ratio :
+  Tussle_netsim.Topology.edge Tussle_prelude.Graph.t ->
+  source:int -> receivers:int list -> float
+(** [1 - multicast/unicast]; 0 when there is nothing to send. *)
+
+val router_state : tree -> int
+(** Interior nodes holding per-group forwarding state: the cost side of
+    the deployment ledger, borne by ISPs. *)
+
+type deployment_params = {
+  groups : float;  (** concurrent multicast groups *)
+  state_cost : float;  (** ISP cost per group of router state + ops *)
+  bandwidth_value : float;
+      (** value of the bandwidth saved per group — accrues to content
+          providers, NOT to the ISP, unless a payment mechanism exists *)
+  payment : bool;  (** can content providers pay ISPs for multicast? *)
+}
+
+val isp_profit : deployment_params -> float
+(** The deploying ISP's per-period profit: [- groups * state_cost],
+    plus [groups * bandwidth_value] only when [payment].  The paper's
+    diagnosis in one expression. *)
+
+val deploys : deployment_params -> bool
+(** [isp_profit > 0]. *)

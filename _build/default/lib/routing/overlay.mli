@@ -1,0 +1,46 @@
+(** Overlay routing: end systems route around the network's choices.
+
+    The paper calls overlays "a tool in the tussle" (§V-A4, footnote 7):
+    end-users over-rule constrained provider routing with tunnels and
+    relays (RON-style).  The overlay does not see the underlay's
+    internals; it only {e measures} — so every function here takes a
+    [latency] probe giving the measured delay of the underlay's chosen
+    path between two overlay nodes ([None] = unreachable). *)
+
+val measured_latency :
+  Linkstate.t ->
+  Tussle_netsim.Topology.edge Tussle_prelude.Graph.t ->
+  src:int -> dst:int -> float option
+(** The latency an overlay probe observes between two nodes: the sum of
+    link latencies along the underlay routing's chosen path (which may
+    be hop-optimal rather than latency-optimal — that gap is the
+    overlay's opportunity). *)
+
+val best_relay :
+  latency:(int -> int -> float option) ->
+  candidates:int list -> src:int -> dst:int ->
+  (int * float) option
+(** Relay minimizing measured latency [src -> r -> dst] over reachable
+    candidates; returns the relay and the two-leg latency. *)
+
+val latency_improvement :
+  latency:(int -> int -> float option) ->
+  candidates:int list -> src:int -> dst:int -> float option
+(** Direct measured latency minus best relayed latency (positive =
+    overlay wins).  [None] when either direct or relayed connectivity is
+    missing. *)
+
+val reachable_via :
+  can_reach:(int -> int -> bool) -> candidates:int list ->
+  src:int -> dst:int -> int option
+(** First candidate [r] (ascending) with [can_reach src r] and
+    [can_reach r dst]: connectivity restored through a willing
+    intermediary even when [can_reach src dst] is false — "exploiting
+    hosts as intermediate forwarding agents." *)
+
+val recovery_ratio :
+  can_reach:(int -> int -> bool) -> candidates:int list ->
+  pairs:(int * int) list -> float
+(** Over the blocked pairs of [pairs] (those with [not (can_reach src
+    dst)]), the fraction recoverable through some relay.  [1.0] when no
+    pair is blocked. *)

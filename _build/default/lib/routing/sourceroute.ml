@@ -1,0 +1,26 @@
+module Middlebox = Tussle_netsim.Middlebox
+module Packet = Tussle_netsim.Packet
+module Topology = Tussle_netsim.Topology
+
+let waypoints_via ~transit = [ transit ]
+
+let refusal_middlebox ~paid =
+  let policy (p : Packet.t) =
+    if (not paid) && p.Packet.source_route <> [] then Middlebox.Drop
+    else Middlebox.Forward
+  in
+  Middlebox.make ~reveals_presence:false ~name:"source-route-refusal" policy
+
+let transit_choices (tt : Topology.two_tier) = tt.Topology.transits
+
+let pick_transit ~score = function
+  | [] -> None
+  | first :: rest ->
+    let best =
+      List.fold_left
+        (fun best t ->
+          let s = score t and sb = score best in
+          if s > sb || (s = sb && t < best) then t else best)
+        first rest
+    in
+    Some best

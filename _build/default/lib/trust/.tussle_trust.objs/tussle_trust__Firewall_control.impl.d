@@ -1,0 +1,1 @@
+lib/trust/firewall_control.ml: List Tussle_netsim

@@ -1,0 +1,1 @@
+lib/trust/firewall_control.mli: Tussle_netsim

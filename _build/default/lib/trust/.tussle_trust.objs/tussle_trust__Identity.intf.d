@@ -1,0 +1,1 @@
+lib/trust/identity.mli:

@@ -1,0 +1,1 @@
+lib/trust/mediator.ml: Float List Printf

@@ -1,0 +1,1 @@
+lib/trust/mediator.mli:

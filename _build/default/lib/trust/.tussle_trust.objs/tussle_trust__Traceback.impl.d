@@ -1,0 +1,1 @@
+lib/trust/traceback.ml: Hashtbl List Option Tussle_prelude

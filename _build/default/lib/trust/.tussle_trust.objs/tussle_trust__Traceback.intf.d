@@ -1,0 +1,1 @@
+lib/trust/traceback.mli: Tussle_prelude

@@ -1,0 +1,1 @@
+lib/trust/trust_graph.mli:

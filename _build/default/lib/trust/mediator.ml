@@ -1,0 +1,60 @@
+type transaction = { gain : float; loss : float; p_honest : float }
+
+type mediator =
+  | No_mediator
+  | Liability_cap of { cap : float; fee : float }
+  | Certifier of { assurance : float; fee : float }
+  | Escrow of { fee : float }
+
+let validate tx =
+  if tx.loss < 0.0 then invalid_arg "Mediator: negative loss";
+  if tx.p_honest < 0.0 || tx.p_honest > 1.0 then
+    invalid_arg "Mediator: p_honest not in [0,1]"
+
+let expected_utility tx m =
+  validate tx;
+  match m with
+  | No_mediator ->
+    (tx.p_honest *. tx.gain) -. ((1.0 -. tx.p_honest) *. tx.loss)
+  | Liability_cap { cap; fee } ->
+    if cap < 0.0 || fee < 0.0 then invalid_arg "Mediator: negative cap/fee";
+    (tx.p_honest *. tx.gain)
+    -. ((1.0 -. tx.p_honest) *. Float.min tx.loss cap)
+    -. fee
+  | Certifier { assurance; fee } ->
+    if assurance < 0.0 || assurance > 1.0 || fee < 0.0 then
+      invalid_arg "Mediator: bad certifier parameters";
+    let p' = tx.p_honest +. (assurance *. (1.0 -. tx.p_honest)) in
+    (p' *. tx.gain) -. ((1.0 -. p') *. tx.loss) -. fee
+  | Escrow { fee } ->
+    if fee < 0.0 then invalid_arg "Mediator: negative fee";
+    (tx.p_honest *. tx.gain) -. fee
+
+let should_transact tx m = expected_utility tx m > 0.0
+
+let best_mediator tx = function
+  | [] -> invalid_arg "Mediator.best_mediator: empty list"
+  | first :: rest ->
+    List.fold_left
+      (fun (bm, bu) m ->
+        let u = expected_utility tx m in
+        if u > bu then (m, u) else (bm, bu))
+      (first, expected_utility tx first)
+      rest
+
+let enabled_transactions txs mediators =
+  List.filter_map
+    (fun tx ->
+      match mediators with
+      | [] -> None
+      | _ ->
+        let m, u = best_mediator tx mediators in
+        if u > 0.0 then Some (tx, m) else None)
+    txs
+
+let mediator_to_string = function
+  | No_mediator -> "none"
+  | Liability_cap { cap; fee } -> Printf.sprintf "liability-cap(%g,fee=%g)" cap fee
+  | Certifier { assurance; fee } ->
+    Printf.sprintf "certifier(%g,fee=%g)" assurance fee
+  | Escrow { fee } -> Printf.sprintf "escrow(fee=%g)" fee

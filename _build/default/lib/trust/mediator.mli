@@ -1,0 +1,44 @@
+(** Third-party mediation of untrusted interactions (§V-B).
+
+    "We depend on third parties to mediate and enhance the assurance
+    that things are going to go right": liability caps (credit cards),
+    certification (PKI), escrow.  A transaction has a gain if honest and
+    a loss if the counterparty cheats; a mediator transforms that
+    lottery.  The paper's engineering principle — parties must be able
+    to {e choose} their mediators — is exercised by experiment E13. *)
+
+type transaction = {
+  gain : float;  (** value if the counterparty is honest *)
+  loss : float;  (** amount at risk if cheated (positive number) *)
+  p_honest : float;  (** the truster's belief the counterparty is honest *)
+}
+
+type mediator =
+  | No_mediator
+  | Liability_cap of { cap : float; fee : float }
+      (** cheat loss capped at [cap] (e.g. the credit card $50) *)
+  | Certifier of { assurance : float; fee : float }
+      (** certificate raises effective honesty belief:
+          p' = p + assurance * (1 - p) *)
+  | Escrow of { fee : float }
+      (** escrow eliminates cheat loss entirely *)
+
+val expected_utility : transaction -> mediator -> float
+(** Expected value of transacting under the mediator (fees always
+    paid). *)
+
+val should_transact : transaction -> mediator -> bool
+(** [expected_utility > 0]. *)
+
+val best_mediator : transaction -> mediator list -> mediator * float
+(** The choice the paper demands users be able to make: the mediator
+    (from the offered list, which should include [No_mediator]) with the
+    highest expected utility.  Raises [Invalid_argument] on an empty
+    list. *)
+
+val enabled_transactions :
+  transaction list -> mediator list -> (transaction * mediator) list
+(** Transactions whose best mediator makes them worth doing — the trade
+    volume mediation unlocks. *)
+
+val mediator_to_string : mediator -> string

@@ -1,0 +1,47 @@
+module Rng = Tussle_prelude.Rng
+
+type observation = (int * int) list
+
+let simulate rng ~path ~p ~packets =
+  if p <= 0.0 || p >= 1.0 then invalid_arg "Traceback.simulate: p not in (0,1)";
+  if packets <= 0 then invalid_arg "Traceback.simulate: no packets";
+  if path = [] then invalid_arg "Traceback.simulate: empty path";
+  let counts = Hashtbl.create 16 in
+  List.iter (fun r -> Hashtbl.replace counts r 0) path;
+  for _ = 1 to packets do
+    (* the packet travels attacker -> victim; each router overwrites the
+       mark with probability p *)
+    let mark = ref None in
+    List.iter (fun r -> if Rng.bernoulli rng p then mark := Some r) path;
+    match !mark with
+    | Some r ->
+      Hashtbl.replace counts r (1 + Option.value ~default:0 (Hashtbl.find_opt counts r))
+    | None -> ()
+  done;
+  List.map (fun r -> (r, Option.value ~default:0 (Hashtbl.find_opt counts r))) path
+  |> List.sort compare
+
+let reconstruct obs =
+  (* victim-closest routers are marked most; the attacker-to-victim
+     order is ascending mark count *)
+  List.sort
+    (fun (ra, ca) (rb, cb) ->
+      match compare ca cb with 0 -> compare ra rb | c -> c)
+    obs
+  |> List.map fst
+
+let accuracy ~truth ~guess =
+  if List.length truth <> List.length guess then 0.0
+  else if truth = [] then 1.0
+  else begin
+    let hits =
+      List.fold_left2
+        (fun acc a b -> if a = b then acc + 1 else acc)
+        0 truth guess
+    in
+    float_of_int hits /. float_of_int (List.length truth)
+  end
+
+let expected_marks ~p ~distance ~packets =
+  if distance < 1 then invalid_arg "Traceback.expected_marks: distance < 1";
+  float_of_int packets *. p *. ((1.0 -. p) ** float_of_int (distance - 1))

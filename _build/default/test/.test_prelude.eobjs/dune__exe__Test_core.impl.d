@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Format List String Tussle_core Tussle_prelude

@@ -1,0 +1,1 @@
+test/test_econ.ml: Alcotest Array Float List Tussle_econ Tussle_gametheory Tussle_prelude

@@ -1,0 +1,1 @@
+test/test_gametheory.ml: Alcotest Array Float List QCheck2 QCheck_alcotest Tussle_gametheory Tussle_prelude

@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Array List Option Printf Tussle_econ Tussle_netsim Tussle_prelude Tussle_routing Tussle_trust

@@ -1,0 +1,1 @@
+test/test_netsim.ml: Alcotest Array Float List Tussle_netsim Tussle_prelude

@@ -1,0 +1,1 @@
+test/test_policy.ml: Alcotest Format List Printf QCheck2 QCheck_alcotest String Tussle_policy Tussle_prelude

@@ -1,0 +1,1 @@
+test/test_prelude.ml: Alcotest Array Float Fun List QCheck2 QCheck_alcotest String Tussle_prelude

@@ -1,0 +1,1 @@
+test/test_properties.ml: Alcotest Array Float Hashtbl List Option Printf QCheck2 QCheck_alcotest Tussle_core Tussle_econ Tussle_naming Tussle_netsim Tussle_prelude Tussle_routing Tussle_trust

@@ -1,0 +1,1 @@
+test/test_routing.ml: Alcotest Array List Option Tussle_netsim Tussle_prelude Tussle_routing

@@ -1,0 +1,1 @@
+test/test_trust.ml: Alcotest Float List Printf Tussle_netsim Tussle_prelude Tussle_trust

@@ -1,0 +1,440 @@
+(* Tests for tussle.econ: market, value pricing, investment, escalation,
+   intermediary. *)
+
+module Rng = Tussle_prelude.Rng
+module Market = Tussle_econ.Market
+module Value_pricing = Tussle_econ.Value_pricing
+module Investment = Tussle_econ.Investment
+module Escalation = Tussle_econ.Escalation
+module Intermediary = Tussle_econ.Intermediary
+
+let check_float = Alcotest.(check (float 1e-9))
+
+(* ---------- Market ---------- *)
+
+let run_market ?(seed = 42) cfg = Market.run (Rng.create seed) cfg
+
+let test_market_near_salop () =
+  let cfg = Market.default_config in
+  let r = run_market cfg in
+  let benchmark = Market.salop_price cfg in
+  Alcotest.(check bool) "price in competitive band" true
+    (Float.abs (r.Market.mean_price -. benchmark) < 1.0);
+  Alcotest.(check bool) "everyone subscribed" true (r.Market.subscribed_ratio > 0.95)
+
+let test_market_more_providers_cheaper () =
+  let duopoly = { Market.default_config with Market.n_providers = 2 } in
+  let many = { Market.default_config with Market.n_providers = 8 } in
+  let rd = run_market duopoly and rm = run_market many in
+  Alcotest.(check bool) "duopoly dearer" true
+    (rd.Market.mean_price > rm.Market.mean_price);
+  Alcotest.(check bool) "hhi falls" true (rd.Market.hhi > rm.Market.hhi)
+
+let test_market_switching_cost_raises_price () =
+  let base = Market.default_config in
+  let locked = { base with Market.switching_cost = 2.0 } in
+  let r0 = run_market base and r1 = run_market locked in
+  Alcotest.(check bool) "lock-in raises markup" true
+    (r1.Market.mean_markup > r0.Market.mean_markup);
+  Alcotest.(check bool) "lock-in kills churn" true
+    (r1.Market.churn_rate <= r0.Market.churn_rate)
+
+let test_market_switching_cost_hurts_consumers () =
+  let base = Market.default_config in
+  let locked = { base with Market.switching_cost = 3.0 } in
+  let r0 = run_market base and r1 = run_market locked in
+  Alcotest.(check bool) "surplus falls" true
+    (r1.Market.consumer_surplus < r0.Market.consumer_surplus)
+
+let test_market_price_history_length () =
+  let r = run_market Market.default_config in
+  Alcotest.(check int) "history" Market.default_config.Market.periods
+    (Array.length r.Market.price_history)
+
+let test_market_deterministic () =
+  let a = run_market ~seed:7 Market.default_config in
+  let b = run_market ~seed:7 Market.default_config in
+  check_float "same price" a.Market.mean_price b.Market.mean_price;
+  check_float "same surplus" a.Market.consumer_surplus b.Market.consumer_surplus
+
+let test_market_validation () =
+  Alcotest.check_raises "no providers" (Invalid_argument "Market: no providers")
+    (fun () ->
+      ignore (run_market { Market.default_config with Market.n_providers = 0 }))
+
+(* ---------- Value pricing ---------- *)
+
+let pop = Value_pricing.default_population
+let prm = Value_pricing.default_params
+
+let test_value_pricing_discriminates_when_unmasked () =
+  let o = Value_pricing.best_response_pricing pop prm ~tunnel_adoption:0.0 in
+  Alcotest.(check bool) "business pays more" true
+    (o.Value_pricing.discrimination_gap > 0.5);
+  Alcotest.(check bool) "positive profit" true (o.Value_pricing.provider_profit > 0.0)
+
+let test_value_pricing_masking_shifts_surplus () =
+  let closed = Value_pricing.best_response_pricing pop prm ~tunnel_adoption:0.0 in
+  let open_ = Value_pricing.best_response_pricing pop prm ~tunnel_adoption:1.0 in
+  Alcotest.(check bool) "producer revenue falls" true
+    (open_.Value_pricing.revenue < closed.Value_pricing.revenue);
+  Alcotest.(check bool) "consumer surplus rises" true
+    (open_.Value_pricing.consumer_surplus > closed.Value_pricing.consumer_surplus)
+
+let test_value_pricing_sweep_monotonicity () =
+  let sweep =
+    Value_pricing.sweep pop prm ~adoptions:[ 0.0; 0.25; 0.5; 0.75; 1.0 ]
+  in
+  let revenues = List.map (fun (_, o) -> o.Value_pricing.revenue) sweep in
+  (* revenue never increases as masking spreads *)
+  let rec non_increasing = function
+    | a :: (b :: _ as rest) -> a +. 1e-6 >= b && non_increasing rest
+    | _ -> true
+  in
+  Alcotest.(check bool) "revenue non-increasing" true (non_increasing revenues)
+
+let test_value_pricing_validation () =
+  Alcotest.check_raises "bad adoption"
+    (Invalid_argument "Value_pricing: adoption not in [0,1]") (fun () ->
+      ignore (Value_pricing.best_response_pricing pop prm ~tunnel_adoption:2.0))
+
+(* ---------- Investment (QoS game) ---------- *)
+
+let test_investment_paper_hypothesis () =
+  let outcomes = Investment.matrix_22 Investment.default_params in
+  let rate regime_vf regime_cc =
+    let _, o =
+      List.find
+        (fun ({ Investment.value_flow; consumer_choice }, _) ->
+          value_flow = regime_vf && consumer_choice = regime_cc)
+        outcomes
+    in
+    o.Investment.deployment_rate
+  in
+  check_float "neither: no deployment" 0.0 (rate false false);
+  check_float "greed alone: no deployment" 0.0 (rate true false);
+  check_float "fear alone: no deployment" 0.0 (rate false true);
+  check_float "both: full deployment" 1.0 (rate true true)
+
+let test_investment_equilibrium_is_nash () =
+  let prm = Investment.default_params in
+  let regime = { Investment.value_flow = true; consumer_choice = true } in
+  let o = Investment.solve prm regime in
+  let g = Investment.game prm regime in
+  Alcotest.(check bool) "pure nash" true
+    (Tussle_gametheory.Bestresponse.is_pure_nash g o.Investment.equilibrium)
+
+let test_investment_cheap_deployment_needs_less () =
+  (* if deployment is nearly free, greed alone suffices *)
+  let cheap = { Investment.default_params with Investment.deploy_cost = 1.0 } in
+  let o =
+    Investment.solve cheap
+      { Investment.value_flow = true; consumer_choice = false }
+  in
+  check_float "greed suffices when cheap" 1.0 o.Investment.deployment_rate
+
+(* ---------- Escalation (encryption) ---------- *)
+
+let esc_params competitive =
+  {
+    Escalation.n_users = 1000.0;
+    enc_fraction = 0.3;
+    base_price = 5.0;
+    service_value = 8.0;
+    privacy_value = 2.0;
+    inspection_value = 1.0;
+    competitive;
+  }
+
+let grid = [ 0.5; 1.0; 1.5; 2.0; 3.0 ]
+
+let test_escalation_competition_disciplines () =
+  (* competitive: blocking loses customers entirely; carrying wins *)
+  let p = esc_params true in
+  let policy, _ = Escalation.best_policy p ~surcharge_grid:grid in
+  Alcotest.(check bool) "carries" true (policy = Escalation.Carry);
+  Alcotest.(check bool) "encryption survives" true
+    (Escalation.encryption_survives p ~surcharge_grid:grid)
+
+let test_escalation_monopoly_squeezes () =
+  let p = esc_params false in
+  let policy, revenue = Escalation.best_policy p ~surcharge_grid:grid in
+  (* the monopolist does better than plain carriage *)
+  Alcotest.(check bool) "not plain carry" true (policy <> Escalation.Carry);
+  Alcotest.(check bool) "more than carry" true
+    (revenue > Escalation.revenue p Escalation.Carry)
+
+let test_escalation_monopoly_blocks_when_privacy_cheap () =
+  (* if privacy is worth little, the monopolist prefers plaintext users *)
+  let p = { (esc_params false) with Escalation.privacy_value = 0.2 } in
+  Alcotest.(check bool) "encryption dies" false
+    (Escalation.encryption_survives p ~surcharge_grid:grid)
+
+let test_escalation_revenue_accounting () =
+  let p = esc_params false in
+  (* refuse: encrypting users comply in the clear: all users pay base +
+     inspection *)
+  check_float "refuse revenue" (1000.0 *. 6.0)
+    (Escalation.revenue p Escalation.Refuse)
+
+(* ---------- Intermediary ---------- *)
+
+let servers =
+  [
+    { Intermediary.id = 0; quality = 10.0; price = 5.0 };
+    (* surplus 5 *)
+    { Intermediary.id = 1; quality = 6.0; price = 5.0 };
+    (* surplus 1 *)
+    { Intermediary.id = 2; quality = 4.0; price = 5.0 };
+    (* surplus -1 *)
+  ]
+
+let cfg adoption =
+  {
+    Intermediary.servers;
+    n_consumers = 4000;
+    sophistication = (fun u -> u);
+    (* uniform naive..expert *)
+    rater_adoption = adoption;
+  }
+
+let test_intermediary_naive_pick_badly () =
+  let r = Intermediary.run (Rng.create 3) (cfg 0.0) in
+  Alcotest.(check bool) "experts beat naive" true
+    (r.Intermediary.expert_surplus > r.Intermediary.naive_surplus +. 0.5)
+
+let test_intermediary_rater_recovers () =
+  let without = Intermediary.run (Rng.create 3) (cfg 0.0) in
+  let with_rater = Intermediary.run (Rng.create 3) (cfg 0.9) in
+  Alcotest.(check bool) "naive surplus improves" true
+    (with_rater.Intermediary.naive_surplus > without.Intermediary.naive_surplus);
+  let recovered = Intermediary.surplus_recovered ~without ~with_rater in
+  Alcotest.(check bool) "most of the gap closed" true (recovered > 0.6);
+  Alcotest.(check bool) "best server gains share" true
+    (with_rater.Intermediary.best_server_share
+    > without.Intermediary.best_server_share)
+
+let test_intermediary_validation () =
+  Alcotest.check_raises "no servers" (Invalid_argument "Intermediary.run: no servers")
+    (fun () ->
+      ignore
+        (Intermediary.run (Rng.create 1)
+           { (cfg 0.0) with Intermediary.servers = [] }))
+
+
+(* ---------- Payment (value-flow protocol) ---------- *)
+
+module Payment = Tussle_econ.Payment
+
+let test_payment_pay_path () =
+  let l = Payment.create ~parties:4 ~initial:10.0 in
+  (match Payment.pay_path l ~payer:0 ~hops:[ (1, 2.0); (2, 3.0) ] with
+  | Ok r ->
+    check_float "total" 5.0 r.Payment.total;
+    check_float "payer debited" 5.0 (Payment.balance l 0);
+    check_float "hop1 credited" 12.0 (Payment.balance l 1);
+    check_float "hop2 credited" 13.0 (Payment.balance l 2)
+  | Error _ -> Alcotest.fail "should afford");
+  Alcotest.(check int) "two transfers" 2 (List.length (Payment.log l))
+
+let test_payment_atomic_insufficiency () =
+  let l = Payment.create ~parties:3 ~initial:1.0 in
+  (match Payment.pay_path l ~payer:0 ~hops:[ (1, 0.5); (2, 5.0) ] with
+  | Error (`Insufficient bal) -> check_float "reported" 1.0 bal
+  | Ok _ -> Alcotest.fail "should refuse");
+  (* nothing moved *)
+  check_float "untouched 0" 1.0 (Payment.balance l 0);
+  check_float "untouched 1" 1.0 (Payment.balance l 1)
+
+let test_payment_escrow_capture () =
+  let l = Payment.create ~parties:3 ~initial:10.0 in
+  match Payment.authorize l ~payer:0 ~hops:[ (1, 4.0) ] with
+  | Error _ -> Alcotest.fail "should authorize"
+  | Ok escrow ->
+    check_float "reserved" 6.0 (Payment.balance l 0);
+    check_float "not yet paid" 10.0 (Payment.balance l 1);
+    check_float "supply constant" 30.0 (Payment.total_supply l);
+    let r = Payment.capture l escrow in
+    check_float "captured" 4.0 r.Payment.total;
+    check_float "paid" 14.0 (Payment.balance l 1);
+    Alcotest.check_raises "double capture"
+      (Invalid_argument "Payment: unknown or settled escrow") (fun () ->
+        ignore (Payment.capture l escrow))
+
+let test_payment_escrow_refund () =
+  let l = Payment.create ~parties:3 ~initial:10.0 in
+  match Payment.authorize l ~payer:0 ~hops:[ (1, 4.0) ] with
+  | Error _ -> Alcotest.fail "should authorize"
+  | Ok escrow ->
+    Payment.refund l escrow;
+    check_float "refunded" 10.0 (Payment.balance l 0);
+    check_float "provider unpaid" 10.0 (Payment.balance l 1);
+    Alcotest.(check int) "no transfers logged" 0 (List.length (Payment.log l))
+
+let test_payment_conservation () =
+  let l = Payment.create ~parties:5 ~initial:20.0 in
+  ignore (Payment.pay_path l ~payer:0 ~hops:[ (1, 3.0); (2, 1.0) ]);
+  (match Payment.authorize l ~payer:3 ~hops:[ (4, 7.0) ] with
+  | Ok e -> ignore (Payment.capture l e)
+  | Error _ -> Alcotest.fail "authorize");
+  (match Payment.authorize l ~payer:1 ~hops:[ (0, 2.0) ] with
+  | Ok e -> Payment.refund l e
+  | Error _ -> Alcotest.fail "authorize");
+  check_float "supply conserved" 100.0 (Payment.total_supply l)
+
+let test_payment_settlement_nets () =
+  let l = Payment.create ~parties:3 ~initial:10.0 in
+  ignore (Payment.pay_path l ~payer:0 ~hops:[ (1, 5.0) ]);
+  ignore (Payment.pay_path l ~payer:1 ~hops:[ (0, 2.0) ]);
+  (match Payment.settle_bilateral l with
+  | [ (0, 1, v) ] -> check_float "netted" 3.0 v
+  | _ -> Alcotest.fail "expected one netted settlement");
+  (* a perfectly offsetting pair nets to nothing *)
+  ignore (Payment.pay_path l ~payer:1 ~hops:[ (0, 3.0) ]);
+  Alcotest.(check int) "fully netted" 0
+    (List.length (Payment.settle_bilateral l))
+
+(* ---------- Steganography escalation ---------- *)
+
+let test_stego_cheap_evades () =
+  let p = esc_params false in
+  let revenue, survives = Escalation.stego_response p ~stego_cost:0.5 in
+  Alcotest.(check bool) "privacy survives" true survives;
+  (* the refusing ISP now carries unreadable traffic at base price and
+     loses the inspection value: worse than its refusal revenue *)
+  Alcotest.(check bool) "refusal backfires" true
+    (revenue < Escalation.revenue p Escalation.Refuse)
+
+let test_stego_dear_complies () =
+  let p = esc_params false in
+  let _, survives = Escalation.stego_response p ~stego_cost:5.0 in
+  Alcotest.(check bool) "too dear: comply" false survives
+
+let test_stego_validation () =
+  Alcotest.check_raises "negative cost"
+    (Invalid_argument "Escalation.stego_response: negative cost") (fun () ->
+      ignore (Escalation.stego_response (esc_params false) ~stego_cost:(-1.0)))
+
+
+(* ---------- Vertical integration ---------- *)
+
+module Vertical = Tussle_econ.Vertical
+
+let vp = Vertical.default_params
+
+let test_vertical_separation_sustains_rival () =
+  let o = Vertical.run (Rng.create 31) vp Vertical.Separated in
+  Alcotest.(check bool) "rival lives" true o.Vertical.rival_survives;
+  Alcotest.(check bool) "rival serves the high end" true
+    (o.Vertical.rival_share > 0.2);
+  Alcotest.(check bool) "own serves the low end" true (o.Vertical.own_share > 0.05)
+
+let test_vertical_foreclosure_kills_rival () =
+  let o = Vertical.run (Rng.create 31) vp Vertical.Integrated in
+  Alcotest.(check bool) "rival dies" false o.Vertical.rival_survives;
+  check_float "share zero" 0.0 o.Vertical.rival_share
+
+let test_vertical_foreclosure_pays () =
+  let sep = Vertical.run (Rng.create 31) vp Vertical.Separated in
+  let int_ = Vertical.run (Rng.create 31) vp Vertical.Integrated in
+  Alcotest.(check bool) "profit motive" true
+    (int_.Vertical.platform_profit > sep.Vertical.platform_profit);
+  Alcotest.(check bool) "consumers pay for it" true
+    (int_.Vertical.consumer_surplus < sep.Vertical.consumer_surplus)
+
+let test_vertical_rule_separates_tussles () =
+  let sep = Vertical.run (Rng.create 31) vp Vertical.Separated in
+  let rule =
+    Vertical.run (Rng.create 31) vp Vertical.Integrated_nondiscrimination
+  in
+  Alcotest.(check bool) "rival lives under the rule" true
+    rule.Vertical.rival_survives;
+  check_float "surplus preserved" sep.Vertical.consumer_surplus
+    rule.Vertical.consumer_surplus;
+  Alcotest.(check bool) "integration still worth having" true
+    (rule.Vertical.platform_profit > sep.Vertical.platform_profit)
+
+let test_vertical_validation () =
+  Alcotest.check_raises "no consumers" (Invalid_argument "Vertical.run: no consumers")
+    (fun () ->
+      ignore
+        (Vertical.run (Rng.create 1)
+           { vp with Vertical.n_consumers = 0 }
+           Vertical.Separated))
+
+let () =
+  Alcotest.run "econ"
+    [
+      ( "market",
+        [
+          Alcotest.test_case "near salop benchmark" `Quick test_market_near_salop;
+          Alcotest.test_case "more providers cheaper" `Quick
+            test_market_more_providers_cheaper;
+          Alcotest.test_case "lock-in raises price" `Quick
+            test_market_switching_cost_raises_price;
+          Alcotest.test_case "lock-in hurts consumers" `Quick
+            test_market_switching_cost_hurts_consumers;
+          Alcotest.test_case "history length" `Quick test_market_price_history_length;
+          Alcotest.test_case "deterministic" `Quick test_market_deterministic;
+          Alcotest.test_case "validation" `Quick test_market_validation;
+        ] );
+      ( "value-pricing",
+        [
+          Alcotest.test_case "discrimination works unmasked" `Quick
+            test_value_pricing_discriminates_when_unmasked;
+          Alcotest.test_case "masking shifts surplus" `Quick
+            test_value_pricing_masking_shifts_surplus;
+          Alcotest.test_case "sweep monotone" `Quick test_value_pricing_sweep_monotonicity;
+          Alcotest.test_case "validation" `Quick test_value_pricing_validation;
+        ] );
+      ( "investment",
+        [
+          Alcotest.test_case "paper 2x2 hypothesis" `Quick test_investment_paper_hypothesis;
+          Alcotest.test_case "equilibrium verified" `Quick
+            test_investment_equilibrium_is_nash;
+          Alcotest.test_case "cheap deployment" `Quick
+            test_investment_cheap_deployment_needs_less;
+        ] );
+      ( "escalation",
+        [
+          Alcotest.test_case "competition disciplines" `Quick
+            test_escalation_competition_disciplines;
+          Alcotest.test_case "monopoly squeezes" `Quick test_escalation_monopoly_squeezes;
+          Alcotest.test_case "monopoly blocks cheap privacy" `Quick
+            test_escalation_monopoly_blocks_when_privacy_cheap;
+          Alcotest.test_case "revenue accounting" `Quick test_escalation_revenue_accounting;
+        ] );
+      ( "vertical",
+        [
+          Alcotest.test_case "separation sustains rival" `Quick
+            test_vertical_separation_sustains_rival;
+          Alcotest.test_case "foreclosure kills rival" `Quick
+            test_vertical_foreclosure_kills_rival;
+          Alcotest.test_case "foreclosure pays" `Quick test_vertical_foreclosure_pays;
+          Alcotest.test_case "rule separates tussles" `Quick
+            test_vertical_rule_separates_tussles;
+          Alcotest.test_case "validation" `Quick test_vertical_validation;
+        ] );
+      ( "payment",
+        [
+          Alcotest.test_case "pay path" `Quick test_payment_pay_path;
+          Alcotest.test_case "atomic insufficiency" `Quick
+            test_payment_atomic_insufficiency;
+          Alcotest.test_case "escrow capture" `Quick test_payment_escrow_capture;
+          Alcotest.test_case "escrow refund" `Quick test_payment_escrow_refund;
+          Alcotest.test_case "conservation" `Quick test_payment_conservation;
+          Alcotest.test_case "settlement nets" `Quick test_payment_settlement_nets;
+        ] );
+      ( "steganography",
+        [
+          Alcotest.test_case "cheap stego evades" `Quick test_stego_cheap_evades;
+          Alcotest.test_case "dear stego complies" `Quick test_stego_dear_complies;
+          Alcotest.test_case "validation" `Quick test_stego_validation;
+        ] );
+      ( "intermediary",
+        [
+          Alcotest.test_case "naive pick badly" `Quick test_intermediary_naive_pick_badly;
+          Alcotest.test_case "rater recovers surplus" `Quick test_intermediary_rater_recovers;
+          Alcotest.test_case "validation" `Quick test_intermediary_validation;
+        ] );
+    ]

@@ -1,0 +1,74 @@
+(* Tests for the experiment registry: ids, lookup, and the shape checks
+   of the cheap experiments (the full battery runs in the bench
+   harness). *)
+
+module Experiment = Tussle_experiments.Experiment
+module Registry = Tussle_experiments.Registry
+
+let test_registry_complete () =
+  Alcotest.(check int) "twenty-seven experiments" 27 (List.length Registry.all);
+  let ids = List.map (fun e -> e.Experiment.id) Registry.all in
+  Alcotest.(check (list string)) "ids in order"
+    [ "E1"; "E2"; "E3"; "E4"; "E5"; "E6"; "E7"; "E8"; "E9"; "E10"; "E11";
+      "E12"; "E13"; "E14"; "E15"; "E16"; "E17"; "E18"; "E19"; "E20"; "E21";
+      "E22"; "E23"; "E24"; "E25"; "E26"; "E27" ]
+    ids
+
+let test_registry_find () =
+  (match Registry.find "e4" with
+  | Some e -> Alcotest.(check string) "case-insensitive" "E4" e.Experiment.id
+  | None -> Alcotest.fail "lookup failed");
+  Alcotest.(check bool) "unknown" true (Registry.find "E99" = None)
+
+let test_metadata_nonempty () =
+  List.iter
+    (fun e ->
+      Alcotest.(check bool) (e.Experiment.id ^ " title") true
+        (String.length e.Experiment.title > 10);
+      Alcotest.(check bool) (e.Experiment.id ^ " claim") true
+        (String.length e.Experiment.paper_claim > 40))
+    Registry.all
+
+(* shape checks of the fast experiments (sub-second each) *)
+let shape_test id () =
+  match Registry.find id with
+  | None -> Alcotest.failf "missing %s" id
+  | Some e ->
+    let _body, held = e.Experiment.run () in
+    Alcotest.(check bool) (id ^ " shape holds") true held
+
+let fast_ids =
+  [ "E4"; "E6"; "E7"; "E8"; "E11"; "E14"; "E15"; "E16"; "E18"; "E19"; "E20";
+    "E21"; "E22"; "E23"; "E24"; "E25"; "E26"; "E27" ]
+
+let test_render_wraps () =
+  match Registry.find "E6" with
+  | None -> Alcotest.fail "missing E6"
+  | Some e ->
+    let body, _ = Experiment.render e in
+    Alcotest.(check bool) "has header" true
+      (String.length body > 0
+      && String.sub body 0 5 = "## E6");
+    Alcotest.(check bool) "has shape line" true
+      (let needle = "shape check:" in
+       let n = String.length body and m = String.length needle in
+       let rec search i =
+         i + m <= n && (String.sub body i m = needle || search (i + 1))
+       in
+       search 0)
+
+let () =
+  Alcotest.run "experiments"
+    [
+      ( "registry",
+        [
+          Alcotest.test_case "complete" `Quick test_registry_complete;
+          Alcotest.test_case "find" `Quick test_registry_find;
+          Alcotest.test_case "metadata" `Quick test_metadata_nonempty;
+          Alcotest.test_case "render wraps" `Quick test_render_wraps;
+        ] );
+      ( "shape-checks",
+        List.map
+          (fun id -> Alcotest.test_case (id ^ " holds") `Slow (shape_test id))
+          fast_ids );
+    ]

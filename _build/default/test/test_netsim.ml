@@ -1,0 +1,857 @@
+(* Tests for tussle.netsim: engine, packet, link, topology, middlebox,
+   net, traffic. *)
+
+module Rng = Tussle_prelude.Rng
+module Graph = Tussle_prelude.Graph
+module Engine = Tussle_netsim.Engine
+module Packet = Tussle_netsim.Packet
+module Link = Tussle_netsim.Link
+module Topology = Tussle_netsim.Topology
+module Middlebox = Tussle_netsim.Middlebox
+module Net = Tussle_netsim.Net
+module Traffic = Tussle_netsim.Traffic
+
+let check_float = Alcotest.(check (float 1e-9))
+
+(* ---------- Engine ---------- *)
+
+let test_engine_order () =
+  let e = Engine.create () in
+  let log = ref [] in
+  ignore (Engine.schedule e 2.0 (fun _ -> log := 2 :: !log));
+  ignore (Engine.schedule e 1.0 (fun _ -> log := 1 :: !log));
+  ignore (Engine.schedule e 3.0 (fun _ -> log := 3 :: !log));
+  Engine.run e;
+  Alcotest.(check (list int)) "time order" [ 1; 2; 3 ] (List.rev !log);
+  check_float "clock at last" 3.0 (Engine.now e)
+
+let test_engine_same_time_fifo () =
+  let e = Engine.create () in
+  let log = ref [] in
+  ignore (Engine.schedule e 1.0 (fun _ -> log := "a" :: !log));
+  ignore (Engine.schedule e 1.0 (fun _ -> log := "b" :: !log));
+  Engine.run e;
+  Alcotest.(check (list string)) "fifo" [ "a"; "b" ] (List.rev !log)
+
+let test_engine_cascade () =
+  let e = Engine.create () in
+  let count = ref 0 in
+  let rec tick engine =
+    incr count;
+    if !count < 5 then ignore (Engine.schedule_after engine 1.0 tick)
+  in
+  ignore (Engine.schedule e 0.0 tick);
+  Engine.run e;
+  Alcotest.(check int) "cascaded" 5 !count;
+  check_float "final time" 4.0 (Engine.now e)
+
+let test_engine_cancel () =
+  let e = Engine.create () in
+  let fired = ref false in
+  let id = Engine.schedule e 1.0 (fun _ -> fired := true) in
+  Engine.cancel e id;
+  Engine.run e;
+  Alcotest.(check bool) "cancelled" false !fired
+
+let test_engine_past_raises () =
+  let e = Engine.create () in
+  ignore (Engine.schedule e 5.0 (fun _ -> ()));
+  Engine.run e;
+  Alcotest.check_raises "past" (Invalid_argument "Engine.schedule: time in the past")
+    (fun () -> ignore (Engine.schedule e 1.0 (fun _ -> ())))
+
+let test_engine_until () =
+  let e = Engine.create () in
+  let log = ref [] in
+  ignore (Engine.schedule e 1.0 (fun _ -> log := 1 :: !log));
+  ignore (Engine.schedule e 10.0 (fun _ -> log := 10 :: !log));
+  Engine.run ~until:5.0 e;
+  Alcotest.(check (list int)) "only early" [ 1 ] (List.rev !log);
+  check_float "clock at horizon" 5.0 (Engine.now e);
+  Alcotest.(check int) "one pending" 1 (Engine.pending e)
+
+let test_engine_step () =
+  let e = Engine.create () in
+  Alcotest.(check bool) "empty step" false (Engine.step e);
+  ignore (Engine.schedule e 1.0 (fun _ -> ()));
+  Alcotest.(check bool) "one step" true (Engine.step e);
+  Alcotest.(check int) "executed" 1 (Engine.events_executed e)
+
+(* ---------- Packet ---------- *)
+
+let test_packet_defaults () =
+  let p = Packet.make ~id:0 ~src:1 ~dst:2 ~created:0.0 () in
+  Alcotest.(check int) "web port" 80 p.Packet.port;
+  Alcotest.(check int) "visible port" 80 (Packet.visible_port p);
+  Alcotest.(check bool) "app visible" true (Packet.visible_app p = Some Packet.Web)
+
+let test_packet_tunneled_hides () =
+  let p =
+    Packet.make ~app:Packet.File_sharing ~tunneled:true ~id:0 ~src:1 ~dst:2
+      ~created:0.0 ()
+  in
+  Alcotest.(check int) "masked port" 443 (Packet.visible_port p);
+  Alcotest.(check bool) "app hidden" true (Packet.visible_app p = None)
+
+let test_packet_encrypted_hides_app () =
+  let p =
+    Packet.make ~app:Packet.Voip ~encrypted:true ~id:0 ~src:1 ~dst:2
+      ~created:0.0 ()
+  in
+  Alcotest.(check bool) "app hidden" true (Packet.visible_app p = None);
+  Alcotest.(check int) "port still visible" 5060 (Packet.visible_port p)
+
+let test_packet_path () =
+  let p = Packet.make ~id:0 ~src:0 ~dst:3 ~created:0.0 () in
+  Packet.record_hop p 0;
+  Packet.record_hop p 1;
+  Packet.record_hop p 3;
+  Alcotest.(check (list int)) "path order" [ 0; 1; 3 ] (Packet.path p)
+
+let test_packet_bad_size () =
+  Alcotest.check_raises "size" (Invalid_argument "Packet.make: non-positive size")
+    (fun () ->
+      ignore (Packet.make ~size_bytes:0 ~id:0 ~src:0 ~dst:1 ~created:0.0 ()))
+
+(* ---------- Link ---------- *)
+
+let test_link_delay () =
+  let l = Link.make ~latency:0.01 ~bandwidth_bps:8000.0 () in
+  (* 1000 bytes = 8000 bits = 1 second at 8 kb/s *)
+  check_float "tx delay" 1.0 (Link.transmission_delay l 1000);
+  match Link.try_enqueue l ~now:0.0 1000 with
+  | `Sent arrival -> check_float "arrival" 1.01 arrival
+  | `Dropped -> Alcotest.fail "dropped"
+
+let test_link_queueing () =
+  let l = Link.make ~latency:0.01 ~bandwidth_bps:8000.0 () in
+  ignore (Link.try_enqueue l ~now:0.0 1000);
+  (* second packet waits for the first to serialize *)
+  match Link.try_enqueue l ~now:0.0 1000 with
+  | `Sent arrival -> check_float "queued arrival" 2.01 arrival
+  | `Dropped -> Alcotest.fail "dropped"
+
+let test_link_drop_when_full () =
+  let l = Link.make ~queue_capacity:2 ~latency:0.01 ~bandwidth_bps:8000.0 () in
+  ignore (Link.try_enqueue l ~now:0.0 1000);
+  ignore (Link.try_enqueue l ~now:0.0 1000);
+  (match Link.try_enqueue l ~now:0.0 1000 with
+  | `Dropped -> ()
+  | `Sent _ -> Alcotest.fail "should drop");
+  Alcotest.(check int) "dropped count" 1 (Link.packets_dropped l);
+  Alcotest.(check int) "sent count" 2 (Link.packets_sent l)
+
+let test_link_drains () =
+  let l = Link.make ~queue_capacity:2 ~latency:0.01 ~bandwidth_bps:8000.0 () in
+  ignore (Link.try_enqueue l ~now:0.0 1000);
+  ignore (Link.try_enqueue l ~now:0.0 1000);
+  Alcotest.(check int) "queued now" 2 (Link.queued l ~now:0.5);
+  (* after both serialize (2s), the queue is empty again *)
+  Alcotest.(check int) "drained" 0 (Link.queued l ~now:2.5);
+  match Link.try_enqueue l ~now:2.5 1000 with
+  | `Sent _ -> ()
+  | `Dropped -> Alcotest.fail "should accept after drain"
+
+let test_link_utilization () =
+  let l = Link.make ~latency:0.01 ~bandwidth_bps:8000.0 () in
+  ignore (Link.try_enqueue l ~now:0.0 1000);
+  let u = Link.utilization l ~now:2.0 in
+  check_float "half busy" 0.5 u
+
+(* ---------- Topology ---------- *)
+
+let test_topology_line () =
+  let g = Topology.line 5 in
+  Alcotest.(check int) "nodes" 5 (Graph.node_count g);
+  Alcotest.(check int) "edges" 8 (Graph.edge_count g);
+  Alcotest.(check bool) "connected" true (Graph.is_connected g)
+
+let test_topology_ring () =
+  let g = Topology.ring 5 in
+  Alcotest.(check int) "edges" 10 (Graph.edge_count g)
+
+let test_topology_star () =
+  let g = Topology.star 6 in
+  Alcotest.(check int) "hub degree" 5 (List.length (Graph.succ g 0));
+  Alcotest.(check bool) "connected" true (Graph.is_connected g)
+
+let test_topology_grid () =
+  let g = Topology.grid 3 4 in
+  Alcotest.(check int) "nodes" 12 (Graph.node_count g);
+  (* 3*3 horizontal + 2*4 vertical = 17 undirected = 34 directed *)
+  Alcotest.(check int) "edges" 34 (Graph.edge_count g);
+  Alcotest.(check bool) "connected" true (Graph.is_connected g)
+
+let test_topology_tree () =
+  let g = Topology.tree ~arity:2 ~depth:3 () in
+  Alcotest.(check int) "nodes" 15 (Graph.node_count g);
+  Alcotest.(check bool) "connected" true (Graph.is_connected g)
+
+let test_topology_barabasi_albert () =
+  let rng = Rng.create 4 in
+  let g = Topology.barabasi_albert rng 50 2 in
+  Alcotest.(check int) "nodes" 50 (Graph.node_count g);
+  Alcotest.(check bool) "connected" true (Graph.is_connected g)
+
+let test_topology_erdos_renyi_dense () =
+  let rng = Rng.create 5 in
+  let g = Topology.erdos_renyi rng 20 1.0 in
+  (* p=1: complete graph *)
+  Alcotest.(check int) "edges" (20 * 19) (Graph.edge_count g)
+
+let test_topology_two_tier () =
+  let rng = Rng.create 6 in
+  let tt =
+    Topology.two_tier rng ~transits:3 ~accesses:4 ~hosts_per_access:2
+      ~multihoming:2
+  in
+  Alcotest.(check int) "transits" 3 (List.length tt.Topology.transits);
+  Alcotest.(check int) "accesses" 4 (List.length tt.Topology.accesses);
+  Alcotest.(check int) "hosts" 8 (List.length tt.Topology.hosts);
+  Alcotest.(check bool) "connected" true (Graph.is_connected tt.Topology.graph);
+  List.iter
+    (fun h ->
+      let a = tt.Topology.access_of_host h in
+      Alcotest.(check bool) "access valid" true (List.mem a tt.Topology.accesses))
+    tt.Topology.hosts;
+  List.iter
+    (fun a ->
+      Alcotest.(check int) "multihomed" 2
+        (List.length (tt.Topology.transit_of_access a)))
+    tt.Topology.accesses
+
+let test_topology_two_tier_relationships () =
+  let rng = Rng.create 7 in
+  let tt =
+    Topology.two_tier rng ~transits:2 ~accesses:2 ~hosts_per_access:1
+      ~multihoming:1
+  in
+  (* transit-transit edges are peer *)
+  (match Graph.find_edge tt.Topology.graph 0 1 with
+  | Some (_, Topology.Peer_with) -> ()
+  | Some _ -> Alcotest.fail "expected peer edge"
+  | None -> Alcotest.fail "missing backbone edge");
+  (* access -> transit is customer_of *)
+  let a = List.hd tt.Topology.accesses in
+  let t = List.hd (tt.Topology.transit_of_access a) in
+  match Graph.find_edge tt.Topology.graph a t with
+  | Some (_, Topology.Customer_of) -> ()
+  | Some _ -> Alcotest.fail "expected customer edge"
+  | None -> Alcotest.fail "missing access-transit edge"
+
+(* ---------- Middlebox ---------- *)
+
+let mk_packet ?(app = Packet.Web) ?(encrypted = false) ?(tunneled = false)
+    ?(qos = Packet.Best_effort) ?source_route id =
+  Packet.make ~app ~encrypted ~tunneled ~qos ?source_route ~id ~src:0 ~dst:9
+    ~created:0.0 ()
+
+let test_middlebox_port_filter () =
+  let mb = Middlebox.port_filter ~blocked:[ 6881 ] () in
+  let p = mk_packet ~app:Packet.File_sharing 0 in
+  Alcotest.(check bool) "drops" true (Middlebox.decide mb p = Middlebox.Drop);
+  let masked = mk_packet ~app:Packet.File_sharing ~tunneled:true 1 in
+  Alcotest.(check bool) "tunnel defeats" true
+    (Middlebox.decide mb masked = Middlebox.Forward);
+  Alcotest.(check int) "counters" 1 (Middlebox.dropped mb);
+  Alcotest.(check int) "inspected" 2 (Middlebox.inspected mb)
+
+let test_middlebox_app_filter () =
+  let mb = Middlebox.app_filter ~blocked:[ Packet.File_sharing ] () in
+  let plain = mk_packet ~app:Packet.File_sharing 0 in
+  Alcotest.(check bool) "drops plain" true (Middlebox.decide mb plain = Middlebox.Drop);
+  (* DPI sees through a plain tunnel?  No: visible_app is None when
+     tunneled, so the app filter cannot match. *)
+  let tunneled = mk_packet ~app:Packet.File_sharing ~tunneled:true 1 in
+  Alcotest.(check bool) "tunnel hides app" true
+    (Middlebox.decide mb tunneled = Middlebox.Forward);
+  let enc = mk_packet ~app:Packet.File_sharing ~encrypted:true 2 in
+  Alcotest.(check bool) "encryption hides app" true
+    (Middlebox.decide mb enc = Middlebox.Forward)
+
+let test_middlebox_trust_firewall () =
+  let mb = Middlebox.trust_firewall ~admits:(fun ~src ~dst:_ -> src <> 0) () in
+  Alcotest.(check bool) "blocks untrusted" true
+    (Middlebox.decide mb (mk_packet 0) = Middlebox.Drop);
+  let p = Packet.make ~id:1 ~src:5 ~dst:9 ~created:0.0 () in
+  Alcotest.(check bool) "admits trusted" true
+    (Middlebox.decide mb p = Middlebox.Forward)
+
+let test_middlebox_wiretap () =
+  let mb = Middlebox.wiretap () in
+  Alcotest.(check bool) "taps" true (Middlebox.decide mb (mk_packet 0) = Middlebox.Tap);
+  Alcotest.(check bool) "covert" false (Middlebox.reveals_presence mb);
+  Alcotest.(check int) "tap count" 1 (Middlebox.tapped mb)
+
+let test_middlebox_qos_stripper () =
+  let mb = Middlebox.qos_stripper ~honor:(fun _ -> false) () in
+  let premium = mk_packet ~qos:Packet.Premium 0 in
+  Alcotest.(check bool) "degrades" true
+    (Middlebox.decide mb premium = Middlebox.Degrade);
+  let be = mk_packet 1 in
+  Alcotest.(check bool) "best effort untouched" true
+    (Middlebox.decide mb be = Middlebox.Forward)
+
+(* ---------- Net ---------- *)
+
+(* static forwarding along a line 0-1-2-3 *)
+let line_links n = Topology.to_links (Topology.line n)
+
+let line_forwarding ~node ~target _p =
+  if target > node then Some (node + 1)
+  else if target < node then Some (node - 1)
+  else None
+
+let run_line_packet ?(middlebox : (int * Middlebox.t) option) ?source_route () =
+  let net = Net.create (line_links 4) line_forwarding in
+  (match middlebox with
+  | Some (node, mb) -> Net.add_middlebox net node mb
+  | None -> ());
+  let engine = Engine.create () in
+  let p = Packet.make ?source_route ~id:0 ~src:0 ~dst:3 ~created:0.0 () in
+  Net.inject net engine p;
+  Engine.run engine;
+  (net, p)
+
+let test_net_delivery () =
+  let net, p = run_line_packet () in
+  Alcotest.(check int) "delivered" 1 (Net.delivered_count net);
+  Alcotest.(check (list int)) "route" [ 0; 1; 2; 3 ] (Packet.path p);
+  match Net.outcomes net with
+  | [ (_, Net.Delivered d) ] ->
+    Alcotest.(check bool) "latency positive" true (d.latency > 0.0)
+  | _ -> Alcotest.fail "expected one delivery"
+
+let test_net_filter_drop () =
+  let mb = Middlebox.port_filter ~blocked:[ 80 ] () in
+  let net, _ = run_line_packet ~middlebox:(1, mb) () in
+  Alcotest.(check int) "lost" 1 (Net.lost_count net);
+  match Net.outcomes net with
+  | [ (_, Net.Lost (Net.Filtered (name, node))) ] ->
+    Alcotest.(check string) "who" "port-filter" name;
+    Alcotest.(check int) "where" 1 node
+  | _ -> Alcotest.fail "expected filtered loss"
+
+let test_net_no_route () =
+  let links = line_links 4 in
+  let net = Net.create links (fun ~node:_ ~target:_ _ -> None) in
+  let engine = Engine.create () in
+  let p = Packet.make ~id:0 ~src:0 ~dst:3 ~created:0.0 () in
+  Net.inject net engine p;
+  Engine.run engine;
+  match Net.outcomes net with
+  | [ (_, Net.Lost Net.No_route) ] -> ()
+  | _ -> Alcotest.fail "expected no-route loss"
+
+let test_net_source_route_waypoint () =
+  (* waypoint forces the packet out to node 2 then back to 1?  On a line
+     from 0 to 3 a waypoint at 2 is on the path; use waypoint 3 with dst 1
+     to force an overshoot instead. *)
+  let net = Net.create (line_links 4) line_forwarding in
+  let engine = Engine.create () in
+  let p =
+    Packet.make ~source_route:[ 3 ] ~id:0 ~src:0 ~dst:1 ~created:0.0 ()
+  in
+  Net.inject net engine p;
+  Engine.run engine;
+  Alcotest.(check int) "delivered" 1 (Net.delivered_count net);
+  Alcotest.(check (list int)) "went via 3" [ 0; 1; 2; 3; 2; 1 ] (Packet.path p)
+
+let test_net_ttl () =
+  (* forwarding loop between 0 and 1 *)
+  let g = Graph.create 2 in
+  Graph.add_undirected g 0 1
+    (Link.make ~latency:0.001 ~bandwidth_bps:1e9 ());
+  let net =
+    Net.create ~ttl:8 g (fun ~node ~target:_ _ -> Some (1 - node))
+  in
+  let engine = Engine.create () in
+  (* dst 5 is never reached; TTL must kill it.  Use dst outside graph is
+     invalid; use dst 1 but forwarding bounces: node 1 forwards to 0... *)
+  let p = Packet.make ~id:0 ~src:0 ~dst:1 ~created:0.0 () in
+  (* make node 1 bounce by source_route forcing an unreachable waypoint *)
+  let p = { p with Packet.source_route = [ 0; 1; 0; 1; 0; 1; 0; 1; 0 ] } in
+  Net.inject net engine p;
+  Engine.run engine;
+  match Net.outcomes net with
+  | [ (_, Net.Lost Net.Ttl_exceeded) ] -> ()
+  | [ (_, Net.Delivered _) ] -> Alcotest.fail "should not deliver"
+  | _ -> Alcotest.fail "expected ttl loss"
+
+let test_net_queue_loss () =
+  (* one slow link, many simultaneous packets: some must drop *)
+  let g = Graph.create 2 in
+  Graph.add_edge g 0 1
+    (Link.make ~queue_capacity:4 ~latency:0.001 ~bandwidth_bps:8000.0 ());
+  let net = Net.create g (fun ~node ~target _ -> if node = 0 && target = 1 then Some 1 else None) in
+  let engine = Engine.create () in
+  for i = 0 to 9 do
+    Net.inject net engine (Packet.make ~id:i ~src:0 ~dst:1 ~created:0.0 ())
+  done;
+  Engine.run engine;
+  Alcotest.(check int) "completed" 10
+    (Net.delivered_count net + Net.lost_count net);
+  Alcotest.(check bool) "some dropped" true (Net.lost_count net > 0);
+  Alcotest.(check bool) "some delivered" true (Net.delivered_count net >= 4);
+  match Net.losses_by_reason net with
+  | [ ("queue-full", n) ] -> Alcotest.(check bool) "reason count" true (n > 0)
+  | _ -> Alcotest.fail "expected queue-full losses"
+
+let test_net_degraded_flag () =
+  let mb = Middlebox.qos_stripper ~honor:(fun _ -> false) () in
+  let net = Net.create (line_links 4) line_forwarding in
+  Net.add_middlebox net 1 mb;
+  let engine = Engine.create () in
+  let p =
+    Packet.make ~qos:Packet.Premium ~id:0 ~src:0 ~dst:3 ~created:0.0 ()
+  in
+  Net.inject net engine p;
+  Engine.run engine;
+  match Net.outcomes net with
+  | [ (_, Net.Delivered d) ] -> Alcotest.(check bool) "degraded" true d.degraded
+  | _ -> Alcotest.fail "expected delivery"
+
+let test_net_duplicate_id_rejected () =
+  let net = Net.create (line_links 4) line_forwarding in
+  let engine = Engine.create () in
+  let p = Packet.make ~id:7 ~src:0 ~dst:3 ~created:0.0 () in
+  Net.inject net engine p;
+  Alcotest.check_raises "dup" (Invalid_argument "Net.inject: duplicate packet id in flight")
+    (fun () ->
+      Net.inject net engine (Packet.make ~id:7 ~src:0 ~dst:3 ~created:0.0 ()))
+
+(* ---------- Traffic ---------- *)
+
+let test_traffic_poisson_count () =
+  let rng = Rng.create 8 in
+  let gen = Traffic.create rng in
+  let net = Net.create (line_links 4) line_forwarding in
+  let engine = Engine.create () in
+  Traffic.poisson_flow gen engine net ~rate:100.0 ~count:50
+    ~make:(fun g ~created ->
+      Traffic.next_packet g ~src:0 ~dst:3 ~created ());
+  Engine.run engine;
+  Alcotest.(check int) "all delivered" 50 (Net.delivered_count net)
+
+let test_traffic_constant_spacing () =
+  let rng = Rng.create 9 in
+  let gen = Traffic.create rng in
+  let net = Net.create (line_links 2) line_forwarding in
+  let engine = Engine.create () in
+  Traffic.constant_flow gen engine net ~interval:1.0 ~count:3
+    ~make:(fun g ~created -> Traffic.next_packet g ~src:0 ~dst:1 ~created ());
+  Engine.run engine;
+  let created =
+    List.map (fun (p, _) -> p.Packet.created) (Net.outcomes net)
+  in
+  Alcotest.(check (list (float 1e-9))) "spaced" [ 0.0; 1.0; 2.0 ]
+    (List.sort compare created)
+
+let test_traffic_fresh_ids () =
+  let gen = Traffic.create (Rng.create 1) in
+  Alcotest.(check int) "id0" 0 (Traffic.fresh_id gen);
+  Alcotest.(check int) "id1" 1 (Traffic.fresh_id gen)
+
+
+(* ---------- Congestion ---------- *)
+
+module Congestion = Tussle_netsim.Congestion
+
+let test_congestion_jain () =
+  check_float "equal is fair" 1.0 (Congestion.jain_index [| 2.0; 2.0; 2.0 |]);
+  Alcotest.(check bool) "skew unfair" true
+    (Congestion.jain_index [| 10.0; 0.1; 0.1 |] < 0.5);
+  check_float "all zero" 0.0 (Congestion.jain_index [| 0.0; 0.0 |])
+
+let test_congestion_max_min () =
+  let a = Congestion.max_min_allocation [| 5.0; 50.0; 50.0 |] 60.0 in
+  check_float "small demand met" 5.0 a.(0);
+  check_float "rest split" 27.5 a.(1);
+  check_float "rest split 2" 27.5 a.(2);
+  (* under-loaded: everyone gets their demand *)
+  let b = Congestion.max_min_allocation [| 1.0; 2.0 |] 60.0 in
+  check_float "demand met 1" 1.0 b.(0);
+  check_float "demand met 2" 2.0 b.(1)
+
+let test_congestion_all_honest () =
+  let cfg = Congestion.default_config ~kinds:(Array.make 8 Congestion.Compliant) in
+  let r = Congestion.run cfg Congestion.Fifo in
+  Alcotest.(check bool) "fair" true (r.Congestion.jain > 0.95);
+  Alcotest.(check bool) "utilized" true (r.Congestion.utilization > 0.6);
+  Alcotest.(check bool) "not overdriven" true (r.Congestion.utilization <= 1.0 +. 1e-9)
+
+let test_congestion_cheater_starves_fifo () =
+  let kinds = Array.make 8 Congestion.Compliant in
+  kinds.(0) <- Congestion.Aggressive;
+  let cfg = Congestion.default_config ~kinds in
+  let r = Congestion.run cfg Congestion.Fifo in
+  Alcotest.(check bool) "cheater dominates" true
+    (r.Congestion.mean_aggressive > 10.0 *. r.Congestion.mean_compliant)
+
+let test_congestion_fq_protects () =
+  let kinds = Array.make 8 Congestion.Compliant in
+  kinds.(0) <- Congestion.Aggressive;
+  let cfg = Congestion.default_config ~kinds in
+  let fifo = Congestion.run cfg Congestion.Fifo in
+  let fq = Congestion.run cfg Congestion.Fair_queueing in
+  Alcotest.(check bool) "honest do better under fq" true
+    (fq.Congestion.mean_compliant > 5.0 *. fifo.Congestion.mean_compliant);
+  Alcotest.(check bool) "cheater capped vs fifo" true
+    (fq.Congestion.mean_aggressive < fifo.Congestion.mean_aggressive)
+
+let test_congestion_validation () =
+  Alcotest.check_raises "no flows" (Invalid_argument "Congestion.run: no flows")
+    (fun () ->
+      ignore
+        (Congestion.run (Congestion.default_config ~kinds:[||]) Congestion.Fifo))
+
+
+(* ---------- Cache ---------- *)
+
+module Cache = Tussle_netsim.Cache
+
+let test_cache_hit_miss () =
+  let c = Cache.create ~capacity:2 ~app:Packet.Web () in
+  Alcotest.(check bool) "cold miss" false (Cache.lookup c ~key:1);
+  Cache.insert c ~key:1;
+  Alcotest.(check bool) "warm hit" true (Cache.lookup c ~key:1);
+  Alcotest.(check int) "hits" 1 (Cache.hits c);
+  Alcotest.(check int) "misses" 1 (Cache.misses c);
+  check_float "ratio" 0.5 (Cache.hit_ratio c)
+
+let test_cache_lru_eviction () =
+  let c = Cache.create ~capacity:2 ~app:Packet.Web () in
+  Cache.insert c ~key:1;
+  Cache.insert c ~key:2;
+  ignore (Cache.lookup c ~key:1);
+  (* 2 is now least recently used *)
+  Cache.insert c ~key:3;
+  Alcotest.(check int) "size bounded" 2 (Cache.size c);
+  Alcotest.(check bool) "1 kept" true (Cache.lookup c ~key:1);
+  Alcotest.(check bool) "2 evicted" false (Cache.lookup c ~key:2)
+
+let test_cache_serves_semantics () =
+  let c = Cache.create ~app:Packet.Web () in
+  let web id = Packet.make ~app:Packet.Web ~port:8001 ~id ~src:0 ~dst:9 ~created:0.0 () in
+  Alcotest.(check bool) "first fetch misses" false (Cache.serves c (web 0));
+  Alcotest.(check bool) "second fetch hits" true (Cache.serves c (web 1));
+  (* wrong application: never served *)
+  let game =
+    Packet.make ~app:Packet.Game ~port:8001 ~id:2 ~src:0 ~dst:9 ~created:0.0 ()
+  in
+  Alcotest.(check bool) "new app ignored" false (Cache.serves c game);
+  Alcotest.(check bool) "still ignored" false (Cache.serves c game);
+  (* encrypted: cannot serve *)
+  let enc =
+    Packet.make ~app:Packet.Web ~encrypted:true ~port:8001 ~id:3 ~src:0 ~dst:9
+      ~created:0.0 ()
+  in
+  Alcotest.(check bool) "encrypted unserved" false (Cache.serves c enc)
+
+(* ---------- Diagnosis ---------- *)
+
+module Diagnosis = Tussle_netsim.Diagnosis
+
+let diag_path = [ 0; 1; 2; 3; 4 ]
+
+let test_diagnosis_clean () =
+  let probe _ = Diagnosis.Reached in
+  let r = Diagnosis.localize ~probe ~path:diag_path in
+  Alcotest.(check bool) "clean" true (r.Diagnosis.verdict = Diagnosis.Clean);
+  Alcotest.(check int) "one probe" 1 r.Diagnosis.probes_used
+
+let test_diagnosis_confession () =
+  let probe target =
+    if target >= 2 then Diagnosis.Reported_block ("filter", 2)
+    else Diagnosis.Reached
+  in
+  let r = Diagnosis.localize ~probe ~path:diag_path in
+  Alcotest.(check bool) "exact" true
+    (r.Diagnosis.verdict = Diagnosis.Blocked_at ("filter", 2));
+  Alcotest.(check int) "one probe" 1 r.Diagnosis.probes_used
+
+let test_diagnosis_covert_bracket () =
+  let probe target = if target >= 3 then Diagnosis.Lost else Diagnosis.Reached in
+  let r = Diagnosis.localize ~probe ~path:diag_path in
+  Alcotest.(check bool) "bracketed" true
+    (r.Diagnosis.verdict = Diagnosis.Blocked_between (2, 3));
+  Alcotest.(check bool) "cost more probes" true (r.Diagnosis.probes_used > 1)
+
+let test_diagnosis_dead_first_hop () =
+  let probe target = if target = 0 then Diagnosis.Reached else Diagnosis.Lost in
+  let r = Diagnosis.localize ~probe ~path:diag_path in
+  Alcotest.(check bool) "dead at start" true
+    (r.Diagnosis.verdict = Diagnosis.Unreachable_at_start)
+
+let test_diagnosis_last_hop () =
+  (* only the destination is silent: failure on the last hop *)
+  let probe target = if target = 4 then Diagnosis.Lost else Diagnosis.Reached in
+  let r = Diagnosis.localize ~probe ~path:diag_path in
+  Alcotest.(check bool) "last hop" true
+    (r.Diagnosis.verdict = Diagnosis.Blocked_between (3, 4))
+
+let test_diagnosis_short_path () =
+  Alcotest.check_raises "short" (Invalid_argument "Diagnosis.localize: path too short")
+    (fun () ->
+      ignore (Diagnosis.localize ~probe:(fun _ -> Diagnosis.Reached) ~path:[ 1 ]))
+
+
+(* ---------- NAT ---------- *)
+
+module Nat = Tussle_netsim.Nat
+
+let nat_fixture () = Nat.create ~public:1 ~privates:[ 10; 11; 12 ]
+
+let test_nat_outbound_rewrite () =
+  let nat = nat_fixture () in
+  let p = Packet.make ~id:0 ~src:10 ~dst:50 ~created:0.0 () in
+  let q = Nat.translate_out nat p in
+  Alcotest.(check int) "public src" 1 q.Packet.src;
+  Alcotest.(check bool) "port remapped" true (q.Packet.port <> p.Packet.port);
+  Alcotest.(check int) "dst untouched" 50 q.Packet.dst;
+  (* same flow reuses the binding *)
+  let q2 = Nat.translate_out nat (Packet.make ~id:1 ~src:10 ~dst:51 ~created:0.0 ()) in
+  Alcotest.(check int) "stable binding" q.Packet.port q2.Packet.port
+
+let test_nat_reply_comes_back () =
+  let nat = nat_fixture () in
+  let out = Nat.translate_out nat (Packet.make ~id:0 ~src:11 ~dst:50 ~created:0.0 ()) in
+  let reply =
+    Packet.make ~port:out.Packet.port ~id:1 ~src:50 ~dst:1 ~created:0.0 ()
+  in
+  (match Nat.translate_in nat reply with
+  | Some r ->
+    Alcotest.(check int) "back to the host" 11 r.Packet.dst;
+    Alcotest.(check int) "original port" 80 r.Packet.port
+  | None -> Alcotest.fail "reply should map");
+  Alcotest.(check int) "no drops" 0 (Nat.inbound_drops nat)
+
+let test_nat_unsolicited_dies () =
+  let nat = nat_fixture () in
+  let call = Packet.make ~port:5555 ~id:0 ~src:60 ~dst:1 ~created:0.0 () in
+  Alcotest.(check bool) "dropped" true (Nat.translate_in nat call = None);
+  Alcotest.(check int) "counted" 1 (Nat.inbound_drops nat)
+
+let test_nat_port_forward () =
+  let nat = nat_fixture () in
+  Nat.add_port_forward nat ~public_port:8080 ~host:12 ~port:80;
+  let call = Packet.make ~port:8080 ~id:0 ~src:60 ~dst:1 ~created:0.0 () in
+  match Nat.translate_in nat call with
+  | Some r ->
+    Alcotest.(check int) "forwarded" 12 r.Packet.dst;
+    Alcotest.(check int) "service port" 80 r.Packet.port
+  | None -> Alcotest.fail "forward should map"
+
+let test_nat_validation () =
+  let nat = nat_fixture () in
+  Alcotest.check_raises "outsider"
+    (Invalid_argument "Nat.translate_out: source not behind this NAT")
+    (fun () ->
+      ignore (Nat.translate_out nat (Packet.make ~id:0 ~src:99 ~dst:1 ~created:0.0 ())));
+  Alcotest.check_raises "household"
+    (Invalid_argument "Nat.create: empty household") (fun () ->
+      ignore (Nat.create ~public:1 ~privates:[]))
+
+
+(* ---------- Transport ---------- *)
+
+module Transport = Tussle_netsim.Transport
+
+let direct_forwarding ~node ~target _ = if target <> node then Some target else None
+
+let single_link_net () =
+  let g = Graph.create 2 in
+  Graph.add_undirected g 0 1
+    (Link.make ~queue_capacity:16 ~latency:0.005 ~bandwidth_bps:2e6 ());
+  Net.create g direct_forwarding
+
+(* two senders (0, 1) into a shared bottleneck 2 -> 3 *)
+let shared_bottleneck_net () =
+  let g = Graph.create 4 in
+  let fast () = Link.make ~queue_capacity:64 ~latency:0.001 ~bandwidth_bps:1e8 () in
+  Graph.add_undirected g 0 2 (fast ());
+  Graph.add_undirected g 1 2 (fast ());
+  Graph.add_undirected g 2 3
+    (Link.make ~queue_capacity:8 ~latency:0.005 ~bandwidth_bps:2e6 ());
+  let forwarding ~node ~target _ =
+    if node = target then None
+    else if node = 3 || target = node then None
+    else if node = 2 then Some target
+    else if target = node then None
+    else if target = 3 || target = 2 then Some 2
+    else Some target
+  in
+  Net.create g forwarding
+
+let test_transport_completes () =
+  let net = single_link_net () in
+  let engine = Engine.create () in
+  let gen = Traffic.create (Rng.create 1) in
+  let c = Transport.start engine net gen ~src:0 ~dst:1 ~total_packets:200 in
+  Engine.run ~until:120.0 engine;
+  Alcotest.(check bool) "completed" true (Transport.completed c);
+  Alcotest.(check int) "all acked" 200 (Transport.acked c)
+
+let test_transport_losses_recovered () =
+  (* tiny queue forces drops; every drop must be retransmitted and the
+     transfer must still complete *)
+  let g = Graph.create 2 in
+  Graph.add_undirected g 0 1
+    (Link.make ~queue_capacity:4 ~latency:0.005 ~bandwidth_bps:1e6 ());
+  let net = Net.create g direct_forwarding in
+  let engine = Engine.create () in
+  let gen = Traffic.create (Rng.create 2) in
+  let c = Transport.start ~initial_window:32.0 engine net gen ~src:0 ~dst:1
+      ~total_packets:100
+  in
+  Engine.run ~until:120.0 engine;
+  Alcotest.(check bool) "losses occurred" true (Transport.losses c > 0);
+  Alcotest.(check bool) "retransmitted" true (Transport.retransmissions c > 0);
+  Alcotest.(check bool) "still completed" true (Transport.completed c)
+
+let test_transport_two_compliant_share () =
+  let net = shared_bottleneck_net () in
+  let engine = Engine.create () in
+  let gen = Traffic.create (Rng.create 3) in
+  let a = Transport.start engine net gen ~src:0 ~dst:3 ~total_packets:100_000 in
+  let b = Transport.start engine net gen ~src:1 ~dst:3 ~total_packets:100_000 in
+  Engine.run ~until:30.0 engine;
+  let ga = Transport.goodput a ~now:30.0 and gb = Transport.goodput b ~now:30.0 in
+  Alcotest.(check bool) "both progress" true (ga > 0.0 && gb > 0.0);
+  let ratio = Float.max ga gb /. Float.min ga gb in
+  Alcotest.(check bool) "roughly fair" true (ratio < 3.0)
+
+let test_transport_aggressive_starves () =
+  let net = shared_bottleneck_net () in
+  let engine = Engine.create () in
+  let gen = Traffic.create (Rng.create 4) in
+  let honest = Transport.start engine net gen ~src:0 ~dst:3 ~total_packets:100_000 in
+  let cheat =
+    Transport.start ~behaviour:Transport.Aggressive engine net gen ~src:1
+      ~dst:3 ~total_packets:100_000
+  in
+  Engine.run ~until:30.0 engine;
+  let gh = Transport.goodput honest ~now:30.0
+  and gc = Transport.goodput cheat ~now:30.0 in
+  Alcotest.(check bool) "cheater dominates" true (gc > 2.0 *. gh)
+
+let test_transport_validation () =
+  let net = single_link_net () in
+  let engine = Engine.create () in
+  let gen = Traffic.create (Rng.create 5) in
+  Alcotest.check_raises "empty transfer"
+    (Invalid_argument "Transport.start: nothing to send") (fun () ->
+      ignore (Transport.start engine net gen ~src:0 ~dst:1 ~total_packets:0))
+
+let () =
+  Alcotest.run "netsim"
+    [
+      ( "engine",
+        [
+          Alcotest.test_case "order" `Quick test_engine_order;
+          Alcotest.test_case "fifo ties" `Quick test_engine_same_time_fifo;
+          Alcotest.test_case "cascade" `Quick test_engine_cascade;
+          Alcotest.test_case "cancel" `Quick test_engine_cancel;
+          Alcotest.test_case "past raises" `Quick test_engine_past_raises;
+          Alcotest.test_case "run until" `Quick test_engine_until;
+          Alcotest.test_case "step" `Quick test_engine_step;
+        ] );
+      ( "packet",
+        [
+          Alcotest.test_case "defaults" `Quick test_packet_defaults;
+          Alcotest.test_case "tunneled hides" `Quick test_packet_tunneled_hides;
+          Alcotest.test_case "encrypted hides app" `Quick test_packet_encrypted_hides_app;
+          Alcotest.test_case "path trace" `Quick test_packet_path;
+          Alcotest.test_case "bad size" `Quick test_packet_bad_size;
+        ] );
+      ( "link",
+        [
+          Alcotest.test_case "delay model" `Quick test_link_delay;
+          Alcotest.test_case "queueing" `Quick test_link_queueing;
+          Alcotest.test_case "drop when full" `Quick test_link_drop_when_full;
+          Alcotest.test_case "drains" `Quick test_link_drains;
+          Alcotest.test_case "utilization" `Quick test_link_utilization;
+        ] );
+      ( "topology",
+        [
+          Alcotest.test_case "line" `Quick test_topology_line;
+          Alcotest.test_case "ring" `Quick test_topology_ring;
+          Alcotest.test_case "star" `Quick test_topology_star;
+          Alcotest.test_case "grid" `Quick test_topology_grid;
+          Alcotest.test_case "tree" `Quick test_topology_tree;
+          Alcotest.test_case "barabasi-albert" `Quick test_topology_barabasi_albert;
+          Alcotest.test_case "erdos-renyi dense" `Quick test_topology_erdos_renyi_dense;
+          Alcotest.test_case "two-tier" `Quick test_topology_two_tier;
+          Alcotest.test_case "two-tier relationships" `Quick
+            test_topology_two_tier_relationships;
+        ] );
+      ( "middlebox",
+        [
+          Alcotest.test_case "port filter" `Quick test_middlebox_port_filter;
+          Alcotest.test_case "app filter" `Quick test_middlebox_app_filter;
+          Alcotest.test_case "trust firewall" `Quick test_middlebox_trust_firewall;
+          Alcotest.test_case "wiretap" `Quick test_middlebox_wiretap;
+          Alcotest.test_case "qos stripper" `Quick test_middlebox_qos_stripper;
+        ] );
+      ( "net",
+        [
+          Alcotest.test_case "delivery" `Quick test_net_delivery;
+          Alcotest.test_case "filter drop" `Quick test_net_filter_drop;
+          Alcotest.test_case "no route" `Quick test_net_no_route;
+          Alcotest.test_case "source route waypoint" `Quick
+            test_net_source_route_waypoint;
+          Alcotest.test_case "ttl" `Quick test_net_ttl;
+          Alcotest.test_case "queue loss" `Quick test_net_queue_loss;
+          Alcotest.test_case "degraded flag" `Quick test_net_degraded_flag;
+          Alcotest.test_case "duplicate id" `Quick test_net_duplicate_id_rejected;
+        ] );
+      ( "transport",
+        [
+          Alcotest.test_case "completes" `Quick test_transport_completes;
+          Alcotest.test_case "loss recovery" `Quick test_transport_losses_recovered;
+          Alcotest.test_case "two compliant share" `Quick
+            test_transport_two_compliant_share;
+          Alcotest.test_case "aggressive starves" `Quick
+            test_transport_aggressive_starves;
+          Alcotest.test_case "validation" `Quick test_transport_validation;
+        ] );
+      ( "nat",
+        [
+          Alcotest.test_case "outbound rewrite" `Quick test_nat_outbound_rewrite;
+          Alcotest.test_case "reply comes back" `Quick test_nat_reply_comes_back;
+          Alcotest.test_case "unsolicited dies" `Quick test_nat_unsolicited_dies;
+          Alcotest.test_case "port forward" `Quick test_nat_port_forward;
+          Alcotest.test_case "validation" `Quick test_nat_validation;
+        ] );
+      ( "cache",
+        [
+          Alcotest.test_case "hit/miss" `Quick test_cache_hit_miss;
+          Alcotest.test_case "lru eviction" `Quick test_cache_lru_eviction;
+          Alcotest.test_case "serves semantics" `Quick test_cache_serves_semantics;
+        ] );
+      ( "diagnosis",
+        [
+          Alcotest.test_case "clean" `Quick test_diagnosis_clean;
+          Alcotest.test_case "confession" `Quick test_diagnosis_confession;
+          Alcotest.test_case "covert bracket" `Quick test_diagnosis_covert_bracket;
+          Alcotest.test_case "dead first hop" `Quick test_diagnosis_dead_first_hop;
+          Alcotest.test_case "last hop" `Quick test_diagnosis_last_hop;
+          Alcotest.test_case "short path" `Quick test_diagnosis_short_path;
+        ] );
+      ( "congestion",
+        [
+          Alcotest.test_case "jain index" `Quick test_congestion_jain;
+          Alcotest.test_case "max-min allocation" `Quick test_congestion_max_min;
+          Alcotest.test_case "all honest" `Quick test_congestion_all_honest;
+          Alcotest.test_case "cheater starves fifo" `Quick
+            test_congestion_cheater_starves_fifo;
+          Alcotest.test_case "fq protects" `Quick test_congestion_fq_protects;
+          Alcotest.test_case "validation" `Quick test_congestion_validation;
+        ] );
+      ( "traffic",
+        [
+          Alcotest.test_case "poisson count" `Quick test_traffic_poisson_count;
+          Alcotest.test_case "constant spacing" `Quick test_traffic_constant_spacing;
+          Alcotest.test_case "fresh ids" `Quick test_traffic_fresh_ids;
+        ] );
+    ]

@@ -1,0 +1,521 @@
+(* Tests for tussle.prelude: rng, stats, pqueue, graph, union_find, table. *)
+
+module Rng = Tussle_prelude.Rng
+module Stats = Tussle_prelude.Stats
+module Pqueue = Tussle_prelude.Pqueue
+module Graph = Tussle_prelude.Graph
+module Union_find = Tussle_prelude.Union_find
+module Table = Tussle_prelude.Table
+
+let check_float = Alcotest.(check (float 1e-9))
+let check_floatish = Alcotest.(check (float 1e-6))
+
+(* ---------- Rng ---------- *)
+
+let test_rng_determinism () =
+  let a = Rng.create 42 and b = Rng.create 42 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Rng.int64 a) (Rng.int64 b)
+  done
+
+let test_rng_different_seeds () =
+  let a = Rng.create 1 and b = Rng.create 2 in
+  let same = ref 0 in
+  for _ = 1 to 50 do
+    if Rng.int64 a = Rng.int64 b then incr same
+  done;
+  Alcotest.(check bool) "streams differ" true (!same < 5)
+
+let test_rng_int_range () =
+  let rng = Rng.create 7 in
+  for _ = 1 to 1000 do
+    let v = Rng.int rng 10 in
+    Alcotest.(check bool) "in [0,10)" true (v >= 0 && v < 10)
+  done
+
+let test_rng_int_invalid () =
+  let rng = Rng.create 7 in
+  Alcotest.check_raises "zero bound" (Invalid_argument "Rng.int: bound must be positive")
+    (fun () -> ignore (Rng.int rng 0))
+
+let test_rng_int_in () =
+  let rng = Rng.create 3 in
+  for _ = 1 to 200 do
+    let v = Rng.int_in rng (-5) 5 in
+    Alcotest.(check bool) "in [-5,5]" true (v >= -5 && v <= 5)
+  done
+
+let test_rng_float_range () =
+  let rng = Rng.create 11 in
+  for _ = 1 to 1000 do
+    let v = Rng.float rng 2.5 in
+    Alcotest.(check bool) "in [0,2.5)" true (v >= 0.0 && v < 2.5)
+  done
+
+let test_rng_uniform_mean () =
+  let rng = Rng.create 5 in
+  let xs = Array.init 20_000 (fun _ -> Rng.uniform rng 2.0 4.0) in
+  let m = Stats.mean xs in
+  Alcotest.(check bool) "mean near 3" true (Float.abs (m -. 3.0) < 0.05)
+
+let test_rng_bernoulli_extremes () =
+  let rng = Rng.create 1 in
+  Alcotest.(check bool) "p=0 false" false (Rng.bernoulli rng 0.0);
+  Alcotest.(check bool) "p=1 true" true (Rng.bernoulli rng 1.0)
+
+let test_rng_bernoulli_rate () =
+  let rng = Rng.create 13 in
+  let hits = ref 0 in
+  for _ = 1 to 10_000 do
+    if Rng.bernoulli rng 0.3 then incr hits
+  done;
+  let rate = float_of_int !hits /. 10_000.0 in
+  Alcotest.(check bool) "rate near 0.3" true (Float.abs (rate -. 0.3) < 0.03)
+
+let test_rng_gaussian_moments () =
+  let rng = Rng.create 17 in
+  let xs = Array.init 50_000 (fun _ -> Rng.gaussian rng ~mu:1.0 ~sigma:2.0) in
+  Alcotest.(check bool) "mean" true (Float.abs (Stats.mean xs -. 1.0) < 0.06);
+  Alcotest.(check bool) "sd" true (Float.abs (Stats.stddev xs -. 2.0) < 0.06)
+
+let test_rng_exponential_mean () =
+  let rng = Rng.create 19 in
+  let xs = Array.init 50_000 (fun _ -> Rng.exponential rng ~rate:2.0) in
+  Alcotest.(check bool) "mean near 0.5" true
+    (Float.abs (Stats.mean xs -. 0.5) < 0.02);
+  Array.iter (fun x -> Alcotest.(check bool) "positive" true (x >= 0.0)) xs
+
+let test_rng_pareto_min () =
+  let rng = Rng.create 23 in
+  for _ = 1 to 1000 do
+    let v = Rng.pareto rng ~alpha:2.0 ~x_min:3.0 in
+    Alcotest.(check bool) ">= x_min" true (v >= 3.0)
+  done
+
+let test_rng_choice () =
+  let rng = Rng.create 29 in
+  let arr = [| "a"; "b"; "c" |] in
+  for _ = 1 to 100 do
+    let c = Rng.choice rng arr in
+    Alcotest.(check bool) "member" true (Array.exists (String.equal c) arr)
+  done;
+  Alcotest.check_raises "empty" (Invalid_argument "Rng.choice: empty array")
+    (fun () -> ignore (Rng.choice rng [||]))
+
+let test_rng_weighted_index () =
+  let rng = Rng.create 31 in
+  let counts = Array.make 3 0 in
+  for _ = 1 to 10_000 do
+    let i = Rng.weighted_index rng [| 1.0; 0.0; 3.0 |] in
+    counts.(i) <- counts.(i) + 1
+  done;
+  Alcotest.(check int) "zero weight never drawn" 0 counts.(1);
+  Alcotest.(check bool) "3:1 ratio approx" true
+    (float_of_int counts.(2) /. float_of_int counts.(0) > 2.0)
+
+let test_rng_shuffle_permutation () =
+  let rng = Rng.create 37 in
+  let arr = Array.init 50 Fun.id in
+  Rng.shuffle rng arr;
+  let sorted = Array.copy arr in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "same elements" (Array.init 50 Fun.id) sorted
+
+let test_rng_sample_distinct () =
+  let rng = Rng.create 41 in
+  let arr = Array.init 20 Fun.id in
+  let s = Rng.sample rng 10 arr in
+  Alcotest.(check int) "size" 10 (Array.length s);
+  let uniq = List.sort_uniq compare (Array.to_list s) in
+  Alcotest.(check int) "distinct" 10 (List.length uniq)
+
+let test_rng_split_independent () =
+  let a = Rng.create 43 in
+  let b = Rng.split a in
+  (* drawing from b must not change a's future relative to a clone *)
+  let a' = Rng.copy a in
+  ignore (Rng.int64 b);
+  Alcotest.(check int64) "split independent" (Rng.int64 a') (Rng.int64 a)
+
+(* ---------- Stats ---------- *)
+
+let test_stats_mean () = check_float "mean" 2.0 (Stats.mean [| 1.0; 2.0; 3.0 |])
+
+let test_stats_variance () =
+  check_float "variance" 2.0 (Stats.variance [| 1.0; 2.0; 3.0; 4.0; 5.0 |])
+
+let test_stats_median_odd () =
+  check_float "median odd" 3.0 (Stats.median [| 5.0; 1.0; 3.0 |])
+
+let test_stats_median_even () =
+  check_float "median even" 2.5 (Stats.median [| 4.0; 1.0; 2.0; 3.0 |])
+
+let test_stats_percentile () =
+  let xs = [| 1.0; 2.0; 3.0; 4.0; 5.0 |] in
+  check_float "p0" 1.0 (Stats.percentile xs 0.0);
+  check_float "p50" 3.0 (Stats.percentile xs 50.0);
+  check_float "p100" 5.0 (Stats.percentile xs 100.0);
+  check_float "p25" 2.0 (Stats.percentile xs 25.0)
+
+let test_stats_gini_equal () =
+  check_floatish "gini equal" 0.0 (Stats.gini [| 5.0; 5.0; 5.0; 5.0 |])
+
+let test_stats_gini_concentrated () =
+  let g = Stats.gini [| 0.0; 0.0; 0.0; 100.0 |] in
+  Alcotest.(check bool) "gini high" true (g > 0.7)
+
+let test_stats_hhi () =
+  check_float "hhi monopoly" 1.0 (Stats.hhi [| 10.0 |]);
+  check_float "hhi duopoly" 0.5 (Stats.hhi [| 5.0; 5.0 |]);
+  check_float "hhi 4-way" 0.25 (Stats.hhi [| 1.0; 1.0; 1.0; 1.0 |])
+
+let test_stats_correlation () =
+  let xs = [| 1.0; 2.0; 3.0; 4.0 |] in
+  check_floatish "perfect" 1.0 (Stats.correlation xs xs);
+  check_floatish "anti" (-1.0)
+    (Stats.correlation xs (Array.map (fun x -> 10.0 -. x) xs))
+
+let test_stats_histogram () =
+  let h = Stats.histogram ~bins:2 [| 0.0; 0.1; 0.9; 1.0 |] in
+  Alcotest.(check int) "bins" 2 (Array.length h);
+  let total = Array.fold_left (fun acc (_, _, c) -> acc + c) 0 h in
+  Alcotest.(check int) "all counted" 4 total
+
+let test_stats_summary () =
+  let s = Stats.summarize [| 1.0; 2.0; 3.0; 4.0; 5.0 |] in
+  Alcotest.(check int) "n" 5 s.Stats.n;
+  check_float "p50" 3.0 s.Stats.p50;
+  check_float "min" 1.0 s.Stats.min;
+  check_float "max" 5.0 s.Stats.max
+
+let test_stats_empty_raises () =
+  Alcotest.check_raises "mean empty" (Invalid_argument "Stats.mean: empty input")
+    (fun () -> ignore (Stats.mean [||]))
+
+(* ---------- Pqueue ---------- *)
+
+let test_pqueue_order () =
+  let q = Pqueue.create () in
+  Pqueue.push q 3.0 "c";
+  Pqueue.push q 1.0 "a";
+  Pqueue.push q 2.0 "b";
+  Alcotest.(check (option (pair (float 0.0) string))) "a" (Some (1.0, "a")) (Pqueue.pop q);
+  Alcotest.(check (option (pair (float 0.0) string))) "b" (Some (2.0, "b")) (Pqueue.pop q);
+  Alcotest.(check (option (pair (float 0.0) string))) "c" (Some (3.0, "c")) (Pqueue.pop q);
+  Alcotest.(check (option (pair (float 0.0) string))) "empty" None (Pqueue.pop q)
+
+let test_pqueue_fifo_ties () =
+  let q = Pqueue.create () in
+  Pqueue.push q 1.0 "first";
+  Pqueue.push q 1.0 "second";
+  Pqueue.push q 1.0 "third";
+  let order = List.map snd (Pqueue.to_sorted_list q) in
+  Alcotest.(check (list string)) "fifo among ties" [ "first"; "second"; "third" ] order
+
+let test_pqueue_stress_sorted () =
+  let rng = Rng.create 99 in
+  let q = Pqueue.create () in
+  for _ = 1 to 1000 do
+    Pqueue.push q (Rng.float rng 100.0) ()
+  done;
+  let keys = List.map fst (Pqueue.to_sorted_list q) in
+  let rec sorted = function
+    | a :: (b :: _ as rest) -> a <= b && sorted rest
+    | _ -> true
+  in
+  Alcotest.(check bool) "drain sorted" true (sorted keys);
+  Alcotest.(check int) "nondestructive" 1000 (Pqueue.length q)
+
+let test_pqueue_peek () =
+  let q = Pqueue.create () in
+  Alcotest.(check bool) "empty" true (Pqueue.is_empty q);
+  Pqueue.push q 5.0 "x";
+  Alcotest.(check (option (pair (float 0.0) string))) "peek" (Some (5.0, "x"))
+    (Pqueue.peek q);
+  Alcotest.(check int) "peek keeps" 1 (Pqueue.length q)
+
+(* ---------- Graph ---------- *)
+
+let test_graph_basic () =
+  let g = Graph.create 3 in
+  Graph.add_edge g 0 1 1.0;
+  Graph.add_edge g 1 2 2.0;
+  Alcotest.(check int) "nodes" 3 (Graph.node_count g);
+  Alcotest.(check int) "edges" 2 (Graph.edge_count g);
+  Alcotest.(check (list (pair int (float 0.0)))) "succ 0" [ (1, 1.0) ] (Graph.succ g 0);
+  Alcotest.(check (option (float 0.0))) "find" (Some 2.0) (Graph.find_edge g 1 2);
+  Alcotest.(check (option (float 0.0))) "absent" None (Graph.find_edge g 0 2)
+
+let test_graph_out_of_range () =
+  let g = Graph.create 2 in
+  Alcotest.check_raises "bad node"
+    (Invalid_argument "Graph.add_edge: node out of range") (fun () ->
+      Graph.add_edge g 0 5 ())
+
+let test_graph_dijkstra_line () =
+  let g = Graph.create 4 in
+  Graph.add_undirected g 0 1 1.0;
+  Graph.add_undirected g 1 2 1.0;
+  Graph.add_undirected g 2 3 1.0;
+  let dist, _ = Graph.dijkstra g ~weight:Fun.id ~source:0 in
+  check_float "d3" 3.0 dist.(3);
+  check_float "d0" 0.0 dist.(0)
+
+let test_graph_dijkstra_shortcut () =
+  let g = Graph.create 3 in
+  Graph.add_edge g 0 1 10.0;
+  Graph.add_edge g 0 2 1.0;
+  Graph.add_edge g 2 1 1.0;
+  match Graph.shortest_path g ~weight:Fun.id 0 1 with
+  | Some (d, path) ->
+    check_float "dist" 2.0 d;
+    Alcotest.(check (list int)) "path" [ 0; 2; 1 ] path
+  | None -> Alcotest.fail "unreachable"
+
+let test_graph_unreachable () =
+  let g = Graph.create 2 in
+  Alcotest.(check (option (pair (float 0.0) (list int)))) "none" None
+    (Graph.shortest_path g ~weight:Fun.id 0 1)
+
+let test_graph_negative_weight () =
+  let g = Graph.create 2 in
+  Graph.add_edge g 0 1 (-1.0);
+  Alcotest.check_raises "negative"
+    (Invalid_argument "Graph.dijkstra: negative weight") (fun () ->
+      ignore (Graph.dijkstra g ~weight:Fun.id ~source:0))
+
+let test_graph_bfs_connected () =
+  let g = Graph.create 4 in
+  Graph.add_undirected g 0 1 ();
+  Graph.add_undirected g 1 2 ();
+  Alcotest.(check bool) "not connected" false (Graph.is_connected g);
+  Graph.add_undirected g 2 3 ();
+  Alcotest.(check bool) "connected" true (Graph.is_connected g)
+
+let test_graph_transpose () =
+  let g = Graph.create 2 in
+  Graph.add_edge g 0 1 "e";
+  let t = Graph.transpose g in
+  Alcotest.(check (option string)) "reversed" (Some "e") (Graph.find_edge t 1 0);
+  Alcotest.(check (option string)) "gone" None (Graph.find_edge t 0 1)
+
+let test_graph_map_edges () =
+  let g = Graph.create 2 in
+  Graph.add_edge g 0 1 2;
+  let h = Graph.map_edges g (fun x -> x * 10) in
+  Alcotest.(check (option int)) "mapped" (Some 20) (Graph.find_edge h 0 1)
+
+let test_graph_degree_histogram () =
+  let g = Graph.create 3 in
+  Graph.add_edge g 0 1 ();
+  Graph.add_edge g 0 2 ();
+  Alcotest.(check (list (pair int int))) "hist" [ (0, 2); (2, 1) ]
+    (Graph.degree_histogram g)
+
+(* ---------- Union_find ---------- *)
+
+let test_union_find_basic () =
+  let uf = Union_find.create 5 in
+  Alcotest.(check int) "initial sets" 5 (Union_find.count uf);
+  Alcotest.(check bool) "union" true (Union_find.union uf 0 1);
+  Alcotest.(check bool) "re-union" false (Union_find.union uf 1 0);
+  Alcotest.(check bool) "same" true (Union_find.same uf 0 1);
+  Alcotest.(check bool) "not same" false (Union_find.same uf 0 2);
+  Alcotest.(check int) "sets after" 4 (Union_find.count uf);
+  Alcotest.(check int) "size" 2 (Union_find.set_size uf 0)
+
+let test_union_find_groups () =
+  let uf = Union_find.create 4 in
+  ignore (Union_find.union uf 0 2);
+  ignore (Union_find.union uf 1 3);
+  Alcotest.(check (list (list int))) "groups" [ [ 0; 2 ]; [ 1; 3 ] ]
+    (Union_find.groups uf)
+
+(* ---------- Table ---------- *)
+
+let test_table_render () =
+  let t = Table.create ~aligns:[ Table.Left; Table.Right ] [ "name"; "value" ] in
+  Table.add_row t [ "x"; "1" ];
+  Table.add_row t [ "longer"; "22" ];
+  let s = Table.render t in
+  Alcotest.(check bool) "has header" true
+    (String.length s > 0 && String.sub s 0 4 = "name");
+  Alcotest.(check bool) "row count" true
+    (List.length (String.split_on_char '\n' (String.trim s)) = 4)
+
+let test_table_mismatch () =
+  let t = Table.create [ "a"; "b" ] in
+  Alcotest.check_raises "bad row"
+    (Invalid_argument "Table.add_row: column count mismatch") (fun () ->
+      Table.add_row t [ "only-one" ])
+
+let test_table_fmt () =
+  Alcotest.(check string) "pct" "12.5%" (Table.fmt_pct 0.125);
+  Alcotest.(check string) "float" "3.142" (Table.fmt_float 3.14159)
+
+(* ---------- qcheck properties ---------- *)
+
+let prop_rng_int_bounds =
+  QCheck2.Test.make ~name:"rng int stays in bounds" ~count:500
+    QCheck2.Gen.(pair small_int (int_range 1 1000))
+    (fun (seed, bound) ->
+      let rng = Rng.create seed in
+      let v = Rng.int rng bound in
+      v >= 0 && v < bound)
+
+let prop_shuffle_preserves_multiset =
+  QCheck2.Test.make ~name:"shuffle preserves elements" ~count:200
+    QCheck2.Gen.(pair small_int (list small_int))
+    (fun (seed, l) ->
+      let rng = Rng.create seed in
+      let arr = Array.of_list l in
+      Rng.shuffle rng arr;
+      List.sort compare (Array.to_list arr) = List.sort compare l)
+
+let prop_pqueue_pop_sorted =
+  QCheck2.Test.make ~name:"pqueue pops in key order" ~count:200
+    QCheck2.Gen.(list (pair (float_bound_exclusive 1000.0) small_int))
+    (fun items ->
+      let q = Pqueue.create () in
+      List.iter (fun (k, v) -> Pqueue.push q k v) items;
+      let rec drain prev =
+        match Pqueue.pop q with
+        | None -> true
+        | Some (k, _) -> k >= prev && drain k
+      in
+      drain neg_infinity)
+
+let prop_gini_bounds =
+  QCheck2.Test.make ~name:"gini in [0,1)" ~count:200
+    QCheck2.Gen.(list_size (int_range 1 50) (float_bound_exclusive 100.0))
+    (fun l ->
+      let xs = Array.of_list (List.map (fun x -> x +. 0.001) l) in
+      let g = Stats.gini xs in
+      g >= -1e-9 && g < 1.0)
+
+let prop_percentile_monotone =
+  QCheck2.Test.make ~name:"percentile monotone in p" ~count:200
+    QCheck2.Gen.(list_size (int_range 2 50) (float_bound_exclusive 100.0))
+    (fun l ->
+      let xs = Array.of_list l in
+      let p25 = Stats.percentile xs 25.0
+      and p75 = Stats.percentile xs 75.0 in
+      p25 <= p75 +. 1e-9)
+
+let qcheck_cases =
+  List.map QCheck_alcotest.to_alcotest
+    [
+      prop_rng_int_bounds; prop_shuffle_preserves_multiset;
+      prop_pqueue_pop_sorted; prop_gini_bounds; prop_percentile_monotone;
+    ]
+
+
+(* ---------- coverage sweep ---------- *)
+
+let test_graph_fold_and_iter () =
+  let g = Graph.create 3 in
+  Graph.add_edge g 0 1 2.0;
+  Graph.add_edge g 1 2 3.0;
+  let total = Graph.fold_edges g ~init:0.0 ~f:(fun acc _ _ w -> acc +. w) in
+  check_float "fold sums" 5.0 total;
+  let count = ref 0 in
+  Graph.iter_edges g (fun _ _ _ -> incr count);
+  Alcotest.(check int) "iter visits" 2 !count
+
+let test_stats_total_empty () = check_float "empty total" 0.0 (Stats.total [||])
+
+let test_rng_choice_list () =
+  let rng = Rng.create 71 in
+  let v = Rng.choice_list rng [ 5 ] in
+  Alcotest.(check int) "singleton" 5 v
+
+let test_pqueue_clear () =
+  let q = Pqueue.create () in
+  Pqueue.push q 1.0 "x";
+  Pqueue.clear q;
+  Alcotest.(check bool) "cleared" true (Pqueue.is_empty q)
+
+let test_table_default_alignment () =
+  let t = Table.create [ "a" ] in
+  Table.add_float_row t "a" [];
+  Alcotest.(check bool) "renders" true (String.length (Table.render t) > 0)
+
+let () =
+  Alcotest.run "prelude"
+    [
+      ( "rng",
+        [
+          Alcotest.test_case "determinism" `Quick test_rng_determinism;
+          Alcotest.test_case "seed sensitivity" `Quick test_rng_different_seeds;
+          Alcotest.test_case "int range" `Quick test_rng_int_range;
+          Alcotest.test_case "int invalid" `Quick test_rng_int_invalid;
+          Alcotest.test_case "int_in range" `Quick test_rng_int_in;
+          Alcotest.test_case "float range" `Quick test_rng_float_range;
+          Alcotest.test_case "uniform mean" `Quick test_rng_uniform_mean;
+          Alcotest.test_case "bernoulli extremes" `Quick test_rng_bernoulli_extremes;
+          Alcotest.test_case "bernoulli rate" `Quick test_rng_bernoulli_rate;
+          Alcotest.test_case "gaussian moments" `Quick test_rng_gaussian_moments;
+          Alcotest.test_case "exponential mean" `Quick test_rng_exponential_mean;
+          Alcotest.test_case "pareto minimum" `Quick test_rng_pareto_min;
+          Alcotest.test_case "choice" `Quick test_rng_choice;
+          Alcotest.test_case "weighted index" `Quick test_rng_weighted_index;
+          Alcotest.test_case "shuffle permutation" `Quick test_rng_shuffle_permutation;
+          Alcotest.test_case "sample distinct" `Quick test_rng_sample_distinct;
+          Alcotest.test_case "split independence" `Quick test_rng_split_independent;
+        ] );
+      ( "stats",
+        [
+          Alcotest.test_case "mean" `Quick test_stats_mean;
+          Alcotest.test_case "variance" `Quick test_stats_variance;
+          Alcotest.test_case "median odd" `Quick test_stats_median_odd;
+          Alcotest.test_case "median even" `Quick test_stats_median_even;
+          Alcotest.test_case "percentile" `Quick test_stats_percentile;
+          Alcotest.test_case "gini equal" `Quick test_stats_gini_equal;
+          Alcotest.test_case "gini concentrated" `Quick test_stats_gini_concentrated;
+          Alcotest.test_case "hhi" `Quick test_stats_hhi;
+          Alcotest.test_case "correlation" `Quick test_stats_correlation;
+          Alcotest.test_case "histogram" `Quick test_stats_histogram;
+          Alcotest.test_case "summary" `Quick test_stats_summary;
+          Alcotest.test_case "empty raises" `Quick test_stats_empty_raises;
+        ] );
+      ( "pqueue",
+        [
+          Alcotest.test_case "order" `Quick test_pqueue_order;
+          Alcotest.test_case "fifo ties" `Quick test_pqueue_fifo_ties;
+          Alcotest.test_case "stress sorted" `Quick test_pqueue_stress_sorted;
+          Alcotest.test_case "peek" `Quick test_pqueue_peek;
+        ] );
+      ( "graph",
+        [
+          Alcotest.test_case "basic" `Quick test_graph_basic;
+          Alcotest.test_case "out of range" `Quick test_graph_out_of_range;
+          Alcotest.test_case "dijkstra line" `Quick test_graph_dijkstra_line;
+          Alcotest.test_case "dijkstra shortcut" `Quick test_graph_dijkstra_shortcut;
+          Alcotest.test_case "unreachable" `Quick test_graph_unreachable;
+          Alcotest.test_case "negative weight" `Quick test_graph_negative_weight;
+          Alcotest.test_case "bfs/connected" `Quick test_graph_bfs_connected;
+          Alcotest.test_case "transpose" `Quick test_graph_transpose;
+          Alcotest.test_case "map edges" `Quick test_graph_map_edges;
+          Alcotest.test_case "degree histogram" `Quick test_graph_degree_histogram;
+        ] );
+      ( "union-find",
+        [
+          Alcotest.test_case "basic" `Quick test_union_find_basic;
+          Alcotest.test_case "groups" `Quick test_union_find_groups;
+        ] );
+      ( "table",
+        [
+          Alcotest.test_case "render" `Quick test_table_render;
+          Alcotest.test_case "mismatch" `Quick test_table_mismatch;
+          Alcotest.test_case "formatters" `Quick test_table_fmt;
+        ] );
+      ( "coverage",
+        [
+          Alcotest.test_case "graph fold/iter" `Quick test_graph_fold_and_iter;
+          Alcotest.test_case "stats total empty" `Quick test_stats_total_empty;
+          Alcotest.test_case "rng choice list" `Quick test_rng_choice_list;
+          Alcotest.test_case "pqueue clear" `Quick test_pqueue_clear;
+          Alcotest.test_case "table defaults" `Quick test_table_default_alignment;
+        ] );
+      ("properties", qcheck_cases);
+    ]

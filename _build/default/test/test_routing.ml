@@ -1,0 +1,364 @@
+(* Tests for tussle.routing: link-state, path-vector (Gao-Rexford),
+   source routing, overlay, visibility. *)
+
+module Rng = Tussle_prelude.Rng
+module Graph = Tussle_prelude.Graph
+module Topology = Tussle_netsim.Topology
+module Packet = Tussle_netsim.Packet
+module Middlebox = Tussle_netsim.Middlebox
+module Linkstate = Tussle_routing.Linkstate
+module Pathvector = Tussle_routing.Pathvector
+module Sourceroute = Tussle_routing.Sourceroute
+module Overlay = Tussle_routing.Overlay
+module Visibility = Tussle_routing.Visibility
+
+let check_float = Alcotest.(check (float 1e-9))
+
+(* ---------- Linkstate ---------- *)
+
+let test_linkstate_line () =
+  let ls = Linkstate.compute (Topology.line 4) ~metric:`Hops in
+  Alcotest.(check (option int)) "next hop" (Some 1)
+    (Linkstate.next_hop ls ~node:0 ~dst:3);
+  Alcotest.(check (option (list int))) "path" (Some [ 0; 1; 2; 3 ])
+    (Linkstate.path ls ~src:0 ~dst:3);
+  Alcotest.(check (option (float 1e-9))) "distance" (Some 3.0)
+    (Linkstate.distance ls ~src:0 ~dst:3)
+
+let test_linkstate_latency_metric () =
+  let fast = { Topology.latency = 0.001; bandwidth_bps = 1e8 } in
+  let g = Graph.create 3 in
+  Graph.add_undirected g 0 1 { fast with Topology.latency = 0.010 };
+  Graph.add_undirected g 0 2 fast;
+  Graph.add_undirected g 2 1 fast;
+  let ls = Linkstate.compute g ~metric:`Latency in
+  Alcotest.(check (option (list int))) "low-latency detour" (Some [ 0; 2; 1 ])
+    (Linkstate.path ls ~src:0 ~dst:1)
+
+let test_linkstate_disconnected () =
+  let g = Graph.create 3 in
+  Graph.add_undirected g 0 1 Topology.default_edge;
+  let ls = Linkstate.compute g ~metric:`Hops in
+  Alcotest.(check (option int)) "no hop" None (Linkstate.next_hop ls ~node:0 ~dst:2);
+  Alcotest.(check (option (float 1e-9))) "no distance" None
+    (Linkstate.distance ls ~src:0 ~dst:2)
+
+let test_linkstate_exposure () =
+  let g = Topology.line 4 in
+  let ls = Linkstate.compute g ~metric:`Hops in
+  Alcotest.(check int) "all links flooded" (Graph.edge_count g)
+    (List.length (Linkstate.visible_link_costs ls));
+  check_float "exposure 1.0" 1.0
+    (Visibility.linkstate_exposure ls ~total_links:(Graph.edge_count g))
+
+(* ---------- Pathvector ---------- *)
+
+(* helper: a plain graph where every edge is Internal (single domain) *)
+let internal_graph base =
+  Graph.map_edges base (fun e -> (e, Topology.Internal))
+
+let test_pathvector_internal_reaches_all () =
+  let pv = Pathvector.compute (internal_graph (Topology.ring 6)) in
+  check_float "full reachability" 1.0 (Pathvector.reachability_ratio pv);
+  (* shortest AS path on a 6-ring: 0 to 3 is 3 hops *)
+  match Pathvector.as_path pv ~src:0 ~dst:3 with
+  | Some path -> Alcotest.(check int) "path length" 3 (List.length path)
+  | None -> Alcotest.fail "unreachable"
+
+let two_tier_fixture seed =
+  let rng = Rng.create seed in
+  Topology.two_tier rng ~transits:3 ~accesses:4 ~hosts_per_access:2
+    ~multihoming:2
+
+let test_pathvector_two_tier_reachability () =
+  let tt = two_tier_fixture 11 in
+  let pv = Pathvector.compute tt.Topology.graph in
+  check_float "all pairs reachable" 1.0 (Pathvector.reachability_ratio pv)
+
+(* Gao-Rexford: no valley-free violation — once a path goes down (to a
+   customer) it never goes up (to a provider) again, and at most one
+   peer edge is crossed. *)
+let valley_free g src path =
+  let rel u v =
+    match Graph.find_edge g u v with
+    | Some (_, r) -> r
+    | None -> Alcotest.fail "path uses missing edge"
+  in
+  let rec walk prev state = function
+    | [] -> true
+    | hop :: rest ->
+      let r = rel prev hop in
+      let ok, state' =
+        match (r, state) with
+        | Topology.Customer_of, `Up -> (true, `Up) (* going up to provider *)
+        | Topology.Customer_of, (`Peered | `Down) -> (false, `Down)
+        | Topology.Peer_with, `Up -> (true, `Peered)
+        | Topology.Peer_with, (`Peered | `Down) -> (false, `Down)
+        | Topology.Provider_of, _ -> (true, `Down) (* going down to customer *)
+        | Topology.Internal, s -> (true, s)
+      in
+      ok && walk hop state' rest
+  in
+  walk src `Up path
+
+let test_pathvector_valley_free () =
+  let tt = two_tier_fixture 13 in
+  let g = tt.Topology.graph in
+  let pv = Pathvector.compute g in
+  List.iter
+    (fun (src, _dst, path) ->
+      Alcotest.(check bool) "valley-free" true (valley_free g src path))
+    (Pathvector.visible_paths pv)
+
+let test_pathvector_prefers_customer_routes () =
+  (* diamond: 0 is provider of 1 and 2; 3 is customer of 1 and 2; also
+     0 peers with 3 via nothing... build: dst 3 reachable from 0 via
+     customer chain.  Check class at 0 for dst 3 is customer. *)
+  let g = Graph.create 4 in
+  let e = Topology.default_edge in
+  (* 1 and 2 are customers of 0 *)
+  Graph.add_edge g 1 0 (e, Topology.Customer_of);
+  Graph.add_edge g 0 1 (e, Topology.Provider_of);
+  Graph.add_edge g 2 0 (e, Topology.Customer_of);
+  Graph.add_edge g 0 2 (e, Topology.Provider_of);
+  (* 3 is customer of 1 *)
+  Graph.add_edge g 3 1 (e, Topology.Customer_of);
+  Graph.add_edge g 1 3 (e, Topology.Provider_of);
+  let pv = Pathvector.compute g in
+  (match Pathvector.route_at pv ~node:0 ~dst:3 with
+  | Some r ->
+    Alcotest.(check string) "class" "customer"
+      (Pathvector.class_to_string r.Pathvector.cls)
+  | None -> Alcotest.fail "no route");
+  (* 2 reaches 3 via its provider 0 *)
+  match Pathvector.route_at pv ~node:2 ~dst:3 with
+  | Some r ->
+    Alcotest.(check string) "via provider" "provider"
+      (Pathvector.class_to_string r.Pathvector.cls);
+    Alcotest.(check (list int)) "path" [ 0; 1; 3 ] r.Pathvector.as_path
+  | None -> Alcotest.fail "no provider route"
+
+let test_pathvector_peer_not_transited () =
+  (* two peered transits, each with a customer: customer of A reaches
+     customer of B through the peer link (customer->provider->peer->
+     customer: valley-free).  But peer A must NOT reach peer B's
+     *other peer* via B.  Build three mutually unpeered transits:
+     A - B peered, B - C peered, A and C not peered.  A must not reach
+     C (B does not export peer routes to peers). *)
+  let g = Graph.create 3 in
+  let e = Topology.default_edge in
+  Graph.add_edge g 0 1 (e, Topology.Peer_with);
+  Graph.add_edge g 1 0 (e, Topology.Peer_with);
+  Graph.add_edge g 1 2 (e, Topology.Peer_with);
+  Graph.add_edge g 2 1 (e, Topology.Peer_with);
+  let pv = Pathvector.compute g in
+  Alcotest.(check bool) "A sees B" true (Pathvector.reachable pv ~src:0 ~dst:1);
+  Alcotest.(check bool) "A cannot transit B to C" false
+    (Pathvector.reachable pv ~src:0 ~dst:2)
+
+let test_pathvector_export_filter () =
+  (* a refusal filter that stops node 1 from exporting anything to 0 *)
+  let g = internal_graph (Topology.line 3) in
+  let filter u w _r = not (u = 1 && w = 0) in
+  let pv = Pathvector.compute ~export_filter:filter g in
+  Alcotest.(check bool) "0 cut off from 2" false
+    (Pathvector.reachable pv ~src:0 ~dst:2);
+  Alcotest.(check bool) "reverse still works" true
+    (Pathvector.reachable pv ~src:2 ~dst:0)
+
+let test_pathvector_visibility_less_than_linkstate () =
+  let tt = two_tier_fixture 17 in
+  let g = tt.Topology.graph in
+  let pv = Pathvector.compute g in
+  let total = Graph.edge_count g in
+  (* from any single vantage point, path-vector reveals only the chosen
+     paths; link-state floods everything to everyone *)
+  let host = List.hd tt.Topology.hosts in
+  let pv_exposure = Visibility.pathvector_exposure_at pv ~node:host ~total_links:total in
+  Alcotest.(check bool) "path-vector hides some links" true (pv_exposure < 1.0);
+  Alcotest.(check bool) "exposes something" true (pv_exposure > 0.0);
+  Alcotest.(check int) "no levers in link-state" 0
+    (Visibility.linkstate_policy_levers
+       (Linkstate.compute (Topology.line 3) ~metric:`Hops));
+  Alcotest.(check int) "one lever per adjacency" total
+    (Visibility.pathvector_policy_levers g)
+
+let test_pathvector_converges () =
+  let tt = two_tier_fixture 19 in
+  let pv = Pathvector.compute tt.Topology.graph in
+  Alcotest.(check bool) "few rounds" true (Pathvector.rounds_to_converge pv < 20);
+  Alcotest.(check bool) "did work" true (Pathvector.updates_applied pv > 0)
+
+(* ---------- Sourceroute ---------- *)
+
+let test_sourceroute_refusal () =
+  let mb = Sourceroute.refusal_middlebox ~paid:false in
+  let routed =
+    Packet.make ~source_route:[ 5 ] ~id:0 ~src:0 ~dst:9 ~created:0.0 ()
+  in
+  Alcotest.(check bool) "refuses unpaid" true
+    (Middlebox.decide mb routed = Middlebox.Drop);
+  let plain = Packet.make ~id:1 ~src:0 ~dst:9 ~created:0.0 () in
+  Alcotest.(check bool) "plain passes" true
+    (Middlebox.decide mb plain = Middlebox.Forward);
+  let paid = Sourceroute.refusal_middlebox ~paid:true in
+  Alcotest.(check bool) "paid passes" true
+    (Middlebox.decide paid routed = Middlebox.Forward)
+
+let test_sourceroute_pick () =
+  Alcotest.(check (option int)) "best score" (Some 2)
+    (Sourceroute.pick_transit ~score:(fun t -> float_of_int t) [ 0; 1; 2 ]);
+  Alcotest.(check (option int)) "tie lowest id" (Some 0)
+    (Sourceroute.pick_transit ~score:(fun _ -> 1.0) [ 2; 0; 1 ]);
+  Alcotest.(check (option int)) "empty" None
+    (Sourceroute.pick_transit ~score:(fun _ -> 1.0) [])
+
+(* ---------- Overlay ---------- *)
+
+let overlay_fixture () =
+  (* triangle with a slow direct edge and a fast two-leg detour; the
+     underlay routes by hop count, so it insists on the slow direct
+     link — exactly the gap RON exploits *)
+  let g = Graph.create 3 in
+  let mk l = { Topology.latency = l; bandwidth_bps = 1e8 } in
+  Graph.add_undirected g 0 1 (mk 0.100);
+  Graph.add_undirected g 0 2 (mk 0.010);
+  Graph.add_undirected g 2 1 (mk 0.010);
+  let ls = Linkstate.compute g ~metric:`Hops in
+  fun src dst -> Overlay.measured_latency ls g ~src ~dst
+
+let test_overlay_best_relay () =
+  let latency = overlay_fixture () in
+  match Overlay.best_relay ~latency ~candidates:[ 2 ] ~src:0 ~dst:1 with
+  | Some (relay, lat) ->
+    Alcotest.(check int) "relay" 2 relay;
+    check_float "two-leg latency" 0.020 lat
+  | None -> Alcotest.fail "no relay"
+
+let test_overlay_improvement () =
+  let latency = overlay_fixture () in
+  check_float "underlay picks slow hop-shortest path" 0.100
+    (Option.get (latency 0 1));
+  match Overlay.latency_improvement ~latency ~candidates:[ 2 ] ~src:0 ~dst:1 with
+  | Some gain -> check_float "gain" 0.080 gain
+  | None -> Alcotest.fail "no improvement computed"
+
+let test_overlay_recovery () =
+  (* direct path 0->2 blocked, but 1 relays *)
+  let can_reach a b = not (a = 0 && b = 2) in
+  Alcotest.(check (option int)) "relay found" (Some 1)
+    (Overlay.reachable_via ~can_reach ~candidates:[ 1 ] ~src:0 ~dst:2);
+  check_float "full recovery" 1.0
+    (Overlay.recovery_ratio ~can_reach ~candidates:[ 1 ]
+       ~pairs:[ (0, 2); (1, 2) ]);
+  (* no candidates: nothing recovered *)
+  check_float "no relay no recovery" 0.0
+    (Overlay.recovery_ratio ~can_reach ~candidates:[] ~pairs:[ (0, 2) ])
+
+
+(* ---------- Multicast ---------- *)
+
+module Multicast = Tussle_routing.Multicast
+
+let test_multicast_tree_on_star () =
+  (* star: source at hub; tree edge count = number of receivers *)
+  let g = Topology.star 6 in
+  let receivers = [ 1; 2; 3; 4; 5 ] in
+  let tree = Multicast.shortest_path_tree g ~source:0 ~receivers in
+  Alcotest.(check int) "tree edges" 5 (Multicast.multicast_link_load tree);
+  Alcotest.(check (list int)) "all covered" receivers (Multicast.covered tree);
+  (* unicast also crosses 5 links here: no sharing on a star *)
+  Alcotest.(check int) "unicast" 5
+    (Multicast.unicast_link_load g ~source:0 ~receivers);
+  check_float "no saving on a star" 0.0
+    (Multicast.savings_ratio g ~source:0 ~receivers)
+
+let test_multicast_tree_on_line () =
+  (* line 0-1-2-3: multicast to [1;2;3] uses 3 links, unicast 1+2+3=6 *)
+  let g = Topology.line 4 in
+  let receivers = [ 1; 2; 3 ] in
+  let tree = Multicast.shortest_path_tree g ~source:0 ~receivers in
+  Alcotest.(check int) "shared path" 3 (Multicast.multicast_link_load tree);
+  Alcotest.(check int) "unicast" 6
+    (Multicast.unicast_link_load g ~source:0 ~receivers);
+  check_float "saving" 0.5 (Multicast.savings_ratio g ~source:0 ~receivers);
+  (* interior nodes 0,1,2 hold state *)
+  Alcotest.(check int) "router state" 3 (Multicast.router_state tree)
+
+let test_multicast_unreachable_receiver () =
+  let g = Graph.create 3 in
+  Graph.add_undirected g 0 1 Topology.default_edge;
+  let tree = Multicast.shortest_path_tree g ~source:0 ~receivers:[ 1; 2 ] in
+  Alcotest.(check (list int)) "only reachable" [ 1 ] (Multicast.covered tree)
+
+let test_multicast_savings_grow_with_group () =
+  let rng = Rng.create 15 in
+  let g = Topology.barabasi_albert rng 120 2 in
+  let pool = Array.init 119 (fun i -> i + 1) in
+  let saving size =
+    let receivers = Array.to_list (Rng.sample rng size pool) in
+    Multicast.savings_ratio g ~source:0 ~receivers
+  in
+  let small = saving 5 and large = saving 80 in
+  Alcotest.(check bool) "bigger group saves more" true (large > small)
+
+let test_multicast_deployment_ledger () =
+  let base =
+    { Multicast.groups = 10.0; state_cost = 1.0; bandwidth_value = 3.0;
+      payment = false }
+  in
+  Alcotest.(check bool) "no payment no deploy" false (Multicast.deploys base);
+  check_float "pure cost" (-10.0) (Multicast.isp_profit base);
+  let paid = { base with Multicast.payment = true } in
+  Alcotest.(check bool) "payment deploys" true (Multicast.deploys paid);
+  check_float "profit" 20.0 (Multicast.isp_profit paid)
+
+let () =
+  Alcotest.run "routing"
+    [
+      ( "linkstate",
+        [
+          Alcotest.test_case "line" `Quick test_linkstate_line;
+          Alcotest.test_case "latency metric" `Quick test_linkstate_latency_metric;
+          Alcotest.test_case "disconnected" `Quick test_linkstate_disconnected;
+          Alcotest.test_case "full exposure" `Quick test_linkstate_exposure;
+        ] );
+      ( "pathvector",
+        [
+          Alcotest.test_case "internal reaches all" `Quick
+            test_pathvector_internal_reaches_all;
+          Alcotest.test_case "two-tier reachability" `Quick
+            test_pathvector_two_tier_reachability;
+          Alcotest.test_case "valley-free" `Quick test_pathvector_valley_free;
+          Alcotest.test_case "customer preference" `Quick
+            test_pathvector_prefers_customer_routes;
+          Alcotest.test_case "peers not transited" `Quick
+            test_pathvector_peer_not_transited;
+          Alcotest.test_case "export filter" `Quick test_pathvector_export_filter;
+          Alcotest.test_case "visibility vs linkstate" `Quick
+            test_pathvector_visibility_less_than_linkstate;
+          Alcotest.test_case "convergence" `Quick test_pathvector_converges;
+        ] );
+      ( "sourceroute",
+        [
+          Alcotest.test_case "refusal middlebox" `Quick test_sourceroute_refusal;
+          Alcotest.test_case "pick transit" `Quick test_sourceroute_pick;
+        ] );
+      ( "multicast",
+        [
+          Alcotest.test_case "star tree" `Quick test_multicast_tree_on_star;
+          Alcotest.test_case "line tree" `Quick test_multicast_tree_on_line;
+          Alcotest.test_case "unreachable receiver" `Quick
+            test_multicast_unreachable_receiver;
+          Alcotest.test_case "savings grow" `Quick
+            test_multicast_savings_grow_with_group;
+          Alcotest.test_case "deployment ledger" `Quick
+            test_multicast_deployment_ledger;
+        ] );
+      ( "overlay",
+        [
+          Alcotest.test_case "best relay" `Quick test_overlay_best_relay;
+          Alcotest.test_case "improvement" `Quick test_overlay_improvement;
+          Alcotest.test_case "recovery" `Quick test_overlay_recovery;
+        ] );
+    ]

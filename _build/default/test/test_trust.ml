@@ -1,0 +1,417 @@
+(* Tests for tussle.trust: identity, trust graph, reputation, mediator. *)
+
+module Identity = Tussle_trust.Identity
+module Trust_graph = Tussle_trust.Trust_graph
+module Reputation = Tussle_trust.Reputation
+module Mediator = Tussle_trust.Mediator
+
+let check_float = Alcotest.(check (float 1e-9))
+let check_close = Alcotest.(check (float 1e-6))
+
+(* ---------- Identity ---------- *)
+
+let test_identity_accountability_order () =
+  let open Identity in
+  Alcotest.(check bool) "real > role" true
+    (accountability (Real_name "a") > accountability (Role "r"));
+  Alcotest.(check bool) "role > pseudonym" true
+    (accountability (Role "r") > accountability (Pseudonym "p"));
+  Alcotest.(check bool) "pseudonym > anon" true
+    (accountability (Pseudonym "p") > accountability Anonymous);
+  check_float "anon zero" 0.0 (accountability Anonymous)
+
+let test_identity_policies () =
+  let open Identity in
+  Alcotest.(check bool) "open accepts anon" true (accepts open_policy Anonymous);
+  Alcotest.(check bool) "strict rejects anon" false
+    (accepts accountable_only Anonymous);
+  Alcotest.(check bool) "strict rejects pseudonym" false
+    (accepts accountable_only (Pseudonym "p"));
+  Alcotest.(check bool) "strict accepts role" true
+    (accepts accountable_only (Role "admin"));
+  Alcotest.(check bool) "strict accepts real" true
+    (accepts accountable_only (Real_name "alice"))
+
+let test_identity_disguise () =
+  let open Identity in
+  Alcotest.(check bool) "disguised" true
+    (disguised_anonymity ~claimed:(Real_name "fake") ~actual:Anonymous);
+  Alcotest.(check bool) "honest anon" false
+    (disguised_anonymity ~claimed:Anonymous ~actual:Anonymous);
+  Alcotest.(check bool) "honest real" false
+    (disguised_anonymity ~claimed:(Real_name "a") ~actual:(Real_name "a"))
+
+(* ---------- Trust graph ---------- *)
+
+let test_trust_direct () =
+  let g = Trust_graph.create 3 in
+  Trust_graph.set_trust g ~truster:0 ~trustee:1 0.8;
+  check_float "direct" 0.8 (Trust_graph.direct_trust g ~truster:0 ~trustee:1);
+  check_float "no edge" 0.0 (Trust_graph.direct_trust g ~truster:1 ~trustee:0);
+  check_float "self" 1.0 (Trust_graph.direct_trust g ~truster:2 ~trustee:2)
+
+let test_trust_derived_chain () =
+  let g = Trust_graph.create 4 in
+  Trust_graph.set_trust g ~truster:0 ~trustee:1 0.9;
+  Trust_graph.set_trust g ~truster:1 ~trustee:2 0.8;
+  Trust_graph.set_trust g ~truster:2 ~trustee:3 0.5;
+  check_close "two hops" 0.72 (Trust_graph.derived_trust g ~truster:0 ~trustee:2);
+  check_close "three hops" 0.36 (Trust_graph.derived_trust g ~truster:0 ~trustee:3);
+  (* attenuation: derived trust never exceeds the weakest... product *)
+  Alcotest.(check bool) "attenuates" true
+    (Trust_graph.derived_trust g ~truster:0 ~trustee:3
+    < Trust_graph.derived_trust g ~truster:0 ~trustee:1)
+
+let test_trust_best_path () =
+  let g = Trust_graph.create 4 in
+  (* weak direct vs strong indirect *)
+  Trust_graph.set_trust g ~truster:0 ~trustee:3 0.2;
+  Trust_graph.set_trust g ~truster:0 ~trustee:1 0.9;
+  Trust_graph.set_trust g ~truster:1 ~trustee:3 0.9;
+  check_close "picks best path" 0.81
+    (Trust_graph.derived_trust g ~truster:0 ~trustee:3)
+
+let test_trust_depth_bound () =
+  let g = Trust_graph.create 6 in
+  for i = 0 to 4 do
+    Trust_graph.set_trust g ~truster:i ~trustee:(i + 1) 1.0
+  done;
+  check_float "within depth" 1.0
+    (Trust_graph.derived_trust ~max_depth:5 g ~truster:0 ~trustee:5);
+  check_float "beyond depth" 0.0
+    (Trust_graph.derived_trust ~max_depth:4 g ~truster:0 ~trustee:5)
+
+let test_trust_threshold_and_revoke () =
+  let g = Trust_graph.create 2 in
+  Trust_graph.add_mutual g 0 1 0.7;
+  Alcotest.(check bool) "trusts" true (Trust_graph.trusts g ~threshold:0.5 0 1);
+  Alcotest.(check bool) "not that much" false
+    (Trust_graph.trusts g ~threshold:0.9 0 1);
+  Trust_graph.revoke g ~truster:0 ~trustee:1;
+  check_float "revoked" 0.0 (Trust_graph.direct_trust g ~truster:0 ~trustee:1);
+  check_float "other direction intact" 0.7
+    (Trust_graph.direct_trust g ~truster:1 ~trustee:0)
+
+let test_trust_validation () =
+  let g = Trust_graph.create 2 in
+  Alcotest.check_raises "bad weight"
+    (Invalid_argument "Trust_graph.set_trust: weight not in [0,1]") (fun () ->
+      Trust_graph.set_trust g ~truster:0 ~trustee:1 1.5)
+
+let test_trust_mean_pairwise () =
+  let g = Trust_graph.create 3 in
+  Trust_graph.add_mutual g 0 1 1.0;
+  Trust_graph.add_mutual g 1 2 1.0;
+  Trust_graph.add_mutual g 0 2 1.0;
+  check_close "complete trust" 1.0 (Trust_graph.mean_pairwise_trust g);
+  let empty = Trust_graph.create 3 in
+  check_float "no trust" 0.0 (Trust_graph.mean_pairwise_trust empty)
+
+(* ---------- Reputation ---------- *)
+
+let test_reputation_prior () =
+  let r = Reputation.create 2 in
+  check_float "uninformed 0.5" 0.5 (Reputation.score r ~subject:0)
+
+let test_reputation_updates () =
+  let r = Reputation.create 1 in
+  Reputation.rate r ~subject:0 ~good:true;
+  check_close "one good" (2.0 /. 3.0) (Reputation.score r ~subject:0);
+  Reputation.rate r ~subject:0 ~good:false;
+  check_float "balanced" 0.5 (Reputation.score r ~subject:0)
+
+let test_reputation_converges () =
+  let r = Reputation.create 1 in
+  for _ = 1 to 100 do
+    Reputation.rate r ~subject:0 ~good:true
+  done;
+  Alcotest.(check bool) "high" true (Reputation.score r ~subject:0 > 0.95)
+
+let test_reputation_forgetting () =
+  let slow = Reputation.create ~forgetting:0.5 1 in
+  for _ = 1 to 50 do
+    Reputation.rate slow ~subject:0 ~good:false
+  done;
+  (* reformed: a few recent good ratings outweigh the discounted past *)
+  for _ = 1 to 5 do
+    Reputation.rate slow ~subject:0 ~good:true
+  done;
+  Alcotest.(check bool) "forgiven" true (Reputation.score slow ~subject:0 > 0.6)
+
+let test_reputation_ranking () =
+  let r = Reputation.create 3 in
+  Reputation.rate r ~subject:2 ~good:true;
+  Reputation.rate r ~subject:1 ~good:false;
+  match Reputation.ranking r with
+  | (first, _) :: _ -> Alcotest.(check int) "best first" 2 first
+  | [] -> Alcotest.fail "empty ranking"
+
+(* ---------- Mediator ---------- *)
+
+let tx = { Mediator.gain = 10.0; loss = 100.0; p_honest = 0.9 }
+
+let test_mediator_none () =
+  (* 0.9*10 - 0.1*100 = -1: not worth transacting naked *)
+  check_float "naked negative" (-1.0) (Mediator.expected_utility tx Mediator.No_mediator);
+  Alcotest.(check bool) "declines" false
+    (Mediator.should_transact tx Mediator.No_mediator)
+
+let test_mediator_liability_cap () =
+  (* the credit card: loss capped at 50 cents equivalent *)
+  let m = Mediator.Liability_cap { cap = 5.0; fee = 0.5 } in
+  (* 9 - 0.1*5 - 0.5 = 8.0 *)
+  check_float "capped" 8.0 (Mediator.expected_utility tx m);
+  Alcotest.(check bool) "transacts" true (Mediator.should_transact tx m)
+
+let test_mediator_certifier () =
+  let m = Mediator.Certifier { assurance = 0.9; fee = 1.0 } in
+  (* p' = 0.9 + 0.9*0.1 = 0.99 -> 9.9 - 1 - 1 = 7.9 *)
+  check_close "certified" 7.9 (Mediator.expected_utility tx m)
+
+let test_mediator_escrow () =
+  let m = Mediator.Escrow { fee = 2.0 } in
+  check_float "escrowed" 7.0 (Mediator.expected_utility tx m)
+
+let test_mediator_choice () =
+  let options =
+    [
+      Mediator.No_mediator;
+      Mediator.Liability_cap { cap = 5.0; fee = 0.5 };
+      Mediator.Escrow { fee = 2.0 };
+    ]
+  in
+  let best, u = Mediator.best_mediator tx options in
+  Alcotest.(check string) "picks cap" "liability-cap(5,fee=0.5)"
+    (Mediator.mediator_to_string best);
+  check_float "best utility" 8.0 u
+
+let test_mediator_enables_trade () =
+  let txs =
+    [
+      tx;
+      { Mediator.gain = 1.0; loss = 1000.0; p_honest = 0.5 };
+      (* hopeless *)
+      { Mediator.gain = 5.0; loss = 0.0; p_honest = 1.0 };
+      (* always fine *)
+    ]
+  in
+  let enabled =
+    Mediator.enabled_transactions txs
+      [ Mediator.No_mediator; Mediator.Liability_cap { cap = 1.0; fee = 0.1 } ]
+  in
+  Alcotest.(check int) "two of three enabled" 2 (List.length enabled);
+  (* without mediators, only one trade happens *)
+  let naked = Mediator.enabled_transactions txs [ Mediator.No_mediator ] in
+  Alcotest.(check int) "one naked" 1 (List.length naked)
+
+let test_mediator_validation () =
+  Alcotest.check_raises "bad p" (Invalid_argument "Mediator: p_honest not in [0,1]")
+    (fun () ->
+      ignore
+        (Mediator.expected_utility
+           { Mediator.gain = 1.0; loss = 1.0; p_honest = 2.0 }
+           Mediator.No_mediator))
+
+
+(* ---------- Traceback ---------- *)
+
+module Traceback = Tussle_trust.Traceback
+module Rng = Tussle_prelude.Rng
+
+let attack_path = [ 7; 8; 9; 10; 11 ]
+
+let test_traceback_reconstructs_with_enough_packets () =
+  let rng = Rng.create 21 in
+  let obs = Traceback.simulate rng ~path:attack_path ~p:0.2 ~packets:50_000 in
+  let guess = Traceback.reconstruct obs in
+  check_float "perfect" 1.0 (Traceback.accuracy ~truth:attack_path ~guess)
+
+let test_traceback_few_packets_noisy () =
+  (* average accuracy over trials with 10 packets is well below 1 *)
+  let acc =
+    List.init 50 (fun k ->
+        let rng = Rng.create (100 + k) in
+        let obs = Traceback.simulate rng ~path:attack_path ~p:0.2 ~packets:10 in
+        Traceback.accuracy ~truth:attack_path ~guess:(Traceback.reconstruct obs))
+  in
+  let mean = List.fold_left ( +. ) 0.0 acc /. 50.0 in
+  Alcotest.(check bool) "noisy" true (mean < 0.95)
+
+let test_traceback_expected_marks () =
+  (* distance 1 from the victim end: router last in path *)
+  check_float "nearest" (0.2 *. 1000.0)
+    (Traceback.expected_marks ~p:0.2 ~distance:1 ~packets:1000);
+  Alcotest.(check bool) "farther is rarer" true
+    (Traceback.expected_marks ~p:0.2 ~distance:5 ~packets:1000
+    < Traceback.expected_marks ~p:0.2 ~distance:2 ~packets:1000)
+
+let test_traceback_mark_distribution () =
+  (* empirical counts roughly follow p(1-p)^(d-1) *)
+  let rng = Rng.create 23 in
+  let packets = 200_000 in
+  let obs = Traceback.simulate rng ~path:attack_path ~p:0.25 ~packets in
+  List.iteri
+    (fun i router ->
+      let distance = List.length attack_path - i in
+      let expected = Traceback.expected_marks ~p:0.25 ~distance ~packets in
+      let actual = float_of_int (List.assoc router obs) in
+      Alcotest.(check bool)
+        (Printf.sprintf "router %d within 10%%" router)
+        true
+        (Float.abs (actual -. expected) < 0.1 *. expected +. 50.0))
+    attack_path
+
+let test_traceback_validation () =
+  let rng = Rng.create 1 in
+  Alcotest.check_raises "bad p"
+    (Invalid_argument "Traceback.simulate: p not in (0,1)") (fun () ->
+      ignore (Traceback.simulate rng ~path:[ 1 ] ~p:1.5 ~packets:10));
+  Alcotest.check_raises "empty path"
+    (Invalid_argument "Traceback.simulate: empty path") (fun () ->
+      ignore (Traceback.simulate rng ~path:[] ~p:0.5 ~packets:10))
+
+
+(* ---------- Firewall control ---------- *)
+
+module Fc = Tussle_trust.Firewall_control
+module Packet = Tussle_netsim.Packet
+module Middlebox = Tussle_netsim.Middlebox
+
+let game id src =
+  Packet.make ~app:Packet.Game ~id ~src ~dst:50 ~created:0.0 ()
+
+let test_fc_default_allow () =
+  let t = Fc.create () in
+  Alcotest.(check bool) "default allow" true (Fc.permits t (game 0 1));
+  let strict = Fc.create ~default_allow:false () in
+  Alcotest.(check bool) "default deny" false (Fc.permits strict (game 0 1))
+
+let test_fc_admin_rule_binds () =
+  let t = Fc.create () in
+  (match
+     Fc.add_rule t Fc.Admin ~allow:false
+       { Fc.any with Fc.sel_port = Some (Packet.default_port Packet.Game) }
+   with
+  | Ok _ -> ()
+  | Error _ -> Alcotest.fail "admin may rule anything");
+  Alcotest.(check bool) "blocked" false (Fc.permits t (game 0 1))
+
+let test_fc_user_scope () =
+  let t = Fc.create ~users_may_override:true () in
+  ignore
+    (Fc.add_rule t Fc.Admin ~allow:false
+       { Fc.any with Fc.sel_port = Some (Packet.default_port Packet.Game) });
+  (* user 7 opens a pinhole for itself *)
+  (match
+     Fc.add_rule t (Fc.End_user 7) ~allow:true
+       { Fc.any with Fc.sel_src = Some 7 }
+   with
+  | Ok _ -> ()
+  | Error _ -> Alcotest.fail "own traffic is in scope");
+  Alcotest.(check bool) "own traffic flows" true (Fc.permits t (game 0 7));
+  Alcotest.(check bool) "others still blocked" false (Fc.permits t (game 1 8));
+  (* but cannot legislate for others *)
+  Alcotest.(check bool) "overreach refused" true
+    (Fc.add_rule t (Fc.End_user 7) ~allow:true
+       { Fc.any with Fc.sel_src = Some 8 }
+    = Error `Beyond_authority)
+
+let test_fc_admin_precedence () =
+  let t = Fc.create ~users_may_override:false () in
+  ignore
+    (Fc.add_rule t Fc.Admin ~allow:false
+       { Fc.any with Fc.sel_port = Some (Packet.default_port Packet.Game) });
+  ignore
+    (Fc.add_rule t (Fc.End_user 7) ~allow:true
+       { Fc.any with Fc.sel_src = Some 7 });
+  Alcotest.(check bool) "admin wins" false (Fc.permits t (game 0 7))
+
+let test_fc_remove_rule () =
+  let t = Fc.create () in
+  let id =
+    match
+      Fc.add_rule t (Fc.End_user 7) ~allow:false { Fc.any with Fc.sel_src = Some 7 }
+    with
+    | Ok id -> id
+    | Error _ -> Alcotest.fail "add"
+  in
+  Alcotest.(check bool) "other user may not remove" true
+    (Fc.remove_rule t (Fc.End_user 8) id = Error `Not_owner);
+  Alcotest.(check bool) "owner removes" true (Fc.remove_rule t (Fc.End_user 7) id = Ok ());
+  Alcotest.(check bool) "gone" true (Fc.permits t (game 0 7))
+
+let test_fc_transparency () =
+  let t = Fc.create () in
+  ignore
+    (Fc.add_rule t Fc.Admin ~allow:false ~visible:false
+       { Fc.any with Fc.sel_dst = Some 7 });
+  ignore
+    (Fc.add_rule t Fc.Admin ~allow:false ~visible:true
+       { Fc.any with Fc.sel_src = Some 7 });
+  check_float "half visible" 0.5 (Fc.rule_transparency t ~user:7);
+  Alcotest.(check int) "visible count" 1 (List.length (Fc.visible_rules t ~user:7));
+  (* the middlebox is honest only when all rules are visible *)
+  Alcotest.(check bool) "covert middlebox" false
+    (Middlebox.reveals_presence (Fc.middlebox t));
+  let clean = Fc.create () in
+  check_float "unconstrained" 1.0 (Fc.rule_transparency clean ~user:7)
+
+let () =
+  Alcotest.run "trust"
+    [
+      ( "identity",
+        [
+          Alcotest.test_case "accountability order" `Quick
+            test_identity_accountability_order;
+          Alcotest.test_case "policies" `Quick test_identity_policies;
+          Alcotest.test_case "disguise" `Quick test_identity_disguise;
+        ] );
+      ( "trust-graph",
+        [
+          Alcotest.test_case "direct" `Quick test_trust_direct;
+          Alcotest.test_case "derived chain" `Quick test_trust_derived_chain;
+          Alcotest.test_case "best path" `Quick test_trust_best_path;
+          Alcotest.test_case "depth bound" `Quick test_trust_depth_bound;
+          Alcotest.test_case "threshold/revoke" `Quick test_trust_threshold_and_revoke;
+          Alcotest.test_case "validation" `Quick test_trust_validation;
+          Alcotest.test_case "mean pairwise" `Quick test_trust_mean_pairwise;
+        ] );
+      ( "reputation",
+        [
+          Alcotest.test_case "prior" `Quick test_reputation_prior;
+          Alcotest.test_case "updates" `Quick test_reputation_updates;
+          Alcotest.test_case "converges" `Quick test_reputation_converges;
+          Alcotest.test_case "forgetting" `Quick test_reputation_forgetting;
+          Alcotest.test_case "ranking" `Quick test_reputation_ranking;
+        ] );
+      ( "firewall-control",
+        [
+          Alcotest.test_case "defaults" `Quick test_fc_default_allow;
+          Alcotest.test_case "admin rule binds" `Quick test_fc_admin_rule_binds;
+          Alcotest.test_case "user scope" `Quick test_fc_user_scope;
+          Alcotest.test_case "admin precedence" `Quick test_fc_admin_precedence;
+          Alcotest.test_case "remove rule" `Quick test_fc_remove_rule;
+          Alcotest.test_case "transparency" `Quick test_fc_transparency;
+        ] );
+      ( "traceback",
+        [
+          Alcotest.test_case "reconstructs" `Quick
+            test_traceback_reconstructs_with_enough_packets;
+          Alcotest.test_case "few packets noisy" `Quick
+            test_traceback_few_packets_noisy;
+          Alcotest.test_case "expected marks" `Quick test_traceback_expected_marks;
+          Alcotest.test_case "mark distribution" `Quick
+            test_traceback_mark_distribution;
+          Alcotest.test_case "validation" `Quick test_traceback_validation;
+        ] );
+      ( "mediator",
+        [
+          Alcotest.test_case "no mediator" `Quick test_mediator_none;
+          Alcotest.test_case "liability cap" `Quick test_mediator_liability_cap;
+          Alcotest.test_case "certifier" `Quick test_mediator_certifier;
+          Alcotest.test_case "escrow" `Quick test_mediator_escrow;
+          Alcotest.test_case "best mediator" `Quick test_mediator_choice;
+          Alcotest.test_case "enables trade" `Quick test_mediator_enables_trade;
+          Alcotest.test_case "validation" `Quick test_mediator_validation;
+        ] );
+    ]
