@@ -10,7 +10,8 @@
    solver, policy evaluation, and trust-graph queries.
 
    Run with: dune exec bench/main.exe
-   Options:  --experiments-only | --bench-only | --experiment <id> *)
+   Options:  --experiments-only | --bench-only | --experiment <id>
+             --domains <n> | --seq   (parallel experiment runner) *)
 
 module Rng = Tussle_prelude.Rng
 module Graph = Tussle_prelude.Graph
@@ -190,6 +191,7 @@ let microbenchmarks () =
 (* ------------------------------------------------------------------ *)
 
 let () =
+  Printexc.record_backtrace true;
   let args = Array.to_list Sys.argv in
   let experiments_only = List.mem "--experiments-only" args in
   let bench_only = List.mem "--bench-only" args in
@@ -201,6 +203,21 @@ let () =
     in
     find args
   in
+  let domains =
+    if List.mem "--seq" args then Some 1
+    else
+      let rec find = function
+        | "--domains" :: n :: _ -> int_of_string_opt n
+        | _ :: rest -> find rest
+        | [] -> None
+      in
+      find args
+  in
+  (match domains with
+  | Some d when d < 1 ->
+    prerr_endline "main: --domains must be >= 1";
+    exit 2
+  | _ -> ());
   match single with
   | Some id -> begin
     match Tussle_experiments.Registry.run_one id with
@@ -218,7 +235,7 @@ let () =
            The paper is a position paper with no tables or figures; each\n\
            experiment below regenerates one of its qualitative claims\n\
            (see DESIGN.md section 3 for the index).\n\n";
-        Tussle_experiments.Registry.run_all ()
+        Tussle_experiments.Registry.run_all ?domains ()
       end
     in
     if not experiments_only then begin

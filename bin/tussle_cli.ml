@@ -12,12 +12,30 @@ open Cmdliner
 
 let experiments_cmd =
   let id =
-    let doc = "Run a single experiment (E1..E13)." in
+    let doc = "Run a single experiment (E1..E27)." in
     Arg.(value & opt (some string) None & info [ "e"; "experiment" ] ~doc)
   in
-  let run id =
+  let domains =
+    let doc =
+      "Number of domains for the parallel experiment runner (default: the \
+       recommended domain count).  Output is byte-identical for any value."
+    in
+    Arg.(value & opt (some int) None & info [ "domains" ] ~doc ~docv:"N")
+  in
+  let seq =
+    let doc = "Run strictly sequentially (same as --domains 1); pins \
+               determinism for CI." in
+    Arg.(value & flag & info [ "seq" ] ~doc)
+  in
+  let run id domains seq =
+    let domains = if seq then Some 1 else domains in
+    match domains with
+    | Some d when d < 1 ->
+      prerr_endline "experiments: --domains must be >= 1";
+      2
+    | _ -> (
     match id with
-    | None -> if Tussle_experiments.Registry.run_all () then 0 else 1
+    | None -> if Tussle_experiments.Registry.run_all ?domains () then 0 else 1
     | Some id -> begin
       match Tussle_experiments.Registry.run_one id with
       | Ok true -> 0
@@ -25,10 +43,10 @@ let experiments_cmd =
       | Error msg ->
         prerr_endline msg;
         2
-    end
+    end)
   in
-  let doc = "regenerate the paper's experiments (E1..E13)" in
-  Cmd.v (Cmd.info "experiments" ~doc) Term.(const run $ id)
+  let doc = "regenerate the paper's experiments (E1..E27)" in
+  Cmd.v (Cmd.info "experiments" ~doc) Term.(const run $ id $ domains $ seq)
 
 (* ---------- scenario ---------- *)
 
@@ -202,6 +220,7 @@ let policy_cmd =
   Cmd.v (Cmd.info "policy" ~doc) Term.(const run $ file $ request $ root $ attr)
 
 let () =
+  Printexc.record_backtrace true;
   let doc = "the Tussle-in-Cyberspace simulation framework" in
   let info = Cmd.info "tussle" ~version:"1.0.0" ~doc in
   let group =

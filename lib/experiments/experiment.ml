@@ -5,15 +5,45 @@ type t = {
   run : unit -> string * bool;
 }
 
+type status = Held | Violated | Failed of string
+
+type outcome = {
+  exp_id : string;
+  exp_title : string;
+  output : string;
+  status : status;
+}
+
+let header t =
+  Printf.sprintf "## %s — %s\n\nPaper claim: %s\n\n" t.id t.title t.paper_claim
+
+let footer ok =
+  Printf.sprintf "\nshape check: %s\n"
+    (if ok then "HOLDS (matches the paper's qualitative claim)"
+     else "DOES NOT HOLD")
+
 let render t =
   let body, ok = t.run () in
-  let header =
-    Printf.sprintf "## %s — %s\n\nPaper claim: %s\n\n" t.id t.title
-      t.paper_claim
-  in
-  let footer =
-    Printf.sprintf "\nshape check: %s\n"
-      (if ok then "HOLDS (matches the paper's qualitative claim)"
-       else "DOES NOT HOLD")
-  in
-  (header ^ body ^ footer, ok)
+  (header t ^ body ^ footer ok, ok)
+
+let held o = o.status = Held
+
+let run t =
+  match t.run () with
+  | body, ok ->
+    {
+      exp_id = t.id;
+      exp_title = t.title;
+      output = header t ^ body ^ footer ok;
+      status = (if ok then Held else Violated);
+    }
+  | exception e ->
+    let msg = Printexc.to_string e in
+    let bt = Printexc.get_backtrace () in
+    let body =
+      Printf.sprintf "FAILED (uncaught: %s)\n%s" msg
+        (if bt = "" then "(no backtrace: Printexc.record_backtrace off)\n"
+         else bt)
+    in
+    { exp_id = t.id; exp_title = t.title; output = header t ^ body;
+      status = Failed msg }

@@ -4,15 +4,44 @@
     tables or figures; each experiment operationalizes one qualitative
     claim from the text — see DESIGN.md's experiment index) and checks
     its own expected shape, so the harness can report
-    paper-claim-holds / does-not-hold mechanically. *)
+    paper-claim-holds / does-not-hold mechanically.
+
+    Experiments are self-contained: each [run] builds its own [Rng] and
+    [Engine] and touches no shared mutable state, which is what lets
+    the registry execute the battery across domains (see
+    {!Tussle_prelude.Pool}). *)
 
 type t = {
-  id : string;  (** "E1" ... "E13" *)
+  id : string;  (** "E1" ... "E27" *)
   title : string;
   paper_claim : string;  (** the sentence from the paper being tested *)
   run : unit -> string * bool;
       (** rendered table(s) and whether the expected shape held *)
 }
 
+type status =
+  | Held  (** the shape check matched the paper's qualitative claim *)
+  | Violated  (** the experiment ran but the shape check failed *)
+  | Failed of string  (** [run] raised; the payload is the exception *)
+
+type outcome = {
+  exp_id : string;
+  exp_title : string;
+  output : string;
+      (** the fully rendered block: header, body (or failure report),
+          footer — ready to print verbatim *)
+  status : status;
+}
+
+val run : t -> outcome
+(** Run with fault isolation: an uncaught exception becomes
+    [Failed msg] with a ["FAILED (uncaught: ...)"] body (plus backtrace
+    when [Printexc.record_backtrace] is on) instead of propagating, so
+    one broken experiment cannot abort a battery. *)
+
+val held : outcome -> bool
+(** [held o] iff [o.status = Held]. *)
+
 val render : t -> string * bool
-(** Run and wrap with a header/footer.  The bool is the shape check. *)
+(** Run and wrap with a header/footer.  The bool is the shape check.
+    Unlike {!run}, exceptions propagate. *)

@@ -35,23 +35,29 @@ let find id =
     (fun e -> String.lowercase_ascii e.Experiment.id = wanted)
     all
 
-let run_all () =
-  let ok = ref true in
+(* Each experiment renders into its own buffer inside a worker domain
+   (experiments share no mutable state); the caller prints the buffers
+   in registry order, so the battery's output is byte-identical however
+   many domains run it. *)
+let run_list ?domains experiments =
+  Tussle_prelude.Pool.map ?domains Experiment.run experiments
+
+let run_all ?domains () =
+  let outcomes = run_list ?domains all in
   List.iter
-    (fun e ->
-      let body, held = Experiment.render e in
-      print_string body;
-      print_newline ();
-      if not held then ok := false)
-    all;
+    (fun o ->
+      print_string o.Experiment.output;
+      print_newline ())
+    outcomes;
+  let ok = List.for_all Experiment.held outcomes in
   Printf.printf "=== %d experiments, shape checks %s ===\n" (List.length all)
-    (if !ok then "ALL HOLD" else "SOME FAILED");
-  !ok
+    (if ok then "ALL HOLD" else "SOME FAILED");
+  ok
 
 let run_one id =
   match find id with
   | None -> Error (Printf.sprintf "unknown experiment %S" id)
   | Some e ->
-    let body, held = Experiment.render e in
-    print_string body;
-    Ok held
+    let o = Experiment.run e in
+    print_string o.Experiment.output;
+    Ok (Experiment.held o)

@@ -1,4 +1,10 @@
-(** The experiment registry: every paper claim the harness regenerates. *)
+(** The experiment registry: every paper claim the harness regenerates.
+
+    The battery is embarrassingly parallel — each experiment builds its
+    own [Rng]/[Engine] and renders into its own buffer — so the runner
+    fans it out over OCaml 5 domains via {!Tussle_prelude.Pool} while
+    printing results strictly in registry order.  Output is
+    byte-identical for any domain count. *)
 
 val all : Experiment.t list
 (** E1 through E27 in order. *)
@@ -6,9 +12,17 @@ val all : Experiment.t list
 val find : string -> Experiment.t option
 (** Lookup by id (case-insensitive, e.g. "e4" or "E4"). *)
 
-val run_all : unit -> bool
-(** Print every experiment to stdout; [true] iff every shape check
-    held. *)
+val run_list : ?domains:int -> Experiment.t list -> Experiment.outcome list
+(** Run a batch of experiments on [domains] domains (default
+    {!Tussle_prelude.Pool.default_domains}; [~domains:1] is strictly
+    sequential in the calling domain) and return their outcomes in
+    input order.  Fault-isolated: a raising experiment yields a
+    [Failed] outcome instead of killing the batch. *)
+
+val run_all : ?domains:int -> unit -> bool
+(** Run and print every experiment to stdout in registry order;
+    [true] iff every shape check held (a [Failed] experiment counts as
+    not holding). *)
 
 val run_one : string -> (bool, string) result
-(** Print one experiment by id. *)
+(** Print one experiment by id (fault-isolated like {!run_all}). *)

@@ -35,6 +35,8 @@ let schedule_after t delay action =
 
 let cancel t id = Hashtbl.replace t.cancelled id ()
 
+let cancelled_backlog t = Hashtbl.length t.cancelled
+
 let pending t = Tussle_prelude.Pqueue.length t.queue
 
 let fire t at ev =
@@ -47,7 +49,9 @@ let fire t at ev =
 
 let step t =
   match Tussle_prelude.Pqueue.pop t.queue with
-  | None -> false
+  | None ->
+    Hashtbl.reset t.cancelled;
+    false
   | Some (at, ev) ->
     fire t at ev;
     true
@@ -57,11 +61,18 @@ let run ?until t =
   let rec loop () =
     match Tussle_prelude.Pqueue.peek t.queue with
     | None -> ()
-    | Some (at, _) when at > horizon -> if Float.is_finite horizon then t.clock <- horizon
+    | Some (at, _) when at > horizon -> ()
     | Some _ ->
       ignore (step t);
       loop ()
   in
-  loop ()
+  loop ();
+  (* Advance to the horizon whether the queue drained before it or the
+     next event lies beyond it, so [now] is consistent after [run
+     ~until] (never moving the clock backwards). *)
+  if Float.is_finite horizon && horizon > t.clock then t.clock <- horizon;
+  (* With no events pending, every outstanding cancellation is stale:
+     reap the table so long-lived engines do not accumulate ids. *)
+  if Tussle_prelude.Pqueue.is_empty t.queue then Hashtbl.reset t.cancelled
 
 let events_executed t = t.executed

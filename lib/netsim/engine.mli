@@ -29,16 +29,26 @@ val schedule_after : t -> float -> (t -> unit) -> event_id
 
 val cancel : t -> event_id -> unit
 (** Cancel a pending event; cancelling an already-fired or unknown id is a
-    no-op. *)
+    no-op.  A cancelled id is remembered until its event pops (and is
+    skipped) or until the queue drains — [run] and [step] reap the
+    whole cancellation table once no events are pending, so cancelling
+    events that never pop cannot leak across simulation runs. *)
+
+val cancelled_backlog : t -> int
+(** Number of cancellations not yet reaped (diagnostics: 0 after the
+    queue has drained). *)
 
 val pending : t -> int
-(** Number of events still queued (cancelled events may be counted until
-    they are reaped). *)
+(** Number of events still queued.  Cancelled events are counted until
+    they pop: cancellation marks an id, it does not remove the queue
+    entry. *)
 
 val run : ?until:float -> t -> unit
 (** Execute events until the queue is empty or the next event lies beyond
-    [until].  On return with [until] set, [now] equals [min until
-    last-event-time] advanced to [until] if the horizon was hit. *)
+    [until].  On return with a finite [until], [now t = until] whether
+    the queue drained early or the horizon cut execution short (the
+    clock never moves backwards, so a horizon earlier than [now] is a
+    no-op).  Without [until], [now] is the last executed event time. *)
 
 val step : t -> bool
 (** Execute exactly one event; [false] when the queue was empty. *)

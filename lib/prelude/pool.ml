@@ -1,0 +1,61 @@
+(* Fixed-size domain pool.
+
+   Distribution is a chunked queue: the input lives in an array and an
+   atomic cursor hands out chunk-sized index ranges to whichever worker
+   asks next.  There are no per-worker deques and no stealing — for
+   coarse-grained items (each experiment runs a whole simulation) a
+   single fetch-and-add per chunk is contention-free in practice, and
+   it keeps the scheduler trivially deterministic to reason about:
+   results land in per-index slots, so output order is input order. *)
+
+let default_domains () =
+  let n = Domain.recommended_domain_count () in
+  max 1 (min n 8)
+
+let map ?domains f xs =
+  let requested =
+    match domains with Some d -> d | None -> default_domains ()
+  in
+  if requested < 1 then invalid_arg "Pool.map: domains must be >= 1";
+  let input = Array.of_list xs in
+  let n = Array.length input in
+  let workers = min requested n in
+  if workers <= 1 then List.map f xs
+  else begin
+    let results = Array.make n None in
+    let cursor = Atomic.make 0 in
+    (* A few chunks per worker: big enough to amortize the atomic,
+       small enough that a slow chunk cannot strand the tail. *)
+    let chunk = max 1 (n / (4 * workers)) in
+    let worker () =
+      let rec loop () =
+        let start = Atomic.fetch_and_add cursor chunk in
+        if start < n then begin
+          let stop = min n (start + chunk) in
+          for i = start to stop - 1 do
+            results.(i) <-
+              Some
+                (match f input.(i) with
+                | y -> Ok y
+                | exception e -> Error (e, Printexc.get_raw_backtrace ()))
+          done;
+          loop ()
+        end
+      in
+      loop ()
+    in
+    let helpers = Array.init (workers - 1) (fun _ -> Domain.spawn worker) in
+    worker ();
+    Array.iter Domain.join helpers;
+    (* Re-raise the earliest failure only after every domain is joined,
+       so a raising item never strands a running worker. *)
+    Array.iter
+      (function
+        | Some (Error (e, bt)) -> Printexc.raise_with_backtrace e bt
+        | Some (Ok _) | None -> ())
+      results;
+    Array.to_list
+      (Array.map
+         (function Some (Ok y) -> y | Some (Error _) | None -> assert false)
+         results)
+  end

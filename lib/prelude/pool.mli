@@ -1,0 +1,31 @@
+(** Fixed-size domain pool for embarrassingly-parallel maps (OCaml 5).
+
+    [map] fans a function out over a fixed set of worker domains.  Work
+    is handed out through a chunked queue — an atomic cursor over the
+    input index space — so there is no work stealing and no per-item
+    lock contention.  Results are written into per-index slots, so the
+    output order always matches the input order regardless of how the
+    items were scheduled: [map ~domains:n f xs] returns exactly
+    [List.map f xs] for any [n] whenever [f x] depends only on [x].
+
+    Intended for workloads whose items share no mutable state (each
+    experiment in the registry builds its own [Rng] and [Engine]); the
+    pool itself adds no synchronization around [f]. *)
+
+val default_domains : unit -> int
+(** Domains used when [?domains] is omitted:
+    [Domain.recommended_domain_count ()] clamped to [\[1, 8\]]. *)
+
+val map : ?domains:int -> ('a -> 'b) -> 'a list -> 'b list
+(** [map ?domains f xs] applies [f] to every element of [xs] using up
+    to [domains] domains (the calling domain participates as one of
+    them) and returns the results in input order.
+
+    [~domains:1] — or a single-element or empty [xs] — runs
+    sequentially in the calling domain with no domain spawned at all,
+    which is the determinism-pinning mode CI uses.
+
+    If [f] raises on some elements, all remaining work still completes,
+    and then the exception of the {e earliest} failing input (with its
+    original backtrace) is re-raised in the calling domain.  Raises
+    [Invalid_argument] if [domains < 1]. *)

@@ -4,9 +4,20 @@ type 'a t = {
   mutable data : 'a entry array;
   mutable size : int;
   mutable next_seq : int;
+  dummy : 'a entry;
+      (* Placeholder written into vacated slots so the heap never
+         retains a popped entry (or its payload) behind [size].  Slots
+         at indices >= size are write-only, so the unsafe [value] can
+         never be read. *)
 }
 
-let create () = { data = [||]; size = 0; next_seq = 0 }
+let create () =
+  {
+    data = [||];
+    size = 0;
+    next_seq = 0;
+    dummy = { key = nan; seq = -1; value = Obj.magic () };
+  }
 
 let length q = q.size
 
@@ -15,11 +26,11 @@ let is_empty q = q.size = 0
 (* entry a sorts before entry b: smaller key first, then earlier seq. *)
 let before a b = a.key < b.key || (a.key = b.key && a.seq < b.seq)
 
-let grow q e =
+let grow q =
   let cap = Array.length q.data in
   if q.size = cap then begin
     let ncap = if cap = 0 then 16 else 2 * cap in
-    let ndata = Array.make ncap e in
+    let ndata = Array.make ncap q.dummy in
     Array.blit q.data 0 ndata 0 q.size;
     q.data <- ndata
   end
@@ -50,7 +61,7 @@ let rec sift_down q i =
 let push q key value =
   let e = { key; seq = q.next_seq; value } in
   q.next_seq <- q.next_seq + 1;
-  grow q e;
+  grow q;
   q.data.(q.size) <- e;
   q.size <- q.size + 1;
   sift_up q (q.size - 1)
@@ -68,8 +79,10 @@ let pop q =
     q.size <- q.size - 1;
     if q.size > 0 then begin
       q.data.(0) <- q.data.(q.size);
+      q.data.(q.size) <- q.dummy;
       sift_down q 0
-    end;
+    end
+    else q.data.(0) <- q.dummy;
     Some (e.key, e.value)
   end
 
@@ -79,7 +92,9 @@ let clear q =
 
 let to_sorted_list q =
   let entries = Array.sub q.data 0 q.size in
-  let copy = { data = entries; size = q.size; next_seq = q.next_seq } in
+  let copy =
+    { data = entries; size = q.size; next_seq = q.next_seq; dummy = q.dummy }
+  in
   (* Array.sub shares no structure with q.data mutations below. *)
   let rec drain acc =
     match pop copy with

@@ -55,7 +55,10 @@ let gaussian t ~mu ~sigma =
     let u = float t 1.0 in
     if u > 0.0 then u else nonzero ()
   in
-  let u1 = nonzero () and u2 = float t 1.0 in
+  (* Bind u1 before u2: [let _ and _] has unspecified evaluation order,
+     which made the draw sequence compiler-dependent. *)
+  let u1 = nonzero () in
+  let u2 = float t 1.0 in
   mu +. (sigma *. sqrt (-2.0 *. log u1) *. cos (2.0 *. Float.pi *. u2))
 
 let exponential t ~rate =
@@ -93,13 +96,18 @@ let weighted_index t w =
   in
   if total <= 0.0 then invalid_arg "Rng.weighted_index: zero total weight";
   let target = float t total in
-  let rec scan i acc =
-    if i = n - 1 then i
+  (* [last_pos] is the most recent positive-weight index: if float
+     rounding makes the running sum fall short of [target] even at the
+     end, we return it rather than defaulting to a possibly zero-weight
+     [n - 1]; a zero-weight index is never returned. *)
+  let rec scan i acc last_pos =
+    if i = n then last_pos
     else
       let acc = acc +. w.(i) in
-      if target < acc then i else scan (i + 1) acc
+      let last_pos = if w.(i) > 0.0 then i else last_pos in
+      if target < acc then last_pos else scan (i + 1) acc last_pos
   in
-  scan 0 0.0
+  scan 0 0.0 (-1)
 
 let shuffle t arr =
   for i = Array.length arr - 1 downto 1 do

@@ -46,7 +46,9 @@ val bernoulli : t -> float -> bool
 (** [bernoulli t p] is [true] with probability [p] (clamped to [0,1]). *)
 
 val gaussian : t -> mu:float -> sigma:float -> float
-(** Normal deviate by Box–Muller. *)
+(** Normal deviate by Box–Muller.  Consumes exactly the draws of its
+    two uniforms, in a fixed (compiler-independent) order, so streams
+    that interleave [gaussian] with other draws are reproducible. *)
 
 val exponential : t -> rate:float -> float
 (** Exponential deviate with the given rate ([rate > 0]). *)
@@ -64,8 +66,10 @@ val choice_list : t -> 'a list -> 'a
 
 val weighted_index : t -> float array -> int
 (** [weighted_index t w] samples an index proportionally to the
-    non-negative weights [w].  Raises [Invalid_argument] if all weights are
-    zero or [w] is empty. *)
+    non-negative weights [w].  An index with zero weight is never
+    returned (in particular not a zero-weight trailing index, even
+    under float rounding).  Raises [Invalid_argument] if all weights
+    are zero or [w] is empty. *)
 
 val shuffle : t -> 'a array -> unit
 (** In-place Fisher–Yates shuffle. *)

@@ -70,6 +70,45 @@ let test_engine_until () =
   check_float "clock at horizon" 5.0 (Engine.now e);
   Alcotest.(check int) "one pending" 1 (Engine.pending e)
 
+let test_engine_until_drained () =
+  (* Regression: when the queue emptied before the horizon, the clock
+     used to stay at the last event time instead of advancing to
+     [until], inconsistently with the beyond-horizon branch. *)
+  let e = Engine.create () in
+  ignore (Engine.schedule e 1.0 (fun _ -> ()));
+  Engine.run ~until:5.0 e;
+  check_float "clock at horizon after drain" 5.0 (Engine.now e);
+  let e2 = Engine.create () in
+  Engine.run ~until:3.0 e2;
+  check_float "clock at horizon on empty queue" 3.0 (Engine.now e2)
+
+let test_engine_until_never_backwards () =
+  let e = Engine.create () in
+  ignore (Engine.schedule e 4.0 (fun _ -> ()));
+  Engine.run e;
+  Engine.run ~until:2.0 e;
+  check_float "earlier horizon is a no-op" 4.0 (Engine.now e)
+
+let test_engine_cancel_reaped () =
+  (* Regression: ids cancelled for events that never pop used to stay in
+     the cancellation table forever. *)
+  let e = Engine.create () in
+  ignore (Engine.schedule e 1.0 (fun _ -> ()));
+  let far = Engine.schedule e 10.0 (fun _ -> Alcotest.fail "cancelled event fired") in
+  Engine.cancel e far;
+  Engine.run ~until:5.0 e;
+  Alcotest.(check int) "still pending beyond horizon" 1 (Engine.pending e);
+  Alcotest.(check int) "cancellation outstanding" 1 (Engine.cancelled_backlog e);
+  Engine.run e;
+  Alcotest.(check int) "queue drained" 0 (Engine.pending e);
+  Alcotest.(check int) "table reaped on drain" 0 (Engine.cancelled_backlog e);
+  (* stale cancel of an already-fired id is reaped too *)
+  let id = Engine.schedule e 20.0 (fun _ -> ()) in
+  Engine.run e;
+  Engine.cancel e id;
+  Alcotest.(check bool) "empty step reaps" false (Engine.step e);
+  Alcotest.(check int) "stale id reaped" 0 (Engine.cancelled_backlog e)
+
 let test_engine_step () =
   let e = Engine.create () in
   Alcotest.(check bool) "empty step" false (Engine.step e);
@@ -754,6 +793,12 @@ let () =
           Alcotest.test_case "cancel" `Quick test_engine_cancel;
           Alcotest.test_case "past raises" `Quick test_engine_past_raises;
           Alcotest.test_case "run until" `Quick test_engine_until;
+          Alcotest.test_case "until after drain" `Quick
+            test_engine_until_drained;
+          Alcotest.test_case "until never backwards" `Quick
+            test_engine_until_never_backwards;
+          Alcotest.test_case "cancel table reaped" `Quick
+            test_engine_cancel_reaped;
           Alcotest.test_case "step" `Quick test_engine_step;
         ] );
       ( "packet",

@@ -137,6 +137,47 @@ let test_rng_split_independent () =
   ignore (Rng.int64 b);
   Alcotest.(check int64) "split independent" (Rng.int64 a') (Rng.int64 a)
 
+(* Regression pins: exact draw sequences for fixed seeds.  These fail if
+   the number or order of uniform draws inside a sampler ever changes
+   again (gaussian once depended on unspecified evaluation order). *)
+
+let test_rng_gaussian_pinned () =
+  let rng = Rng.create 123 in
+  List.iter
+    (fun expected ->
+      Alcotest.(check (float 0.0)) "pinned gaussian" expected
+        (Rng.gaussian rng ~mu:0.0 ~sigma:1.0))
+    [ -0.82820331445494455; -0.37134836789444403; 1.2841706573433365;
+      -0.43465361761377846 ]
+
+let test_rng_gaussian_interleaved_pinned () =
+  (* u1 must be drawn before u2: interleaving with [float] exposes any
+     order flip as a different third value *)
+  let rng = Rng.create 42 in
+  Alcotest.(check (float 0.0)) "g1" 2.0861053027384839
+    (Rng.gaussian rng ~mu:1.0 ~sigma:2.0);
+  Alcotest.(check (float 0.0)) "f" 0.16639780398145976 (Rng.float rng 1.0);
+  Alcotest.(check (float 0.0)) "g2" 5.8925335848567046
+    (Rng.gaussian rng ~mu:1.0 ~sigma:2.0)
+
+let test_rng_weighted_index_pinned () =
+  let rng = Rng.create 7 in
+  let w = [| 1.0; 2.0; 3.0 |] in
+  let drawn = List.init 12 (fun _ -> Rng.weighted_index rng w) in
+  Alcotest.(check (list int)) "pinned indices"
+    [ 2; 1; 2; 2; 2; 1; 1; 2; 2; 0; 2; 1 ] drawn
+
+let test_rng_weighted_zero_tail () =
+  let rng = Rng.create 57 in
+  for _ = 1 to 10_000 do
+    let i = Rng.weighted_index rng [| 2.0; 1.0; 0.0 |] in
+    Alcotest.(check bool) "trailing zero weight never drawn" true (i < 2)
+  done;
+  for _ = 1 to 100 do
+    Alcotest.(check int) "only positive index" 1
+      (Rng.weighted_index rng [| 0.0; 5.0; 0.0 |])
+  done
+
 (* ---------- Stats ---------- *)
 
 let test_stats_mean () = check_float "mean" 2.0 (Stats.mean [| 1.0; 2.0; 3.0 |])
@@ -225,6 +266,50 @@ let test_pqueue_stress_sorted () =
   in
   Alcotest.(check bool) "drain sorted" true (sorted keys);
   Alcotest.(check int) "nondestructive" 1000 (Pqueue.length q)
+
+let test_pqueue_pop_releases () =
+  (* Regression: a popped entry used to stay reachable from the vacated
+     array slot, retaining its payload until the slot was overwritten. *)
+  let q = Pqueue.create () in
+  let w = Weak.create 4 in
+  for i = 0 to 3 do
+    let payload = Bytes.make 64 'x' in
+    Weak.set w i (Some payload);
+    Pqueue.push q (float_of_int i) payload
+  done;
+  for _ = 0 to 3 do
+    ignore (Pqueue.pop q)
+  done;
+  Gc.full_major ();
+  Gc.full_major ();
+  for i = 0 to 3 do
+    Alcotest.(check bool)
+      (Printf.sprintf "payload %d collected" i)
+      false (Weak.check w i)
+  done
+
+let test_pqueue_drain_after_leak_fix () =
+  (* Slot clearing must not change observable behaviour: same length
+     accounting, same drain order, and the queue stays reusable. *)
+  let rng = Rng.create 4242 in
+  let q = Pqueue.create () in
+  for i = 0 to 199 do
+    Pqueue.push q (Rng.float rng 10.0) i
+  done;
+  Alcotest.(check int) "length" 200 (Pqueue.length q);
+  let rec drain last n =
+    match Pqueue.pop q with
+    | None -> n
+    | Some (k, _) ->
+      Alcotest.(check bool) "sorted" true (k >= last);
+      Alcotest.(check int) "length tracks" (199 - n) (Pqueue.length q);
+      drain k (n + 1)
+  in
+  let n = drain neg_infinity 0 in
+  Alcotest.(check int) "drained all" 200 n;
+  Pqueue.push q 1.0 7;
+  Alcotest.(check (option (pair (float 0.0) int)))
+    "reusable after drain" (Some (1.0, 7)) (Pqueue.pop q)
 
 let test_pqueue_peek () =
   let q = Pqueue.create () in
@@ -462,6 +547,13 @@ let () =
           Alcotest.test_case "shuffle permutation" `Quick test_rng_shuffle_permutation;
           Alcotest.test_case "sample distinct" `Quick test_rng_sample_distinct;
           Alcotest.test_case "split independence" `Quick test_rng_split_independent;
+          Alcotest.test_case "gaussian pinned" `Quick test_rng_gaussian_pinned;
+          Alcotest.test_case "gaussian interleaved pinned" `Quick
+            test_rng_gaussian_interleaved_pinned;
+          Alcotest.test_case "weighted index pinned" `Quick
+            test_rng_weighted_index_pinned;
+          Alcotest.test_case "weighted zero tail" `Quick
+            test_rng_weighted_zero_tail;
         ] );
       ( "stats",
         [
@@ -484,6 +576,10 @@ let () =
           Alcotest.test_case "fifo ties" `Quick test_pqueue_fifo_ties;
           Alcotest.test_case "stress sorted" `Quick test_pqueue_stress_sorted;
           Alcotest.test_case "peek" `Quick test_pqueue_peek;
+          Alcotest.test_case "pop releases payload" `Quick
+            test_pqueue_pop_releases;
+          Alcotest.test_case "drain after leak fix" `Quick
+            test_pqueue_drain_after_leak_fix;
         ] );
       ( "graph",
         [
