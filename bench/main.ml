@@ -11,7 +11,10 @@
 
    Run with: dune exec bench/main.exe
    Options:  --experiments-only | --bench-only | --experiment <id>
-             --domains <n> | --seq   (parallel experiment runner) *)
+             --domains <n> | --seq   (parallel experiment runner)
+             --metrics               (print the telemetry table)
+             --trace <file>          (write Chrome trace-event JSON)
+             --report <file>         (write the battery report JSON) *)
 
 module Rng = Tussle_prelude.Rng
 module Graph = Tussle_prelude.Graph
@@ -203,25 +206,68 @@ let () =
     in
     find args
   in
+  let flag_value name =
+    let prefix = name ^ "=" in
+    let plen = String.length prefix in
+    let rec find = function
+      | flag :: v :: _ when flag = name -> Some v
+      | flag :: _
+        when String.length flag >= plen && String.sub flag 0 plen = prefix ->
+        Some (String.sub flag plen (String.length flag - plen))
+      | _ :: rest -> find rest
+      | [] -> None
+    in
+    find args
+  in
   let domains =
     if List.mem "--seq" args then Some 1
     else
-      let rec find = function
-        | "--domains" :: n :: _ -> int_of_string_opt n
-        | _ :: rest -> find rest
-        | [] -> None
-      in
-      find args
+      match flag_value "--domains" with
+      | None -> None
+      | Some s -> (
+        (* Reject garbage with exit 2, like --domains 0: a typo must
+           never silently fall back to the default domain count. *)
+        match Tussle_prelude.Pool.domains_of_string s with
+        | Ok d -> Some d
+        | Error msg ->
+          prerr_endline ("main: --domains: " ^ msg);
+          exit 2)
   in
-  (match domains with
-  | Some d when d < 1 ->
-    prerr_endline "main: --domains must be >= 1";
-    exit 2
-  | _ -> ());
+  let trace_file = flag_value "--trace" in
+  let report_file = flag_value "--report" in
+  let metrics = List.mem "--metrics" args in
+  if metrics || report_file <> None then Tussle_obs.Metrics.enable ();
+  if trace_file <> None then Tussle_obs.Trace.enable ();
+  let emit_report ~wall_s outcomes =
+    match report_file with
+    | None -> ()
+    | Some file ->
+      let domains =
+        match domains with
+        | Some d -> d
+        | None -> Tussle_prelude.Pool.default_domains ()
+      in
+      let r = Tussle_experiments.Registry.report ~domains ~wall_s outcomes in
+      Tussle_obs.Report.write file r;
+      print_newline ();
+      print_string (Tussle_obs.Report.summary r)
+  in
+  let finish code =
+    (match trace_file with
+    | Some f -> Tussle_obs.Trace.write_chrome f
+    | None -> ());
+    if metrics then begin
+      print_newline ();
+      print_string (Tussle_obs.Metrics.render (Tussle_obs.Metrics.snapshot ()))
+    end;
+    exit code
+  in
   match single with
   | Some id -> begin
     match Tussle_experiments.Registry.run_one id with
-    | Ok held -> exit (if held then 0 else 1)
+    | Ok o ->
+      emit_report ~wall_s:o.Tussle_experiments.Experiment.wall_s [ o ];
+      finish (if Tussle_experiments.Experiment.held o then 0 else 1)
     | Error msg ->
       prerr_endline msg;
       exit 2
@@ -235,11 +281,15 @@ let () =
            The paper is a position paper with no tables or figures; each\n\
            experiment below regenerates one of its qualitative claims\n\
            (see DESIGN.md section 3 for the index).\n\n";
-        Tussle_experiments.Registry.run_all ?domains ()
+        let ok, outcomes, wall_s =
+          Tussle_experiments.Registry.run_battery ?domains ()
+        in
+        emit_report ~wall_s outcomes;
+        ok
       end
     in
     if not experiments_only then begin
       print_newline ();
       microbenchmarks ()
     end;
-    exit (if ok then 0 else 1)
+    finish (if ok then 0 else 1)

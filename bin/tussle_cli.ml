@@ -2,11 +2,16 @@
 
    Subcommands:
      experiments [-e ID]   regenerate the paper's experiments
+     report FILE           validate and summarize a battery report
      scenario              run the actor/mechanism tussle engine
      market                run the access-provider market model
      policy FILE REQUEST   evaluate a policy compliance query *)
 
 open Cmdliner
+module Obs_metrics = Tussle_obs.Metrics
+module Obs_trace = Tussle_obs.Trace
+module Obs_report = Tussle_obs.Report
+module Obs_json = Tussle_obs.Json
 
 (* ---------- experiments ---------- *)
 
@@ -16,37 +21,137 @@ let experiments_cmd =
     Arg.(value & opt (some string) None & info [ "e"; "experiment" ] ~doc)
   in
   let domains =
+    (* Taken as a string so garbage is rejected with exit 2 (like
+       --domains 0) instead of cmdliner's generic CLI error. *)
     let doc =
       "Number of domains for the parallel experiment runner (default: the \
        recommended domain count).  Output is byte-identical for any value."
     in
-    Arg.(value & opt (some int) None & info [ "domains" ] ~doc ~docv:"N")
+    Arg.(value & opt (some string) None & info [ "domains" ] ~doc ~docv:"N")
   in
   let seq =
     let doc = "Run strictly sequentially (same as --domains 1); pins \
                determinism for CI." in
     Arg.(value & flag & info [ "seq" ] ~doc)
   in
-  let run id domains seq =
-    let domains = if seq then Some 1 else domains in
-    match domains with
-    | Some d when d < 1 ->
-      prerr_endline "experiments: --domains must be >= 1";
+  let metrics =
+    let doc = "Collect telemetry and print the metrics table after the run." in
+    Arg.(value & flag & info [ "metrics" ] ~doc)
+  in
+  let trace =
+    let doc = "Record spans and write Chrome trace-event JSON to $(docv) \
+               (open in chrome://tracing or Perfetto)." in
+    Arg.(value & opt (some string) None & info [ "trace" ] ~doc ~docv:"FILE")
+  in
+  let report =
+    let doc = "Write the machine-readable battery report JSON to $(docv) and \
+               print its summary table." in
+    Arg.(value & opt (some string) None & info [ "report" ] ~doc ~docv:"FILE")
+  in
+  let run id domains seq metrics trace report =
+    let domains_result =
+      if seq then Ok (Some 1)
+      else
+        match domains with
+        | None -> Ok None
+        | Some s -> Result.map Option.some (Tussle_prelude.Pool.domains_of_string s)
+    in
+    match domains_result with
+    | Error msg ->
+      prerr_endline ("experiments: --domains: " ^ msg);
       2
-    | _ -> (
-    match id with
-    | None -> if Tussle_experiments.Registry.run_all ?domains () then 0 else 1
-    | Some id -> begin
-      match Tussle_experiments.Registry.run_one id with
-      | Ok true -> 0
-      | Ok false -> 1
-      | Error msg ->
-        prerr_endline msg;
-        2
-    end)
+    | Ok domains -> (
+      if metrics || report <> None then Obs_metrics.enable ();
+      if trace <> None then Obs_trace.enable ();
+      let emit_report ~wall_s outcomes =
+        match report with
+        | None -> ()
+        | Some file ->
+          let domains =
+            match domains with
+            | Some d -> d
+            | None -> Tussle_prelude.Pool.default_domains ()
+          in
+          let r = Tussle_experiments.Registry.report ~domains ~wall_s outcomes in
+          Obs_report.write file r;
+          print_newline ();
+          print_string (Obs_report.summary r)
+      in
+      let finish code =
+        (match trace with Some f -> Obs_trace.write_chrome f | None -> ());
+        if metrics then begin
+          print_newline ();
+          print_string (Obs_metrics.render (Obs_metrics.snapshot ()))
+        end;
+        code
+      in
+      match id with
+      | None ->
+        let ok, outcomes, wall_s =
+          Tussle_experiments.Registry.run_battery ?domains ()
+        in
+        emit_report ~wall_s outcomes;
+        finish (if ok then 0 else 1)
+      | Some id -> begin
+        match Tussle_experiments.Registry.run_one id with
+        | Ok o ->
+          emit_report ~wall_s:o.Tussle_experiments.Experiment.wall_s [ o ];
+          finish (if Tussle_experiments.Experiment.held o then 0 else 1)
+        | Error msg ->
+          prerr_endline msg;
+          2
+      end)
   in
   let doc = "regenerate the paper's experiments (E1..E27)" in
-  Cmd.v (Cmd.info "experiments" ~doc) Term.(const run $ id $ domains $ seq)
+  Cmd.v (Cmd.info "experiments" ~doc)
+    Term.(const run $ id $ domains $ seq $ metrics $ trace $ report)
+
+(* ---------- report ---------- *)
+
+let report_cmd =
+  let file =
+    Arg.(required & pos 0 (some file) None
+         & info [] ~docv:"REPORT-FILE" ~doc:"Battery report JSON to check.")
+  in
+  let run file =
+    let contents =
+      let ic = open_in file in
+      let n = in_channel_length ic in
+      let s = really_input_string ic n in
+      close_in ic;
+      s
+    in
+    match Obs_json.parse contents with
+    | Error msg ->
+      Printf.eprintf "%s: %s\n" file msg;
+      2
+    | Ok json -> (
+      match Obs_report.validate json with
+      | Error msg ->
+        Printf.eprintf "%s: invalid battery report: %s\n" file msg;
+        2
+      | Ok () ->
+        let str name = Option.bind (Obs_json.member name json) Obs_json.to_str in
+        let intf path node =
+          Option.bind (Obs_json.member path node) Obs_json.to_int
+        in
+        let summary = Obs_json.member "summary" json in
+        Printf.printf "%s: valid %s\n" file
+          (Option.value ~default:"battery report" (str "schema"));
+        (match summary with
+        | Some s ->
+          Printf.printf
+            "label=%s experiments=%d held=%d violated=%d failed=%d\n"
+            (Option.value ~default:"?" (str "label"))
+            (Option.value ~default:0 (intf "total" s))
+            (Option.value ~default:0 (intf "held" s))
+            (Option.value ~default:0 (intf "violated" s))
+            (Option.value ~default:0 (intf "failed" s))
+        | None -> ());
+        0)
+  in
+  let doc = "validate and summarize a battery report JSON file" in
+  Cmd.v (Cmd.info "report" ~doc) Term.(const run $ file)
 
 (* ---------- scenario ---------- *)
 
@@ -224,6 +329,7 @@ let () =
   let doc = "the Tussle-in-Cyberspace simulation framework" in
   let info = Cmd.info "tussle" ~version:"1.0.0" ~doc in
   let group =
-    Cmd.group info [ experiments_cmd; scenario_cmd; market_cmd; policy_cmd ]
+    Cmd.group info
+      [ experiments_cmd; report_cmd; scenario_cmd; market_cmd; policy_cmd ]
   in
   exit (Cmd.eval' group)

@@ -1,3 +1,7 @@
+module Metrics = Tussle_obs.Metrics
+module Trace = Tussle_obs.Trace
+module Clock = Tussle_obs.Clock
+
 type t = {
   id : string;
   title : string;
@@ -12,6 +16,9 @@ type outcome = {
   exp_title : string;
   output : string;
   status : status;
+  wall_s : float;
+  events_executed : int;
+  allocated_bytes : float;
 }
 
 let header t =
@@ -28,15 +35,33 @@ let render t =
 
 let held o = o.status = Held
 
+(* Same handle Engine accumulates into (interned by name): the
+   local-count delta around a synchronous run attributes engine events
+   to this experiment even while other domains run concurrently. *)
+let m_engine_events = Metrics.counter "engine.events_executed"
+let m_experiments = Metrics.counter "experiments.run"
+
 let run t =
-  match t.run () with
-  | body, ok ->
+  Trace.with_span ~cat:"experiment" ~args:[ ("id", t.id) ] "experiment"
+  @@ fun () ->
+  Metrics.incr m_experiments;
+  let events0 = Metrics.local_count m_engine_events in
+  let alloc0 = Gc.allocated_bytes () in
+  let wall0 = Clock.now_s () in
+  let finish status output =
     {
       exp_id = t.id;
       exp_title = t.title;
-      output = header t ^ body ^ footer ok;
-      status = (if ok then Held else Violated);
+      output;
+      status;
+      wall_s = Clock.now_s () -. wall0;
+      events_executed = Metrics.local_count m_engine_events - events0;
+      allocated_bytes = Gc.allocated_bytes () -. alloc0;
     }
+  in
+  match t.run () with
+  | body, ok ->
+    finish (if ok then Held else Violated) (header t ^ body ^ footer ok)
   | exception e ->
     let msg = Printexc.to_string e in
     let bt = Printexc.get_backtrace () in
@@ -45,5 +70,4 @@ let run t =
         (if bt = "" then "(no backtrace: Printexc.record_backtrace off)\n"
          else bt)
     in
-    { exp_id = t.id; exp_title = t.title; output = header t ^ body;
-      status = Failed msg }
+    finish (Failed msg) (header t ^ body)

@@ -31,13 +31,24 @@ type outcome = {
       (** the fully rendered block: header, body (or failure report),
           footer — ready to print verbatim *)
   status : status;
+  wall_s : float;  (** wall clock of this [run] (monotonic) *)
+  events_executed : int;
+      (** engine events attributed to this run via the domain-local
+          [engine.events_executed] counter delta; 0 while
+          {!Tussle_obs.Metrics} is disabled *)
+  allocated_bytes : float;
+      (** [Gc.allocated_bytes] delta of the running domain (approximate
+          under parallelism) *)
 }
 
 val run : t -> outcome
 (** Run with fault isolation: an uncaught exception becomes
     [Failed msg] with a ["FAILED (uncaught: ...)"] body (plus backtrace
     when [Printexc.record_backtrace] is on) instead of propagating, so
-    one broken experiment cannot abort a battery. *)
+    one broken experiment cannot abort a battery.  Every run fills the
+    outcome's wall-clock/events/allocation telemetry and, when
+    {!Tussle_obs.Trace} is enabled, records an ["experiment"] span
+    tagged with the experiment id. *)
 
 val held : outcome -> bool
 (** [held o] iff [o.status = Held]. *)

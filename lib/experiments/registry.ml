@@ -42,8 +42,12 @@ let find id =
 let run_list ?domains experiments =
   Tussle_prelude.Pool.map ?domains Experiment.run experiments
 
-let run_all ?domains () =
-  let outcomes = run_list ?domains all in
+let run_battery ?domains () =
+  let wall0 = Tussle_obs.Clock.now_s () in
+  let outcomes =
+    Tussle_obs.Trace.with_span ~cat:"battery" "battery" (fun () ->
+        run_list ?domains all)
+  in
   List.iter
     (fun o ->
       print_string o.Experiment.output;
@@ -52,6 +56,10 @@ let run_all ?domains () =
   let ok = List.for_all Experiment.held outcomes in
   Printf.printf "=== %d experiments, shape checks %s ===\n" (List.length all)
     (if ok then "ALL HOLD" else "SOME FAILED");
+  (ok, outcomes, Tussle_obs.Clock.now_s () -. wall0)
+
+let run_all ?domains () =
+  let ok, _, _ = run_battery ?domains () in
   ok
 
 let run_one id =
@@ -60,4 +68,39 @@ let run_one id =
   | Some e ->
     let o = Experiment.run e in
     print_string o.Experiment.output;
-    Ok (Experiment.held o)
+    Ok o
+
+(* ---------- battery report ---------- *)
+
+let report ?(label = "battery") ~domains ~wall_s outcomes =
+  let exp_of_outcome (o : Experiment.outcome) =
+    let status, detail =
+      match o.Experiment.status with
+      | Experiment.Held -> ("held", "")
+      | Experiment.Violated -> ("violated", "")
+      | Experiment.Failed msg -> ("failed", msg)
+    in
+    {
+      Tussle_obs.Report.id = o.Experiment.exp_id;
+      title = o.Experiment.exp_title;
+      status;
+      detail;
+      wall_s = o.Experiment.wall_s;
+      events_executed = o.Experiment.events_executed;
+      allocated_bytes = o.Experiment.allocated_bytes;
+    }
+  in
+  let pool =
+    Option.map
+      (fun (s : Tussle_prelude.Pool.stats) ->
+        {
+          Tussle_obs.Report.workers = s.Tussle_prelude.Pool.workers;
+          tasks = s.Tussle_prelude.Pool.tasks;
+          busy_s = s.Tussle_prelude.Pool.busy_s;
+          pool_wall_s = s.Tussle_prelude.Pool.wall_s;
+        })
+      (Tussle_prelude.Pool.last_stats ())
+  in
+  let metrics = Tussle_obs.Metrics.snapshot () in
+  Tussle_obs.Report.make ~label ?pool ~metrics ~domains ~wall_s
+    (List.map exp_of_outcome outcomes)

@@ -24,5 +24,23 @@ val run_all : ?domains:int -> unit -> bool
     [true] iff every shape check held (a [Failed] experiment counts as
     not holding). *)
 
-val run_one : string -> (bool, string) result
-(** Print one experiment by id (fault-isolated like {!run_all}). *)
+val run_battery :
+  ?domains:int -> unit -> bool * Experiment.outcome list * float
+(** Like {!run_all} but also returns the outcomes (for report
+    building) and the battery wall clock in seconds.  The whole run is
+    wrapped in a ["battery"] span when tracing is enabled. *)
+
+val run_one : string -> (Experiment.outcome, string) result
+(** Print one experiment by id (fault-isolated like {!run_all}) and
+    return its outcome. *)
+
+val report :
+  ?label:string ->
+  domains:int ->
+  wall_s:float ->
+  Experiment.outcome list ->
+  Tussle_obs.Report.t
+(** Assemble the structured battery report from outcomes plus the
+    current {!Tussle_prelude.Pool.last_stats} and
+    {!Tussle_obs.Metrics.snapshot}.  Call it right after the battery,
+    before anything else touches the pool or the metric sinks. *)

@@ -1,3 +1,7 @@
+module Metrics = Tussle_obs.Metrics
+module Trace = Tussle_obs.Trace
+module Clock = Tussle_obs.Clock
+
 type event_id = int
 
 type event = { id : event_id; action : t -> unit }
@@ -8,6 +12,8 @@ and t = {
   cancelled : (event_id, unit) Hashtbl.t;
   mutable next_id : event_id;
   mutable executed : int;
+  mutable queue_hw : int;
+  mutable reaped : int;
 }
 
 let create () =
@@ -17,6 +23,8 @@ let create () =
     cancelled = Hashtbl.create 64;
     next_id = 0;
     executed = 0;
+    queue_hw = 0;
+    reaped = 0;
   }
 
 let now t = t.clock
@@ -27,6 +35,8 @@ let schedule t at action =
   let id = t.next_id in
   t.next_id <- id + 1;
   Tussle_prelude.Pqueue.push t.queue at { id; action };
+  let depth = Tussle_prelude.Pqueue.length t.queue in
+  if depth > t.queue_hw then t.queue_hw <- depth;
   id
 
 let schedule_after t delay action =
@@ -39,9 +49,16 @@ let cancelled_backlog t = Hashtbl.length t.cancelled
 
 let pending t = Tussle_prelude.Pqueue.length t.queue
 
+let reap_stale t =
+  t.reaped <- t.reaped + Hashtbl.length t.cancelled;
+  Hashtbl.reset t.cancelled
+
 let fire t at ev =
   t.clock <- at;
-  if Hashtbl.mem t.cancelled ev.id then Hashtbl.remove t.cancelled ev.id
+  if Hashtbl.mem t.cancelled ev.id then begin
+    Hashtbl.remove t.cancelled ev.id;
+    t.reaped <- t.reaped + 1
+  end
   else begin
     t.executed <- t.executed + 1;
     ev.action t
@@ -50,13 +67,22 @@ let fire t at ev =
 let step t =
   match Tussle_prelude.Pqueue.pop t.queue with
   | None ->
-    Hashtbl.reset t.cancelled;
+    reap_stale t;
     false
   | Some (at, ev) ->
     fire t at ev;
     true
 
-let run ?until t =
+(* Telemetry handles; created once at module initialization so the
+   per-run emission path is just array writes in this domain's sink. *)
+let m_runs = Metrics.counter "engine.runs"
+let m_events = Metrics.counter "engine.events_executed"
+let m_reaped = Metrics.counter "engine.cancellations_reaped"
+let m_queue_hw = Metrics.gauge "engine.queue_depth_high_water"
+let m_run_wall = Metrics.histogram "engine.run_wall_s"
+let m_sim_per_wall = Metrics.histogram "engine.sim_per_wall"
+
+let run_loop ?until t =
   let horizon = Option.value ~default:infinity until in
   let rec loop () =
     match Tussle_prelude.Pqueue.peek t.queue with
@@ -73,6 +99,38 @@ let run ?until t =
   if Float.is_finite horizon && horizon > t.clock then t.clock <- horizon;
   (* With no events pending, every outstanding cancellation is stale:
      reap the table so long-lived engines do not accumulate ids. *)
-  if Tussle_prelude.Pqueue.is_empty t.queue then Hashtbl.reset t.cancelled
+  if Tussle_prelude.Pqueue.is_empty t.queue then reap_stale t
+
+let run ?until t =
+  (* One flag check per run, nothing per event: the disabled path is
+     the pre-telemetry loop verbatim. *)
+  let metrics_on = Metrics.enabled () in
+  let tracing_on = Trace.enabled () in
+  if not (metrics_on || tracing_on) then run_loop ?until t
+  else begin
+    let sp = Trace.begin_span ~cat:"engine" "engine.run" in
+    let wall0 = Clock.now_s () in
+    let executed0 = t.executed in
+    let reaped0 = t.reaped in
+    let sim0 = t.clock in
+    Fun.protect
+      ~finally:(fun () ->
+        Trace.end_span sp;
+        if metrics_on then begin
+          let wall = Clock.now_s () -. wall0 in
+          Metrics.incr m_runs;
+          Metrics.add m_events (t.executed - executed0);
+          Metrics.add m_reaped (t.reaped - reaped0);
+          Metrics.set m_queue_hw (float_of_int t.queue_hw);
+          Metrics.observe m_run_wall wall;
+          if wall > 0.0 then
+            Metrics.observe m_sim_per_wall ((t.clock -. sim0) /. wall)
+        end)
+      (fun () -> run_loop ?until t)
+  end
 
 let events_executed t = t.executed
+
+let queue_depth_high_water t = t.queue_hw
+
+let cancellations_reaped t = t.reaped

@@ -55,3 +55,21 @@ val step : t -> bool
 
 val events_executed : t -> int
 (** Count of events fired so far (diagnostics and benchmarks). *)
+
+val queue_depth_high_water : t -> int
+(** Largest number of simultaneously queued events seen over the
+    engine's lifetime (sampled after every [schedule]; cancelled
+    events count until they pop, like {!pending}). *)
+
+val cancellations_reaped : t -> int
+(** Total cancellations honoured so far: events skipped at pop time
+    plus stale ids cleared when the queue drained.  Monotone, unlike
+    {!cancelled_backlog} which counts only the outstanding ones.
+
+    Telemetry: when {!Tussle_obs.Metrics} is enabled, every [run]
+    also accumulates [engine.runs], [engine.events_executed],
+    [engine.cancellations_reaped], the [engine.queue_depth_high_water]
+    gauge and the [engine.run_wall_s] / [engine.sim_per_wall]
+    histograms, and opens an ["engine.run"] span when
+    {!Tussle_obs.Trace} is enabled.  With telemetry disabled the
+    event loop is unchanged. *)

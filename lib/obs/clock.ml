@@ -1,0 +1,3 @@
+let now_ns () = Monotonic_clock.now ()
+let now_s () = Int64.to_float (now_ns ()) *. 1e-9
+let ns_to_us ns = Int64.to_float ns *. 1e-3

@@ -1,0 +1,16 @@
+(** Monotonic time source for telemetry.
+
+    Timestamps come from [CLOCK_MONOTONIC] (via bechamel's noalloc
+    stub), so spans and wall-clock measurements are immune to NTP
+    steps.  The epoch is arbitrary (boot time); only differences and
+    orderings are meaningful. *)
+
+val now_ns : unit -> int64
+(** Nanoseconds on the monotonic clock. *)
+
+val now_s : unit -> float
+(** {!now_ns} in seconds ([float]); keeps sub-microsecond precision
+    for intervals up to days, which is all telemetry needs. *)
+
+val ns_to_us : int64 -> float
+(** Nanoseconds to microseconds (the unit Chrome trace events use). *)

@@ -1,0 +1,43 @@
+(** Minimal JSON tree, serializer, and parser.
+
+    The container has no yojson, so telemetry carries its own: enough
+    JSON to emit Chrome traces and battery reports and to parse them
+    back for validation (tests, [tussle report FILE], CI).  Strings
+    are escaped per RFC 8259; non-finite floats serialize as [null]
+    (JSON has no representation for them). *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : ?minify:bool -> t -> string
+(** Render; [minify:false] (default) pretty-prints with 2-space
+    indents so committed reports diff cleanly. *)
+
+val to_file : string -> t -> unit
+(** [to_string ~minify:false] plus a trailing newline, written
+    atomically-enough for telemetry (plain [open_out]). *)
+
+val parse : string -> (t, string) result
+(** Recursive-descent parser for the subset we emit (all of JSON minus
+    [\uXXXX] surrogate pairs, which decode as-is into the string).
+    Numbers without [.], [e] or [E] become [Int]; others [Float].
+    Errors carry a byte offset. *)
+
+val member : string -> t -> t option
+(** Field lookup; [None] on missing field or non-[Obj]. *)
+
+val to_int : t -> int option
+(** [Int n] and integral [Float] both yield [Some n]. *)
+
+val to_float : t -> float option
+(** [Float] or [Int] as a float. *)
+
+val to_str : t -> string option
+
+val to_list : t -> t list option

@@ -1,0 +1,243 @@
+(* Per-domain sinks merged at report time.
+
+   Hot path: [Domain.DLS.get] + a plain mutable cell write.  Cold
+   paths (handle creation, first touch of a sink in a new domain,
+   snapshot/reset) serialize on [registry_mutex].  The enabled flag is
+   the only atomic the hot path reads. *)
+
+let enabled_flag = Atomic.make false
+let enable () = Atomic.set enabled_flag true
+let disable () = Atomic.set enabled_flag false
+let enabled () = Atomic.get enabled_flag
+
+(* ---------- metric definitions (global, interned by name) ---------- *)
+
+type kind = Kcounter | Kgauge | Khistogram
+
+type counter = int (* definition id *)
+type gauge = int
+type histogram = int
+
+let registry_mutex = Mutex.create ()
+let defs : (string * kind) list ref = ref [] (* newest first *)
+let def_count = ref 0
+let by_name : (string, int * kind) Hashtbl.t = Hashtbl.create 32
+
+let locked f =
+  Mutex.lock registry_mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock registry_mutex) f
+
+let define name kind =
+  locked (fun () ->
+      match Hashtbl.find_opt by_name name with
+      | Some (id, k) when k = kind -> id
+      | Some _ ->
+        invalid_arg
+          (Printf.sprintf "Metrics: %S already defined with another kind" name)
+      | None ->
+        let id = !def_count in
+        incr def_count;
+        defs := (name, kind) :: !defs;
+        Hashtbl.add by_name name (id, kind);
+        id)
+
+let counter name = define name Kcounter
+let gauge name = define name Kgauge
+let histogram name = define name Khistogram
+
+(* ---------- buckets ---------- *)
+
+let bucket_count = 64
+let bucket_base = 1e-9
+
+let bucket_index v =
+  if not (v >= bucket_base) then 0 (* negatives and NaN too *)
+  else
+    let _, e = Float.frexp (v /. bucket_base) in
+    (* v/base = m * 2^e with m in [0.5, 1), so v in [base*2^(e-1), base*2^e) *)
+    min (bucket_count - 1) e
+
+let bucket_upper i = bucket_base *. Float.ldexp 1.0 i
+
+(* ---------- per-domain sinks ---------- *)
+
+type gauge_cell = { mutable last : float; mutable max_ : float; mutable sets : int }
+
+type hist_cell = { counts : int array; mutable count : int; mutable sum : float }
+
+type sink = {
+  mutable counters : int array; (* indexed by definition id *)
+  mutable gauges : gauge_cell option array;
+  mutable hists : hist_cell option array;
+}
+
+let sinks : sink list ref = ref []
+
+let new_sink () =
+  let s =
+    {
+      counters = Array.make 8 0;
+      gauges = Array.make 8 None;
+      hists = Array.make 8 None;
+    }
+  in
+  locked (fun () -> sinks := s :: !sinks);
+  s
+
+let sink_key = Domain.DLS.new_key new_sink
+
+let grow_int a n =
+  let b = Array.make (max n (2 * Array.length a)) 0 in
+  Array.blit a 0 b 0 (Array.length a);
+  b
+
+let grow_opt a n =
+  let b = Array.make (max n (2 * Array.length a)) None in
+  Array.blit a 0 b 0 (Array.length a);
+  b
+
+let incr_by id by =
+  let s = Domain.DLS.get sink_key in
+  if id >= Array.length s.counters then s.counters <- grow_int s.counters (id + 1);
+  s.counters.(id) <- s.counters.(id) + by
+
+let add c by = if enabled () then incr_by c by
+let incr c = add c 1
+
+let local_count c =
+  let s = Domain.DLS.get sink_key in
+  if c >= Array.length s.counters then 0 else s.counters.(c)
+
+let set g v =
+  if enabled () then begin
+    let s = Domain.DLS.get sink_key in
+    if g >= Array.length s.gauges then s.gauges <- grow_opt s.gauges (g + 1);
+    match s.gauges.(g) with
+    | None -> s.gauges.(g) <- Some { last = v; max_ = v; sets = 1 }
+    | Some cell ->
+      cell.last <- v;
+      if v > cell.max_ then cell.max_ <- v;
+      cell.sets <- cell.sets + 1
+  end
+
+let observe h v =
+  if enabled () then begin
+    let s = Domain.DLS.get sink_key in
+    if h >= Array.length s.hists then s.hists <- grow_opt s.hists (h + 1);
+    let cell =
+      match s.hists.(h) with
+      | Some c -> c
+      | None ->
+        let c = { counts = Array.make bucket_count 0; count = 0; sum = 0.0 } in
+        s.hists.(h) <- Some c;
+        c
+    in
+    let b = bucket_index v in
+    cell.counts.(b) <- cell.counts.(b) + 1;
+    cell.count <- cell.count + 1;
+    cell.sum <- cell.sum +. v
+  end
+
+(* ---------- snapshot / reset ---------- *)
+
+type value =
+  | Count of int
+  | Level of { last : float; max_ : float; sets : int }
+  | Dist of { count : int; sum : float; buckets : (int * int) list }
+
+let snapshot () =
+  locked (fun () ->
+      let all_sinks = !sinks in
+      let named = List.rev !defs in
+      List.mapi
+        (fun id (name, kind) ->
+          let v =
+            match kind with
+            | Kcounter ->
+              Count
+                (List.fold_left
+                   (fun acc s ->
+                     acc
+                     + (if id < Array.length s.counters then s.counters.(id)
+                        else 0))
+                   0 all_sinks)
+            | Kgauge ->
+              let last = ref 0.0 and max_ = ref neg_infinity and sets = ref 0 in
+              List.iter
+                (fun s ->
+                  if id < Array.length s.gauges then
+                    match s.gauges.(id) with
+                    | Some c when c.sets > 0 ->
+                      if !sets = 0 then last := c.last;
+                      if c.max_ > !max_ then max_ := c.max_;
+                      sets := !sets + c.sets
+                    | _ -> ())
+                all_sinks;
+              if !sets = 0 then Level { last = 0.0; max_ = 0.0; sets = 0 }
+              else Level { last = !last; max_ = !max_; sets = !sets }
+            | Khistogram ->
+              let buckets = Array.make bucket_count 0 in
+              let count = ref 0 and sum = ref 0.0 in
+              List.iter
+                (fun s ->
+                  if id < Array.length s.hists then
+                    match s.hists.(id) with
+                    | Some c ->
+                      Array.iteri
+                        (fun i n -> buckets.(i) <- buckets.(i) + n)
+                        c.counts;
+                      count := !count + c.count;
+                      sum := !sum +. c.sum
+                    | None -> ())
+                all_sinks;
+              let nonempty = ref [] in
+              for i = bucket_count - 1 downto 0 do
+                if buckets.(i) > 0 then nonempty := (i, buckets.(i)) :: !nonempty
+              done;
+              Dist { count = !count; sum = !sum; buckets = !nonempty }
+          in
+          (name, v))
+        named
+      |> List.sort (fun (a, _) (b, _) -> compare a b))
+
+let reset () =
+  locked (fun () ->
+      List.iter
+        (fun s ->
+          Array.fill s.counters 0 (Array.length s.counters) 0;
+          Array.iteri
+            (fun i -> function
+              | Some _ -> s.gauges.(i) <- None
+              | None -> ())
+            s.gauges;
+          Array.iteri
+            (fun i -> function
+              | Some _ -> s.hists.(i) <- None
+              | None -> ())
+            s.hists)
+        !sinks)
+
+let render snap =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf
+    (Printf.sprintf "%-40s %-10s %s\n" "metric" "kind" "value");
+  Buffer.add_string buf (String.make 72 '-');
+  Buffer.add_char buf '\n';
+  List.iter
+    (fun (name, v) ->
+      let kind, rendered =
+        match v with
+        | Count n -> ("counter", string_of_int n)
+        | Level { last; max_; sets } ->
+          ( "gauge",
+            Printf.sprintf "last=%g max=%g sets=%d" last max_ sets )
+        | Dist { count; sum; _ } ->
+          ( "histogram",
+            if count = 0 then "empty"
+            else
+              Printf.sprintf "count=%d sum=%g mean=%g" count sum
+                (sum /. float_of_int count) )
+      in
+      Buffer.add_string buf (Printf.sprintf "%-40s %-10s %s\n" name kind rendered))
+    snap;
+  Buffer.contents buf

@@ -6,47 +6,142 @@
    coarse-grained items (each experiment runs a whole simulation) a
    single fetch-and-add per chunk is contention-free in practice, and
    it keeps the scheduler trivially deterministic to reason about:
-   results land in per-index slots, so output order is input order. *)
+   results land in per-index slots, so output order is input order.
+
+   Telemetry: when Tussle_obs is enabled, each worker counts its tasks
+   and busy time into plain per-worker slots (no sharing — slot w is
+   written only by worker w) and the whole map publishes a [stats]
+   record via [last_stats]; each item also runs under a "pool.task"
+   span when tracing.  With telemetry disabled the fast path is the
+   original loop, untouched. *)
+
+module Metrics = Tussle_obs.Metrics
+module Trace = Tussle_obs.Trace
+module Clock = Tussle_obs.Clock
 
 let default_domains () =
   let n = Domain.recommended_domain_count () in
   max 1 (min n 8)
+
+let domains_of_string s =
+  match int_of_string_opt (String.trim s) with
+  | None ->
+    Error (Printf.sprintf "invalid domain count %S (expected an integer)" s)
+  | Some d when d < 1 ->
+    Error (Printf.sprintf "domain count must be >= 1 (got %d)" d)
+  | Some d -> Ok d
+
+type stats = {
+  workers : int;
+  tasks : int array;
+  busy_s : float array;
+  wall_s : float;
+}
+
+let last_stats_slot : stats option Atomic.t = Atomic.make None
+let last_stats () = Atomic.get last_stats_slot
+
+let m_tasks = Metrics.counter "pool.tasks"
+let m_maps = Metrics.counter "pool.maps"
+let m_task_run = Metrics.histogram "pool.task_run_s"
 
 let map ?domains f xs =
   let requested =
     match domains with Some d -> d | None -> default_domains ()
   in
   if requested < 1 then invalid_arg "Pool.map: domains must be >= 1";
+  let observing = Metrics.enabled () || Trace.enabled () in
   let input = Array.of_list xs in
   let n = Array.length input in
   let workers = min requested n in
-  if workers <= 1 then List.map f xs
+  if workers <= 1 then
+    if not observing then List.map f xs
+    else begin
+      (* Sequential fallback, instrumented the same way so --seq
+         batteries still produce pool stats and task spans. *)
+      let wall0 = Clock.now_s () in
+      let busy = ref 0.0 in
+      Metrics.incr m_maps;
+      let run_item i x =
+        Trace.with_span ~cat:"pool"
+          ~args:[ ("index", string_of_int i) ]
+          "pool.task"
+        @@ fun () ->
+        let t0 = Clock.now_s () in
+        let y = f x in
+        let dt = Clock.now_s () -. t0 in
+        busy := !busy +. dt;
+        Metrics.incr m_tasks;
+        Metrics.observe m_task_run dt;
+        y
+      in
+      let ys = List.mapi run_item xs in
+      Atomic.set last_stats_slot
+        (Some
+           {
+             workers = 1;
+             tasks = [| n |];
+             busy_s = [| !busy |];
+             wall_s = Clock.now_s () -. wall0;
+           });
+      ys
+    end
   else begin
     let results = Array.make n None in
     let cursor = Atomic.make 0 in
     (* A few chunks per worker: big enough to amortize the atomic,
        small enough that a slow chunk cannot strand the tail. *)
     let chunk = max 1 (n / (4 * workers)) in
-    let worker () =
+    let wall0 = if observing then Clock.now_s () else 0.0 in
+    let tasks = if observing then Array.make workers 0 else [||] in
+    let busy_s = if observing then Array.make workers 0.0 else [||] in
+    let run_item w i =
+      (* Slot [i] is written exactly once; per-worker telemetry slots
+         are private to worker [w]. *)
+      results.(i) <-
+        Some
+          (match
+             if not observing then f input.(i)
+             else
+               Trace.with_span ~cat:"pool"
+                 ~args:[ ("index", string_of_int i) ]
+                 "pool.task"
+               @@ fun () ->
+               let t0 = Clock.now_s () in
+               let y = f input.(i) in
+               let dt = Clock.now_s () -. t0 in
+               tasks.(w) <- tasks.(w) + 1;
+               busy_s.(w) <- busy_s.(w) +. dt;
+               Metrics.incr m_tasks;
+               Metrics.observe m_task_run dt;
+               y
+           with
+          | y -> Ok y
+          | exception e -> Error (e, Printexc.get_raw_backtrace ()))
+    in
+    let worker w () =
       let rec loop () =
         let start = Atomic.fetch_and_add cursor chunk in
         if start < n then begin
           let stop = min n (start + chunk) in
           for i = start to stop - 1 do
-            results.(i) <-
-              Some
-                (match f input.(i) with
-                | y -> Ok y
-                | exception e -> Error (e, Printexc.get_raw_backtrace ()))
+            run_item w i
           done;
           loop ()
         end
       in
       loop ()
     in
-    let helpers = Array.init (workers - 1) (fun _ -> Domain.spawn worker) in
-    worker ();
+    let helpers =
+      Array.init (workers - 1) (fun w -> Domain.spawn (worker (w + 1)))
+    in
+    worker 0 ();
     Array.iter Domain.join helpers;
+    if observing then begin
+      Metrics.incr m_maps;
+      Atomic.set last_stats_slot
+        (Some { workers; tasks; busy_s; wall_s = Clock.now_s () -. wall0 })
+    end;
     (* Re-raise the earliest failure only after every domain is joined,
        so a raising item never strands a running worker. *)
     Array.iter

@@ -16,6 +16,30 @@ val default_domains : unit -> int
 (** Domains used when [?domains] is omitted:
     [Domain.recommended_domain_count ()] clamped to [\[1, 8\]]. *)
 
+val domains_of_string : string -> (int, string) result
+(** Parse a [--domains] argument: trimmed decimal integer [>= 1].
+    [Error] carries the message entry points print before exiting 2 —
+    the one place both [bench/main] and the CLI validate the flag, so
+    garbage can never silently fall back to the default. *)
+
+type stats = {
+  workers : int;
+  tasks : int array;  (** items executed per worker *)
+  busy_s : float array;  (** wall time spent inside [f] per worker *)
+  wall_s : float;  (** wall time of the whole [map] *)
+}
+(** Per-worker load telemetry for one [map] call.  [wall_s -. busy_s.(w)]
+    approximates worker [w]'s queue-wait (startup, chunk fetches, and
+    idling after the tail was handed out); the spread of [busy_s] is
+    the load imbalance the battery report surfaces. *)
+
+val last_stats : unit -> stats option
+(** Stats of the most recently completed [map], recorded only while
+    {!Tussle_obs.Metrics} or {!Tussle_obs.Trace} is enabled ([None]
+    before the first such call).  Each worker additionally counts
+    [pool.tasks] / [pool.maps] and observes [pool.task_run_s], and
+    wraps every item in a ["pool.task"] span when tracing. *)
+
 val map : ?domains:int -> ('a -> 'b) -> 'a list -> 'b list
 (** [map ?domains f xs] applies [f] to every element of [xs] using up
     to [domains] domains (the calling domain participates as one of

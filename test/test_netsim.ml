@@ -116,6 +116,48 @@ let test_engine_step () =
   Alcotest.(check bool) "one step" true (Engine.step e);
   Alcotest.(check int) "executed" 1 (Engine.events_executed e)
 
+let test_engine_queue_high_water () =
+  let e = Engine.create () in
+  Alcotest.(check int) "fresh engine" 0 (Engine.queue_depth_high_water e);
+  ignore (Engine.schedule e 1.0 (fun _ -> ()));
+  ignore (Engine.schedule e 2.0 (fun _ -> ()));
+  ignore (Engine.schedule e 3.0 (fun _ -> ()));
+  Alcotest.(check int) "peak is queue depth" 3 (Engine.queue_depth_high_water e);
+  Engine.run e;
+  Alcotest.(check int) "draining keeps the peak" 3
+    (Engine.queue_depth_high_water e);
+  (* events scheduled from inside events raise the mark only when the
+     live depth actually exceeds it *)
+  ignore
+    (Engine.schedule e 10.0 (fun engine ->
+         for i = 1 to 5 do
+           ignore (Engine.schedule_after engine (float_of_int i) (fun _ -> ()))
+         done));
+  Engine.run e;
+  Alcotest.(check int) "cascade sets new peak" 5
+    (Engine.queue_depth_high_water e)
+
+let test_engine_cancellations_reaped_counter () =
+  let e = Engine.create () in
+  Alcotest.(check int) "fresh engine" 0 (Engine.cancellations_reaped e);
+  (* reaped at pop time: the cancelled event is skipped *)
+  let skipped = Engine.schedule e 1.0 (fun _ -> Alcotest.fail "fired") in
+  ignore (Engine.schedule e 2.0 (fun _ -> ()));
+  Engine.cancel e skipped;
+  Engine.run e;
+  Alcotest.(check int) "skip counted" 1 (Engine.cancellations_reaped e);
+  Alcotest.(check int) "one event ran" 1 (Engine.events_executed e);
+  (* reaped at drain time: a stale id for an already-fired event *)
+  let id = Engine.schedule e 10.0 (fun _ -> ()) in
+  Engine.run e;
+  Engine.cancel e id;
+  Engine.run e;
+  Alcotest.(check int) "stale id counted" 2 (Engine.cancellations_reaped e);
+  Alcotest.(check int) "backlog empty" 0 (Engine.cancelled_backlog e);
+  (* the counter is monotone: reaping never decrements it *)
+  Alcotest.(check bool) "monotone" true
+    (Engine.cancellations_reaped e >= 2)
+
 (* ---------- Packet ---------- *)
 
 let test_packet_defaults () =
@@ -800,6 +842,10 @@ let () =
           Alcotest.test_case "cancel table reaped" `Quick
             test_engine_cancel_reaped;
           Alcotest.test_case "step" `Quick test_engine_step;
+          Alcotest.test_case "queue-depth high water" `Quick
+            test_engine_queue_high_water;
+          Alcotest.test_case "cancellations reaped counter" `Quick
+            test_engine_cancellations_reaped_counter;
         ] );
       ( "packet",
         [

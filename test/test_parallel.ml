@@ -39,6 +39,25 @@ let test_pool_default_domains () =
   let d = Pool.default_domains () in
   Alcotest.(check bool) "within [1,8]" true (d >= 1 && d <= 8)
 
+let test_domains_of_string () =
+  (* Shared by bench/main.ml and the CLI's --domains flag: garbage must
+     produce an error (the entry points exit 2), never a silent
+     fall-through to the default domain count. *)
+  let ok s expected =
+    match Pool.domains_of_string s with
+    | Ok d -> Alcotest.(check int) (Printf.sprintf "parse %S" s) expected d
+    | Error msg -> Alcotest.failf "rejected %S: %s" s msg
+  in
+  let rejected s =
+    match Pool.domains_of_string s with
+    | Error _ -> ()
+    | Ok d -> Alcotest.failf "accepted %S as %d" s d
+  in
+  ok "1" 1;
+  ok "4" 4;
+  ok " 8 " 8;
+  List.iter rejected [ "nope"; ""; "0"; "-3"; "4.5"; "2x"; "⑂" ]
+
 let test_pool_exception_first () =
   (* all items still run; the earliest failing input's exception wins *)
   let f x = if x mod 10 = 0 then failwith (string_of_int x) else x in
@@ -101,6 +120,8 @@ let () =
           Alcotest.test_case "order preserved" `Quick test_pool_order;
           Alcotest.test_case "edge cases" `Quick test_pool_edge_cases;
           Alcotest.test_case "default domains" `Quick test_pool_default_domains;
+          Alcotest.test_case "domains flag parsing" `Quick
+            test_domains_of_string;
           Alcotest.test_case "first exception wins" `Quick
             test_pool_exception_first;
         ] );
