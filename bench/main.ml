@@ -14,7 +14,9 @@
              --domains <n> | --seq   (parallel experiment runner)
              --metrics               (print the telemetry table)
              --trace <file>          (write Chrome trace-event JSON)
-             --report <file>         (write the battery report JSON) *)
+             --report <file>         (write the battery report JSON)
+             --fault-seed <n>        (seed for fault-injecting experiments)
+             --timeout-s <s>         (per-experiment watchdog; default off) *)
 
 module Rng = Tussle_prelude.Rng
 module Graph = Tussle_prelude.Graph
@@ -233,6 +235,27 @@ let () =
           prerr_endline ("main: --domains: " ^ msg);
           exit 2)
   in
+  let timeout_s =
+    match flag_value "--timeout-s" with
+    | None -> None
+    | Some s -> (
+      match float_of_string_opt (String.trim s) with
+      | Some t when t > 0.0 && Float.is_finite t -> Some t
+      | Some _ | None ->
+        Printf.eprintf
+          "main: --timeout-s: invalid timeout %S (expected a positive \
+           number of seconds)\n" s;
+        exit 2)
+  in
+  (match flag_value "--fault-seed" with
+  | None -> ()
+  | Some s -> (
+    match int_of_string_opt (String.trim s) with
+    | Some n -> Tussle_fault.Seed.set n
+    | None ->
+      Printf.eprintf "main: --fault-seed: invalid fault seed %S (expected \
+                      an integer)\n" s;
+      exit 2));
   let trace_file = flag_value "--trace" in
   let report_file = flag_value "--report" in
   let metrics = List.mem "--metrics" args in
@@ -248,7 +271,10 @@ let () =
         | None -> Tussle_prelude.Pool.default_domains ()
       in
       let r = Tussle_experiments.Registry.report ~domains ~wall_s outcomes in
-      Tussle_obs.Report.write file r;
+      (try Tussle_obs.Report.write file r
+       with Sys_error msg ->
+         prerr_endline ("main: --report: " ^ msg);
+         exit 2);
       print_newline ();
       print_string (Tussle_obs.Report.summary r)
   in
@@ -264,7 +290,7 @@ let () =
   in
   match single with
   | Some id -> begin
-    match Tussle_experiments.Registry.run_one id with
+    match Tussle_experiments.Registry.run_one ?timeout_s id with
     | Ok o ->
       emit_report ~wall_s:o.Tussle_experiments.Experiment.wall_s [ o ];
       finish (if Tussle_experiments.Experiment.held o then 0 else 1)
@@ -282,7 +308,7 @@ let () =
            experiment below regenerates one of its qualitative claims\n\
            (see DESIGN.md section 3 for the index).\n\n";
         let ok, outcomes, wall_s =
-          Tussle_experiments.Registry.run_battery ?domains ()
+          Tussle_experiments.Registry.run_battery ?domains ?timeout_s ()
         in
         emit_report ~wall_s outcomes;
         ok

@@ -48,7 +48,24 @@ let experiments_cmd =
                print its summary table." in
     Arg.(value & opt (some string) None & info [ "report" ] ~doc ~docv:"FILE")
   in
-  let run id domains seq metrics trace report =
+  let timeout_s =
+    (* Taken as a string for the same exit-2 convention as --domains. *)
+    let doc =
+      "Arm the per-experiment watchdog: an experiment still running after \
+       $(docv) seconds becomes a FAILED (timeout) outcome while the rest \
+       of the battery carries on.  Off by default."
+    in
+    Arg.(value & opt (some string) None & info [ "timeout-s" ] ~doc ~docv:"SECONDS")
+  in
+  let fault_seed =
+    let doc =
+      "Seed for the fault-injection substrate (experiments that inject \
+       faults, e.g. E28, derive their plans from it).  Same seed, same \
+       battery output, byte for byte; default 1031."
+    in
+    Arg.(value & opt (some string) None & info [ "fault-seed" ] ~doc ~docv:"SEED")
+  in
+  let run id domains seq metrics trace report timeout_s fault_seed =
     let domains_result =
       if seq then Ok (Some 1)
       else
@@ -56,11 +73,40 @@ let experiments_cmd =
         | None -> Ok None
         | Some s -> Result.map Option.some (Tussle_prelude.Pool.domains_of_string s)
     in
-    match domains_result with
-    | Error msg ->
+    let timeout_result =
+      match timeout_s with
+      | None -> Ok None
+      | Some s -> (
+        match float_of_string_opt (String.trim s) with
+        | Some t when t > 0.0 && Float.is_finite t -> Ok (Some t)
+        | Some _ | None ->
+          Error
+            (Printf.sprintf "invalid timeout %S (expected a positive number \
+                             of seconds)" s))
+    in
+    let fault_seed_result =
+      match fault_seed with
+      | None -> Ok None
+      | Some s -> (
+        match int_of_string_opt (String.trim s) with
+        | Some n -> Ok (Some n)
+        | None ->
+          Error (Printf.sprintf "invalid fault seed %S (expected an integer)" s))
+    in
+    match (domains_result, timeout_result, fault_seed_result) with
+    | Error msg, _, _ ->
       prerr_endline ("experiments: --domains: " ^ msg);
       2
-    | Ok domains -> (
+    | _, Error msg, _ ->
+      prerr_endline ("experiments: --timeout-s: " ^ msg);
+      2
+    | _, _, Error msg ->
+      prerr_endline ("experiments: --fault-seed: " ^ msg);
+      2
+    | Ok domains, Ok timeout_s, Ok fault_seed -> (
+      (match fault_seed with
+      | Some s -> Tussle_fault.Seed.set s
+      | None -> ());
       if metrics || report <> None then Obs_metrics.enable ();
       if trace <> None then Obs_trace.enable ();
       let emit_report ~wall_s outcomes =
@@ -73,7 +119,10 @@ let experiments_cmd =
             | None -> Tussle_prelude.Pool.default_domains ()
           in
           let r = Tussle_experiments.Registry.report ~domains ~wall_s outcomes in
-          Obs_report.write file r;
+          (try Obs_report.write file r
+           with Sys_error msg ->
+             prerr_endline ("experiments: --report: " ^ msg);
+             exit 2);
           print_newline ();
           print_string (Obs_report.summary r)
       in
@@ -88,12 +137,12 @@ let experiments_cmd =
       match id with
       | None ->
         let ok, outcomes, wall_s =
-          Tussle_experiments.Registry.run_battery ?domains ()
+          Tussle_experiments.Registry.run_battery ?domains ?timeout_s ()
         in
         emit_report ~wall_s outcomes;
         finish (if ok then 0 else 1)
       | Some id -> begin
-        match Tussle_experiments.Registry.run_one id with
+        match Tussle_experiments.Registry.run_one ?timeout_s id with
         | Ok o ->
           emit_report ~wall_s:o.Tussle_experiments.Experiment.wall_s [ o ];
           finish (if Tussle_experiments.Experiment.held o then 0 else 1)
@@ -102,25 +151,34 @@ let experiments_cmd =
           2
       end)
   in
-  let doc = "regenerate the paper's experiments (E1..E27)" in
+  let doc = "regenerate the paper's experiments (E1..E28)" in
   Cmd.v (Cmd.info "experiments" ~doc)
-    Term.(const run $ id $ domains $ seq $ metrics $ trace $ report)
+    Term.(const run $ id $ domains $ seq $ metrics $ trace $ report
+          $ timeout_s $ fault_seed)
 
 (* ---------- report ---------- *)
 
 let report_cmd =
+  (* The positional is a plain string, not [Arg.file]: a missing path
+     must produce our clean one-line error and exit 2 (the --domains
+     garbage-input convention), not cmdliner's generic CLI error. *)
   let file =
-    Arg.(required & pos 0 (some file) None
+    Arg.(required & pos 0 (some string) None
          & info [] ~docv:"REPORT-FILE" ~doc:"Battery report JSON to check.")
   in
   let run file =
-    let contents =
-      let ic = open_in file in
-      let n = in_channel_length ic in
-      let s = really_input_string ic n in
-      close_in ic;
-      s
-    in
+    match
+      (* covers both failure surfaces: open (missing / permission) and
+         read (e.g. the path is a directory) *)
+      let ic = open_in_bin file in
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () -> really_input_string ic (in_channel_length ic))
+    with
+    | exception Sys_error msg ->
+      Printf.eprintf "report: %s\n" msg;
+      2
+    | contents -> (
     match Obs_json.parse contents with
     | Error msg ->
       Printf.eprintf "%s: %s\n" file msg;
@@ -148,7 +206,7 @@ let report_cmd =
             (Option.value ~default:0 (intf "violated" s))
             (Option.value ~default:0 (intf "failed" s))
         | None -> ());
-        0)
+        0))
   in
   let doc = "validate and summarize a battery report JSON file" in
   Cmd.v (Cmd.info "report" ~doc) Term.(const run $ file)

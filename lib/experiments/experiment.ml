@@ -41,7 +41,7 @@ let held o = o.status = Held
 let m_engine_events = Metrics.counter "engine.events_executed"
 let m_experiments = Metrics.counter "experiments.run"
 
-let run t =
+let run_sync t =
   Trace.with_span ~cat:"experiment" ~args:[ ("id", t.id) ] "experiment"
   @@ fun () ->
   Metrics.incr m_experiments;
@@ -71,3 +71,65 @@ let run t =
          else bt)
     in
     finish (Failed msg) (header t ^ body)
+
+(* ---------- watchdog ---------- *)
+
+(* Coarse poll: the watchdog guards against experiments hung for
+   seconds, so millisecond resolution is plenty and the waiting domain
+   stays off the CPU the experiment is using. *)
+let poll_interval_s = 0.002
+
+let timeout_outcome t ~elapsed ~limit =
+  let msg = Printf.sprintf "timeout: exceeded the %gs watchdog" limit in
+  let body =
+    Printf.sprintf
+      "FAILED (%s)\n\
+       The run was abandoned after %.3fs wall clock; its domain may\n\
+       still be executing and is reclaimed when the process exits.\n"
+      msg elapsed
+  in
+  {
+    exp_id = t.id;
+    exp_title = t.title;
+    output = header t ^ body;
+    status = Failed msg;
+    wall_s = elapsed;
+    (* the runaway domain owns the events/allocation counters; only the
+       wall clock is observable from outside *)
+    events_executed = 0;
+    allocated_bytes = 0.0;
+  }
+
+let run_watched ~timeout_s t =
+  if not (timeout_s > 0.0 && Float.is_finite timeout_s) then
+    invalid_arg "Experiment.run: timeout_s must be positive and finite";
+  let slot = Atomic.make None in
+  let wall0 = Clock.now_s () in
+  let child = Domain.spawn (fun () -> Atomic.set slot (Some (run_sync t))) in
+  let deadline = wall0 +. timeout_s in
+  let rec wait () =
+    match Atomic.get slot with
+    | Some o ->
+      Domain.join child;
+      o
+    | None ->
+      if Clock.now_s () >= deadline then begin
+        (* last look, so a photo-finish completion is not discarded *)
+        match Atomic.get slot with
+        | Some o ->
+          Domain.join child;
+          o
+        | None ->
+          timeout_outcome t ~elapsed:(Clock.now_s () -. wall0) ~limit:timeout_s
+      end
+      else begin
+        Unix.sleepf poll_interval_s;
+        wait ()
+      end
+  in
+  wait ()
+
+let run ?timeout_s t =
+  match timeout_s with
+  | None -> run_sync t
+  | Some limit -> run_watched ~timeout_s:limit t

@@ -12,7 +12,7 @@
     {!Tussle_prelude.Pool}). *)
 
 type t = {
-  id : string;  (** "E1" ... "E27" *)
+  id : string;  (** "E1" ... "E28" *)
   title : string;
   paper_claim : string;  (** the sentence from the paper being tested *)
   run : unit -> string * bool;
@@ -41,14 +41,27 @@ type outcome = {
           under parallelism) *)
 }
 
-val run : t -> outcome
+val run : ?timeout_s:float -> t -> outcome
 (** Run with fault isolation: an uncaught exception becomes
     [Failed msg] with a ["FAILED (uncaught: ...)"] body (plus backtrace
     when [Printexc.record_backtrace] is on) instead of propagating, so
     one broken experiment cannot abort a battery.  Every run fills the
     outcome's wall-clock/events/allocation telemetry and, when
     {!Tussle_obs.Trace} is enabled, records an ["experiment"] span
-    tagged with the experiment id. *)
+    tagged with the experiment id.
+
+    [?timeout_s] arms the per-experiment watchdog (off by default, and
+    with it off this function is exactly the historical synchronous
+    run).  The experiment then executes in a freshly spawned domain
+    while the caller polls; if it has not produced an outcome within
+    [timeout_s] seconds of wall clock, the caller stops waiting and
+    returns a [Failed "timeout: ..."] outcome whose body starts with
+    ["FAILED (timeout"] and whose [wall_s] records the elapsed wait —
+    partial telemetry for a run that never finished.  The runaway
+    domain is {e abandoned}, not killed (OCaml domains cannot be killed
+    safely): it keeps its core busy until it finishes on its own or the
+    process exits, but the battery carries on.  Raises
+    [Invalid_argument] on a non-positive or non-finite [timeout_s]. *)
 
 val held : outcome -> bool
 (** [held o] iff [o.status = Held]. *)

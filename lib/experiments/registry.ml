@@ -27,26 +27,49 @@ let all =
     E25_nat.experiment;
     E26_dns_perversion.experiment;
     E27_transport.experiment;
+    E28_faults.experiment;
   ]
+
+(* Deliberately-hung toy experiment (outside [all]): spins forever at a
+   GC-safe point so tests and CI can check that the watchdog turns a
+   runaway run into FAILED (timeout) without killing the battery.  Only
+   ever run it with [?timeout_s] armed. *)
+let hang_probe =
+  {
+    Experiment.id = "E99";
+    title = "watchdog hang probe (never terminates on its own)";
+    paper_claim =
+      "none — a test fixture, not a paper claim: a deliberately-hung \
+       experiment that the per-experiment watchdog must convert into a \
+       FAILED (timeout) outcome while the rest of the battery carries on.";
+    run =
+      (fun () ->
+        while true do
+          Domain.cpu_relax ()
+        done;
+        ("unreachable", false));
+  }
 
 let find id =
   let wanted = String.lowercase_ascii id in
   List.find_opt
     (fun e -> String.lowercase_ascii e.Experiment.id = wanted)
-    all
+    (all @ [ hang_probe ])
 
 (* Each experiment renders into its own buffer inside a worker domain
    (experiments share no mutable state); the caller prints the buffers
    in registry order, so the battery's output is byte-identical however
    many domains run it. *)
-let run_list ?domains experiments =
-  Tussle_prelude.Pool.map ?domains Experiment.run experiments
+let run_list ?domains ?timeout_s experiments =
+  Tussle_prelude.Pool.map ?domains
+    (fun e -> Experiment.run ?timeout_s e)
+    experiments
 
-let run_battery ?domains () =
+let run_battery ?domains ?timeout_s () =
   let wall0 = Tussle_obs.Clock.now_s () in
   let outcomes =
     Tussle_obs.Trace.with_span ~cat:"battery" "battery" (fun () ->
-        run_list ?domains all)
+        run_list ?domains ?timeout_s all)
   in
   List.iter
     (fun o ->
@@ -58,15 +81,15 @@ let run_battery ?domains () =
     (if ok then "ALL HOLD" else "SOME FAILED");
   (ok, outcomes, Tussle_obs.Clock.now_s () -. wall0)
 
-let run_all ?domains () =
-  let ok, _, _ = run_battery ?domains () in
+let run_all ?domains ?timeout_s () =
+  let ok, _, _ = run_battery ?domains ?timeout_s () in
   ok
 
-let run_one id =
+let run_one ?timeout_s id =
   match find id with
   | None -> Error (Printf.sprintf "unknown experiment %S" id)
   | Some e ->
-    let o = Experiment.run e in
+    let o = Experiment.run ?timeout_s e in
     print_string o.Experiment.output;
     Ok o
 

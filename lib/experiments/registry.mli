@@ -7,32 +7,50 @@
     byte-identical for any domain count. *)
 
 val all : Experiment.t list
-(** E1 through E27 in order. *)
+(** E1 through E28 in order. *)
+
+val hang_probe : Experiment.t
+(** "E99": a deliberately-hung toy experiment ({e not} part of {!all})
+    whose [run] never returns — the fixture tests and CI use to check
+    that the watchdog converts a runaway experiment into a
+    [FAILED (timeout)] outcome without killing the battery.  Only run
+    it with [?timeout_s] armed. *)
 
 val find : string -> Experiment.t option
-(** Lookup by id (case-insensitive, e.g. "e4" or "E4"). *)
+(** Lookup by id (case-insensitive, e.g. "e4" or "E4"); also resolves
+    the {!hang_probe} ("E99"). *)
 
-val run_list : ?domains:int -> Experiment.t list -> Experiment.outcome list
+val run_list :
+  ?domains:int ->
+  ?timeout_s:float ->
+  Experiment.t list ->
+  Experiment.outcome list
 (** Run a batch of experiments on [domains] domains (default
     {!Tussle_prelude.Pool.default_domains}; [~domains:1] is strictly
     sequential in the calling domain) and return their outcomes in
     input order.  Fault-isolated: a raising experiment yields a
-    [Failed] outcome instead of killing the batch. *)
+    [Failed] outcome instead of killing the batch, and with
+    [?timeout_s] set each experiment additionally runs under the
+    watchdog of {!Experiment.run} — a runaway one becomes
+    [FAILED (timeout)] while the rest of the batch carries on. *)
 
-val run_all : ?domains:int -> unit -> bool
+val run_all : ?domains:int -> ?timeout_s:float -> unit -> bool
 (** Run and print every experiment to stdout in registry order;
     [true] iff every shape check held (a [Failed] experiment counts as
     not holding). *)
 
 val run_battery :
-  ?domains:int -> unit -> bool * Experiment.outcome list * float
+  ?domains:int ->
+  ?timeout_s:float ->
+  unit ->
+  bool * Experiment.outcome list * float
 (** Like {!run_all} but also returns the outcomes (for report
     building) and the battery wall clock in seconds.  The whole run is
     wrapped in a ["battery"] span when tracing is enabled. *)
 
-val run_one : string -> (Experiment.outcome, string) result
-(** Print one experiment by id (fault-isolated like {!run_all}) and
-    return its outcome. *)
+val run_one : ?timeout_s:float -> string -> (Experiment.outcome, string) result
+(** Print one experiment by id (fault-isolated and watchdog-guarded
+    like {!run_all}) and return its outcome. *)
 
 val report :
   ?label:string ->

@@ -1,0 +1,100 @@
+module Rng = Tussle_prelude.Rng
+module Graph = Tussle_prelude.Graph
+module Engine = Tussle_netsim.Engine
+module Net = Tussle_netsim.Net
+module Link = Tussle_netsim.Link
+module Middlebox = Tussle_netsim.Middlebox
+
+(* Every link object carrying traffic between u and v, either direction.
+   [Topology.to_links] gives each direction its own [Link.t] while
+   [Graph.add_undirected] can share one label both ways, so dedup by
+   physical identity to apply each fault exactly once per object. *)
+let links_between g u v =
+  let acc = ref [] in
+  Graph.iter_edges g (fun a b l ->
+      if ((a = u && b = v) || (a = v && b = u)) && not (List.memq l !acc)
+      then acc := l :: !acc);
+  if !acc = [] then
+    invalid_arg
+      (Printf.sprintf "Inject.install: no link between %d and %d" u v);
+  List.rev !acc
+
+let links_incident g node =
+  let acc = ref [] in
+  Graph.iter_edges g (fun a b l ->
+      if (a = node || b = node) && not (List.memq l !acc) then
+        acc := l :: !acc);
+  if !acc = [] then
+    invalid_arg
+      (Printf.sprintf "Inject.install: node %d has no incident links" node);
+  List.rev !acc
+
+let schedule_window engine (w : Plan.window) ~on_open ~on_close =
+  if w.Plan.from_s < Engine.now engine then
+    invalid_arg "Inject.install: window opens in the engine's past";
+  ignore (Engine.schedule engine w.Plan.from_s (fun _ -> on_open ()));
+  if Float.is_finite w.Plan.until_s then
+    ignore (Engine.schedule engine w.Plan.until_s (fun _ -> on_close ()))
+
+let install ~seed ~plan engine net =
+  Plan.validate plan;
+  let g = Net.links net in
+  let rng = Rng.create seed in
+  List.iter
+    (fun spec ->
+      match (spec : Plan.spec) with
+      | Plan.Link_down { u; v; w } ->
+        let ls = links_between g u v in
+        schedule_window engine w
+          ~on_open:(fun () -> List.iter (fun l -> Link.set_up l false) ls)
+          ~on_close:(fun () -> List.iter (fun l -> Link.set_up l true) ls)
+      | Plan.Link_loss { u; v; w; prob } ->
+        let ls = links_between g u v in
+        let episode_rng = Rng.split rng in
+        schedule_window engine w
+          ~on_open:(fun () ->
+            List.iter
+              (fun l ->
+                Link.set_fault_rng l episode_rng;
+                Link.set_loss_prob l prob)
+              ls)
+          ~on_close:(fun () ->
+            List.iter (fun l -> Link.set_loss_prob l 0.0) ls)
+      | Plan.Link_corrupt { u; v; w; prob } ->
+        let ls = links_between g u v in
+        let episode_rng = Rng.split rng in
+        schedule_window engine w
+          ~on_open:(fun () ->
+            List.iter
+              (fun l ->
+                Link.set_fault_rng l episode_rng;
+                Link.set_corrupt_prob l prob)
+              ls)
+          ~on_close:(fun () ->
+            List.iter (fun l -> Link.set_corrupt_prob l 0.0) ls)
+      | Plan.Latency_spike { u; v; w; extra_s } ->
+        let ls = links_between g u v in
+        schedule_window engine w
+          ~on_open:(fun () ->
+            List.iter (fun l -> Link.set_extra_latency l extra_s) ls)
+          ~on_close:(fun () ->
+            List.iter (fun l -> Link.set_extra_latency l 0.0) ls)
+      | Plan.Node_crash { node; w } ->
+        let ls = links_incident g node in
+        schedule_window engine w
+          ~on_open:(fun () -> List.iter (fun l -> Link.set_up l false) ls)
+          ~on_close:(fun () -> List.iter (fun l -> Link.set_up l true) ls)
+      | Plan.Middlebox_break { node; w; covert } ->
+        if node < 0 || node >= Graph.node_count g then
+          invalid_arg "Inject.install: middlebox node out of range";
+        let active = ref false in
+        let mb =
+          Middlebox.make ~reveals_presence:(not covert)
+            ~name:Plan.broken_device_name (fun _ ->
+              if !active then Middlebox.Drop else Middlebox.Forward)
+        in
+        Net.add_middlebox net node mb;
+        schedule_window engine w
+          ~on_open:(fun () -> active := true)
+          ~on_close:(fun () -> active := false))
+    plan

@@ -1,0 +1,32 @@
+(** Compile a {!Plan} into timed engine events against a live net.
+
+    [install] walks the plan in order, derives any rng streams it needs
+    from the given seed (one {!Tussle_prelude.Rng.split} per stochastic
+    episode, in plan order — so equal seed + plan means equal streams),
+    and schedules set/restore events on the engine.  Faults then take
+    effect as the simulation crosses their windows; drops they cause
+    are attributed by {!Tussle_netsim.Net.losses_by_reason} and the
+    [net.drops.*] metrics.
+
+    Link episodes apply to {e every} link between the two endpoints in
+    both directions (deduplicated by physical identity, so a shared
+    undirected label is set once).  Episodes targeting the same link
+    should not overlap in time: each window restores the link's
+    baseline when it closes, so the last writer wins.
+
+    [Middlebox_break] attaches a device named
+    {!Plan.broken_device_name} at the node immediately (it forwards
+    everything until its window opens, then drops everything until it
+    closes).  A covert break hides from probes
+    ([reveals_presence = false]); a revealing one confesses — the
+    §VI-A failure-visibility axis E28 measures. *)
+
+val install :
+  seed:int ->
+  plan:Plan.t ->
+  Tussle_netsim.Engine.t ->
+  Tussle_netsim.Net.t ->
+  unit
+(** Raises [Invalid_argument] if the plan fails {!Plan.validate}, if an
+    episode names a link absent from the net, a node out of range, or
+    if a window opens before the engine's current time. *)

@@ -1,0 +1,89 @@
+module Rng = Tussle_prelude.Rng
+
+type window = { from_s : float; until_s : float }
+
+type spec =
+  | Link_down of { u : int; v : int; w : window }
+  | Link_loss of { u : int; v : int; w : window; prob : float }
+  | Link_corrupt of { u : int; v : int; w : window; prob : float }
+  | Latency_spike of { u : int; v : int; w : window; extra_s : float }
+  | Node_crash of { node : int; w : window }
+  | Middlebox_break of { node : int; w : window; covert : bool }
+
+type t = spec list
+
+let window from_s until_s = { from_s; until_s }
+
+let always = { from_s = 0.0; until_s = infinity }
+
+let broken_device_name = "broken-device"
+
+let check_window w =
+  if not (Float.is_finite w.from_s) || w.from_s < 0.0 then
+    invalid_arg "Fault plan: window start must be finite and >= 0";
+  if not (w.until_s > w.from_s) then
+    invalid_arg "Fault plan: window must end after it starts"
+
+let check_prob p =
+  if not (p >= 0.0 && p <= 1.0) then
+    invalid_arg "Fault plan: probability outside [0,1]"
+
+let check_endpoints u v =
+  if u = v then invalid_arg "Fault plan: link endpoints must differ"
+
+let validate plan =
+  List.iter
+    (function
+      | Link_down { u; v; w } ->
+        check_endpoints u v;
+        check_window w
+      | Link_loss { u; v; w; prob } | Link_corrupt { u; v; w; prob } ->
+        check_endpoints u v;
+        check_window w;
+        check_prob prob
+      | Latency_spike { u; v; w; extra_s } ->
+        check_endpoints u v;
+        check_window w;
+        if not (extra_s >= 0.0) then
+          invalid_arg "Fault plan: negative latency spike"
+      | Node_crash { w; _ } | Middlebox_break { w; _ } -> check_window w)
+    plan
+
+let random rng ~links ~horizon ~episodes =
+  if links = [] then invalid_arg "Plan.random: no links";
+  if not (horizon > 0.0) then invalid_arg "Plan.random: non-positive horizon";
+  if episodes < 0 then invalid_arg "Plan.random: negative episode count";
+  let links = Array.of_list links in
+  List.init episodes (fun _ ->
+      let u, v = Rng.choice rng links in
+      let from_s = Rng.uniform rng 0.0 (0.6 *. horizon) in
+      let until_s = from_s +. Rng.uniform rng (0.1 *. horizon) (0.4 *. horizon) in
+      let w = { from_s; until_s } in
+      match Rng.int rng 4 with
+      | 0 -> Link_down { u; v; w }
+      | 1 -> Link_loss { u; v; w; prob = Rng.uniform rng 0.05 0.3 }
+      | 2 -> Link_corrupt { u; v; w; prob = Rng.uniform rng 0.02 0.15 }
+      | _ -> Latency_spike { u; v; w; extra_s = Rng.uniform rng 0.005 0.05 })
+
+let window_string w =
+  if Float.is_finite w.until_s then
+    Printf.sprintf "[%.3f, %.3f)" w.from_s w.until_s
+  else Printf.sprintf "[%.3f, inf)" w.from_s
+
+let spec_string = function
+  | Link_down { u; v; w } ->
+    Printf.sprintf "link %d-%d down %s" u v (window_string w)
+  | Link_loss { u; v; w; prob } ->
+    Printf.sprintf "link %d-%d loss p=%.3f %s" u v prob (window_string w)
+  | Link_corrupt { u; v; w; prob } ->
+    Printf.sprintf "link %d-%d corrupt p=%.3f %s" u v prob (window_string w)
+  | Latency_spike { u; v; w; extra_s } ->
+    Printf.sprintf "link %d-%d +%.3fs latency %s" u v extra_s (window_string w)
+  | Node_crash { node; w } ->
+    Printf.sprintf "node %d crash %s" node (window_string w)
+  | Middlebox_break { node; w; covert } ->
+    Printf.sprintf "%s middlebox failure at node %d %s"
+      (if covert then "covert" else "revealing")
+      node (window_string w)
+
+let to_string plan = String.concat "\n" (List.map spec_string plan)

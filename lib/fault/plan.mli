@@ -1,0 +1,61 @@
+(** Declarative fault plans.
+
+    A plan is a list of episodes, each scoped to a time window, that
+    {!Inject.install} compiles into timed {!Tussle_netsim.Engine}
+    events.  Plans are plain data: build them by hand, or draw
+    reproducible ones from a seeded rng with {!random}.  The same plan
+    plus the same injection seed yields byte-identical simulations. *)
+
+type window = { from_s : float; until_s : float }
+(** Half-open activity window [\[from_s, until_s)].  [until_s] may be
+    [infinity] for a fault that never clears (no restore event is
+    scheduled). *)
+
+type spec =
+  | Link_down of { u : int; v : int; w : window }
+      (** both directions of (u, v) drop everything offered *)
+  | Link_loss of { u : int; v : int; w : window; prob : float }
+      (** per-packet on-the-wire loss *)
+  | Link_corrupt of { u : int; v : int; w : window; prob : float }
+      (** per-packet corruption (capacity still consumed) *)
+  | Latency_spike of { u : int; v : int; w : window; extra_s : float }
+      (** additive propagation latency *)
+  | Node_crash of { node : int; w : window }
+      (** every link incident to [node] goes down, then restores *)
+  | Middlebox_break of { node : int; w : window; covert : bool }
+      (** a deployed device at [node] fails closed and drops all
+          transit traffic; a {e covert} failure gives no error
+          information while a revealing one names itself to probes —
+          the §VI-A distinction diagnosis tools must survive *)
+
+type t = spec list
+
+val window : float -> float -> window
+(** [window from until]; validated by {!validate}/[Inject.install]. *)
+
+val always : window
+(** [{from_s = 0.; until_s = infinity}]: active for the whole run. *)
+
+val validate : t -> unit
+(** Raises [Invalid_argument] on a malformed plan: negative or
+    non-finite [from_s], [until_s <= from_s], probability outside
+    [0,1], negative latency spike, or [u = v]. *)
+
+val broken_device_name : string
+(** Middlebox name installed by [Middlebox_break] episodes
+    (["broken-device"]); what a revealing failure confesses as. *)
+
+val random :
+  Tussle_prelude.Rng.t ->
+  links:(int * int) list ->
+  horizon:float ->
+  episodes:int ->
+  t
+(** [random rng ~links ~horizon ~episodes] draws [episodes] link-level
+    episodes (down / loss / corrupt / latency-spike, uniformly) over
+    the given links, with windows inside [\[0, horizon)].  Equal rng
+    states yield equal plans.  Raises [Invalid_argument] on an empty
+    [links] list, non-positive [horizon] or negative [episodes]. *)
+
+val to_string : t -> string
+(** One line per episode, for experiment tables and debugging. *)

@@ -1,0 +1,7 @@
+let default = 1031
+
+let state = Atomic.make default
+
+let get () = Atomic.get state
+
+let set s = Atomic.set state s

@@ -1,0 +1,14 @@
+(** Process-wide fault-injection seed.
+
+    Experiments that inject faults derive their plans and rng streams
+    from this seed so a battery can be replayed bit-for-bit: the CLI
+    and bench set it once (from [--fault-seed]) before any experiment
+    runs.  Stored in an [Atomic] so parallel batteries read a
+    consistent value; set it only before running experiments. *)
+
+val default : int
+(** 1031 — the seed used when nothing overrides it. *)
+
+val get : unit -> int
+
+val set : int -> unit

@@ -1,3 +1,7 @@
+module Rng = Tussle_prelude.Rng
+
+type fault = Down | Loss | Corrupt
+
 type t = {
   latency : float;
   bandwidth_bps : float;
@@ -8,6 +12,16 @@ type t = {
   mutable busy_time : float;
   mutable sent : int;
   mutable dropped : int;
+  (* contract: try_enqueue must be called in non-decreasing [now] order *)
+  mutable last_offered : float;
+  (* fault-injection state (Tussle_fault flips these via engine events) *)
+  mutable up : bool;
+  mutable loss_prob : float;
+  mutable corrupt_prob : float;
+  mutable extra_latency : float;
+  mutable fault_rng : Rng.t option;
+  mutable fault_drops : int;
+  mutable corrupted : int;
 }
 
 let make ?(queue_capacity = 64) ~latency ~bandwidth_bps () =
@@ -23,6 +37,14 @@ let make ?(queue_capacity = 64) ~latency ~bandwidth_bps () =
     busy_time = 0.0;
     sent = 0;
     dropped = 0;
+    last_offered = neg_infinity;
+    up = true;
+    loss_prob = 0.0;
+    corrupt_prob = 0.0;
+    extra_latency = 0.0;
+    fault_rng = None;
+    fault_drops = 0;
+    corrupted = 0;
   }
 
 let latency l = l.latency
@@ -39,9 +61,59 @@ let queued l ~now =
   reap l now;
   List.length l.departures
 
+(* ---------- fault-injection state ---------- *)
+
+let is_up l = l.up
+
+let set_up l up = l.up <- up
+
+let set_fault_rng l rng = l.fault_rng <- Some rng
+
+let check_prob ~what p =
+  if not (p >= 0.0 && p <= 1.0) then
+    invalid_arg (Printf.sprintf "Link.%s: probability outside [0,1]" what)
+
+let require_rng l ~what p =
+  if p > 0.0 && l.fault_rng = None then
+    invalid_arg (Printf.sprintf "Link.%s: set_fault_rng first" what)
+
+let set_loss_prob l p =
+  check_prob ~what:"set_loss_prob" p;
+  require_rng l ~what:"set_loss_prob" p;
+  l.loss_prob <- p
+
+let set_corrupt_prob l p =
+  check_prob ~what:"set_corrupt_prob" p;
+  require_rng l ~what:"set_corrupt_prob" p;
+  l.corrupt_prob <- p
+
+let set_extra_latency l x =
+  if not (x >= 0.0) then invalid_arg "Link.set_extra_latency: negative";
+  l.extra_latency <- x
+
+let extra_latency l = l.extra_latency
+
+let draw l p =
+  p > 0.0
+  && (match l.fault_rng with Some rng -> Rng.bernoulli rng p | None -> false)
+
+(* ---------- the transmission path ---------- *)
+
 let try_enqueue l ~now bytes =
+  if now < l.last_offered then
+    invalid_arg "Link.try_enqueue: decreasing now (calls must be in \
+                 non-decreasing time order)";
+  l.last_offered <- now;
   reap l now;
-  if List.length l.departures >= l.queue_capacity then begin
+  if not l.up then begin
+    l.fault_drops <- l.fault_drops + 1;
+    `Faulted Down
+  end
+  else if draw l l.loss_prob then begin
+    l.fault_drops <- l.fault_drops + 1;
+    `Faulted Loss
+  end
+  else if List.length l.departures >= l.queue_capacity then begin
     l.dropped <- l.dropped + 1;
     `Dropped
   end
@@ -53,7 +125,12 @@ let try_enqueue l ~now bytes =
     l.busy_time <- l.busy_time +. tx;
     l.departures <- l.departures @ [ departure ];
     l.sent <- l.sent + 1;
-    `Sent (departure +. l.latency)
+    if draw l l.corrupt_prob then begin
+      (* the bits went out but arrive damaged: capacity was consumed *)
+      l.corrupted <- l.corrupted + 1;
+      `Faulted Corrupt
+    end
+    else `Sent (departure +. l.latency +. l.extra_latency)
   end
 
 let utilization l ~now =
@@ -63,7 +140,13 @@ let packets_sent l = l.sent
 
 let packets_dropped l = l.dropped
 
+let fault_drops l = l.fault_drops
+
+let corrupted_count l = l.corrupted
+
 let reset_counters l =
   l.sent <- 0;
   l.dropped <- 0;
-  l.busy_time <- 0.0
+  l.busy_time <- 0.0;
+  l.fault_drops <- 0;
+  l.corrupted <- 0

@@ -3,9 +3,19 @@
     The serialization + propagation model is standard:
     departure = arrival + queueing + size/bandwidth, arrival at the far
     end after [latency].  The queue bounds the number of packets in
-    flight on the link; arrivals beyond capacity are dropped (drop-tail). *)
+    flight on the link; arrivals beyond capacity are dropped (drop-tail).
+
+    Links also carry the fault-injection state that {!Tussle_fault}
+    drives through timed engine events: an up/down flag, episodic
+    loss/corruption probabilities, and an additive latency spike.  All
+    of it defaults to "healthy" and costs nothing until set. *)
 
 type t
+
+type fault =
+  | Down  (** the link is administratively/physically down *)
+  | Loss  (** dropped on the wire by an injected loss episode *)
+  | Corrupt  (** transmitted but damaged; discarded on arrival *)
 
 val make :
   ?queue_capacity:int -> latency:float -> bandwidth_bps:float -> unit -> t
@@ -20,12 +30,21 @@ val bandwidth_bps : t -> float
 val transmission_delay : t -> int -> float
 (** [transmission_delay l bytes] = serialization time of [bytes]. *)
 
-val try_enqueue : t -> now:float -> int -> [ `Sent of float | `Dropped ]
+val try_enqueue :
+  t -> now:float -> int -> [ `Sent of float | `Dropped | `Faulted of fault ]
 (** [try_enqueue l ~now bytes] models a packet offered to the link at
     [now].  [`Sent arrival] gives the time the packet reaches the far
-    end; [`Dropped] means the queue was full.  The link keeps internal
-    state (busy-until time and queue occupancy), so calls must be made in
-    non-decreasing [now] order. *)
+    end (propagation latency plus any injected {!set_extra_latency});
+    [`Dropped] means the queue was full; [`Faulted f] means an injected
+    fault killed it — [Down]/[Loss] without consuming capacity,
+    [Corrupt] after occupying the queue and the wire (the bits were
+    transmitted, they just arrive damaged).
+
+    The link keeps internal state (busy-until time and queue
+    occupancy), so calls must be made in non-decreasing [now] order;
+    calling with a [now] earlier than a previous call raises
+    [Invalid_argument] instead of silently corrupting the busy-until
+    accounting. *)
 
 val queued : t -> now:float -> int
 (** Packets currently occupying the queue at time [now]. *)
@@ -36,5 +55,45 @@ val utilization : t -> now:float -> float
 val packets_sent : t -> int
 
 val packets_dropped : t -> int
+(** Drop-tail (queue-full) drops only; fault drops are counted
+    separately by {!fault_drops}. *)
 
 val reset_counters : t -> unit
+
+(** {1 Fault-injection state}
+
+    Set by {!Tussle_fault.Inject} at episode boundaries; harmless to
+    drive by hand in tests.  A link starts up, lossless, uncorrupted,
+    with no extra latency. *)
+
+val is_up : t -> bool
+
+val set_up : t -> bool -> unit
+(** Take the link down (every offered packet becomes [`Faulted Down])
+    or bring it back up.  Queue state is preserved across a down
+    window; packets already serialized keep their departure times. *)
+
+val set_fault_rng : t -> Tussle_prelude.Rng.t -> unit
+(** Attach the seeded stream that loss/corruption draws consume.  Must
+    be called before setting a positive probability.  Determinism: the
+    engine fires events in a fixed order, so the draw sequence — and
+    hence every fault outcome — is a pure function of the seed. *)
+
+val set_loss_prob : t -> float -> unit
+(** Per-packet on-the-wire loss probability in [0,1] (raises
+    [Invalid_argument] outside, or if positive with no fault rng). *)
+
+val set_corrupt_prob : t -> float -> unit
+(** Per-packet corruption probability in [0,1], drawn only for packets
+    that were actually transmitted. *)
+
+val set_extra_latency : t -> float -> unit
+(** Additive propagation latency (a latency-spike episode); >= 0. *)
+
+val extra_latency : t -> float
+
+val fault_drops : t -> int
+(** Packets killed by [Down] or [Loss]. *)
+
+val corrupted_count : t -> int
+(** Packets killed by [Corrupt]. *)

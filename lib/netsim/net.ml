@@ -1,10 +1,14 @@
 module Graph = Tussle_prelude.Graph
+module Metrics = Tussle_obs.Metrics
 
 type drop_reason =
   | No_route
   | Queue_full of int * int
   | Filtered of string * int
   | Ttl_exceeded
+  | Link_down of int * int
+  | Fault_loss of int * int
+  | Corrupted of int * int
 
 type outcome =
   | Delivered of { latency : float; degraded : bool; tapped : bool }
@@ -47,8 +51,30 @@ let add_middlebox t node mb =
 let middleboxes_at t node =
   Option.value ~default:[] (Hashtbl.find_opt t.middleboxes node)
 
+(* Per-reason drop attribution (handles interned once; each incr is an
+   atomic load and a branch while telemetry is disabled). *)
+let m_drop_no_route = Metrics.counter "net.drops.no_route"
+let m_drop_queue_full = Metrics.counter "net.drops.queue_full"
+let m_drop_filtered = Metrics.counter "net.drops.filtered"
+let m_drop_ttl = Metrics.counter "net.drops.ttl_exceeded"
+let m_drop_link_down = Metrics.counter "net.drops.link_down"
+let m_drop_fault_loss = Metrics.counter "net.drops.fault_loss"
+let m_drop_corrupted = Metrics.counter "net.drops.corrupted"
+let m_delivered = Metrics.counter "net.delivered"
+
+let count_outcome = function
+  | Delivered _ -> Metrics.incr m_delivered
+  | Lost No_route -> Metrics.incr m_drop_no_route
+  | Lost (Queue_full _) -> Metrics.incr m_drop_queue_full
+  | Lost (Filtered _) -> Metrics.incr m_drop_filtered
+  | Lost Ttl_exceeded -> Metrics.incr m_drop_ttl
+  | Lost (Link_down _) -> Metrics.incr m_drop_link_down
+  | Lost (Fault_loss _) -> Metrics.incr m_drop_fault_loss
+  | Lost (Corrupted _) -> Metrics.incr m_drop_corrupted
+
 let finish t p outcome =
   Hashtbl.remove t.transits p.Packet.id;
+  count_outcome outcome;
   t.outcomes <- (p, outcome) :: t.outcomes;
   List.iter (fun observe -> observe p outcome) (List.rev t.observers)
 
@@ -100,6 +126,9 @@ let rec arrive t engine p node =
         | Some link -> begin
           match Link.try_enqueue link ~now:(Engine.now engine) p.Packet.size_bytes with
           | `Dropped -> finish t p (Lost (Queue_full (node, next)))
+          | `Faulted Link.Down -> finish t p (Lost (Link_down (node, next)))
+          | `Faulted Link.Loss -> finish t p (Lost (Fault_loss (node, next)))
+          | `Faulted Link.Corrupt -> finish t p (Lost (Corrupted (node, next)))
           | `Sent arrival_time ->
             ignore
               (Engine.schedule engine arrival_time (fun engine ->
@@ -148,6 +177,9 @@ let drop_reason_label = function
   | Queue_full _ -> "queue-full"
   | Filtered (name, _) -> "filtered:" ^ name
   | Ttl_exceeded -> "ttl-exceeded"
+  | Link_down _ -> "link-down"
+  | Fault_loss _ -> "fault-loss"
+  | Corrupted _ -> "corrupted"
 
 let losses_by_reason t =
   let tbl = Hashtbl.create 8 in

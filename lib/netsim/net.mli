@@ -15,6 +15,9 @@ type drop_reason =
   | Queue_full of int * int  (** link (u, v) dropped it *)
   | Filtered of string * int  (** middlebox name, node *)
   | Ttl_exceeded
+  | Link_down of int * int  (** injected fault: link (u, v) was down *)
+  | Fault_loss of int * int  (** injected fault: lost on the wire (u, v) *)
+  | Corrupted of int * int  (** injected fault: damaged crossing (u, v) *)
 
 type outcome =
   | Delivered of { latency : float; degraded : bool; tapped : bool }
@@ -60,7 +63,14 @@ val mean_latency : t -> float option
 (** Mean end-to-end latency over delivered packets. *)
 
 val losses_by_reason : t -> (string * int) list
-(** Aggregated loss counts keyed by a stable reason label. *)
+(** Aggregated loss counts keyed by a stable reason label.  Fault
+    reasons use the labels ["link-down"], ["fault-loss"] and
+    ["corrupted"].  When {!Tussle_obs.Metrics} is enabled every
+    completion also bumps a per-reason counter
+    ([net.delivered], [net.drops.no_route], [net.drops.queue_full],
+    [net.drops.filtered], [net.drops.ttl_exceeded],
+    [net.drops.link_down], [net.drops.fault_loss],
+    [net.drops.corrupted]), attributing drops to their fault. *)
 
 val clear_outcomes : t -> unit
 

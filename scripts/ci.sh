@@ -3,7 +3,12 @@
 #   - dune build && dune runtest
 #   - battery run with --report/--trace, schema validation of both
 #   - telemetry must not perturb battery stdout
-#   - --domains garbage must exit 2 on both entry points
+#   - --domains / --timeout-s / --fault-seed garbage must exit 2 on
+#     both entry points
+#   - fault battery smoke: E28 is deterministic per fault seed and
+#     differs across seeds
+#   - watchdog: a hung experiment becomes FAILED (timeout), exit 1
+#   - tussle report on a missing/unreadable file exits 2 cleanly
 # Regenerates BENCH_baseline.json at the repo root as a side effect.
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -51,6 +56,58 @@ for cmd in "$BENCH --experiments-only" "$CLI experiments"; do
   done
 done
 echo "both entry points exit 2 on bad --domains"
+
+echo "== --timeout-s / --fault-seed reject garbage with exit 2 =="
+for cmd in "$BENCH --experiments-only" "$CLI experiments"; do
+  for flag in "--timeout-s=nope" "--timeout-s=0" "--timeout-s=-1" \
+              "--fault-seed=nope" "--fault-seed=1.5"; do
+    set +e
+    $cmd "$flag" >/dev/null 2>&1
+    code=$?
+    set -e
+    if [ "$code" -ne 2 ]; then
+      echo "FAIL: '$cmd $flag' exited $code, expected 2" >&2
+      exit 1
+    fi
+  done
+done
+echo "both entry points exit 2 on bad --timeout-s / --fault-seed"
+
+echo "== fault battery smoke (E28, seeded) =="
+"$CLI" experiments -e E28 --fault-seed 7 > "$TMP/tussle-e28-seed7a.out"
+"$CLI" experiments -e E28 --fault-seed 7 > "$TMP/tussle-e28-seed7b.out"
+"$CLI" experiments -e E28 --fault-seed 8 > "$TMP/tussle-e28-seed8.out"
+cmp "$TMP/tussle-e28-seed7a.out" "$TMP/tussle-e28-seed7b.out"
+if cmp -s "$TMP/tussle-e28-seed7a.out" "$TMP/tussle-e28-seed8.out"; then
+  echo "FAIL: E28 output identical across different fault seeds" >&2
+  exit 1
+fi
+echo "E28 deterministic per fault seed, differs across seeds"
+
+echo "== watchdog converts a hung experiment into FAILED (timeout) =="
+set +e
+timeout 30 "$CLI" experiments -e E99 --timeout-s 1 > "$TMP/tussle-e99.out" 2>&1
+code=$?
+set -e
+if [ "$code" -ne 1 ]; then
+  echo "FAIL: hung E99 under --timeout-s exited $code, expected 1" >&2
+  exit 1
+fi
+grep -q 'FAILED (timeout' "$TMP/tussle-e99.out"
+echo "hung experiment reported as FAILED (timeout) without hanging the run"
+
+echo "== tussle report error paths exit 2 =="
+set +e
+"$CLI" report "$TMP/definitely-missing-report.json" >/dev/null 2>&1
+missing=$?
+"$CLI" report / >/dev/null 2>&1
+unreadable=$?
+set -e
+if [ "$missing" -ne 2 ] || [ "$unreadable" -ne 2 ]; then
+  echo "FAIL: report error paths exited $missing/$unreadable, expected 2/2" >&2
+  exit 1
+fi
+echo "report prints a clean error and exits 2 on missing/unreadable files"
 
 echo "== regenerate BENCH_baseline.json =="
 "$BENCH" --experiments-only --seq --report BENCH_baseline.json > /dev/null

@@ -6,19 +6,27 @@ module Experiment = Tussle_experiments.Experiment
 module Registry = Tussle_experiments.Registry
 
 let test_registry_complete () =
-  Alcotest.(check int) "twenty-seven experiments" 27 (List.length Registry.all);
+  Alcotest.(check int) "twenty-eight experiments" 28 (List.length Registry.all);
   let ids = List.map (fun e -> e.Experiment.id) Registry.all in
   Alcotest.(check (list string)) "ids in order"
     [ "E1"; "E2"; "E3"; "E4"; "E5"; "E6"; "E7"; "E8"; "E9"; "E10"; "E11";
       "E12"; "E13"; "E14"; "E15"; "E16"; "E17"; "E18"; "E19"; "E20"; "E21";
-      "E22"; "E23"; "E24"; "E25"; "E26"; "E27" ]
+      "E22"; "E23"; "E24"; "E25"; "E26"; "E27"; "E28" ]
     ids
 
 let test_registry_find () =
   (match Registry.find "e4" with
   | Some e -> Alcotest.(check string) "case-insensitive" "E4" e.Experiment.id
   | None -> Alcotest.fail "lookup failed");
-  Alcotest.(check bool) "unknown" true (Registry.find "E99" = None)
+  (* E99 is the watchdog hang probe: findable so the CLI can run it,
+     but deliberately kept out of [Registry.all] *)
+  (match Registry.find "E99" with
+  | Some e ->
+    Alcotest.(check string) "hang probe" "E99" e.Experiment.id;
+    Alcotest.(check bool) "not in the battery" false
+      (List.exists (fun e -> e.Experiment.id = "E99") Registry.all)
+  | None -> Alcotest.fail "hang probe must resolve");
+  Alcotest.(check bool) "unknown" true (Registry.find "E0" = None)
 
 let test_metadata_nonempty () =
   List.iter
@@ -39,7 +47,7 @@ let shape_test id () =
 
 let fast_ids =
   [ "E4"; "E6"; "E7"; "E8"; "E11"; "E14"; "E15"; "E16"; "E18"; "E19"; "E20";
-    "E21"; "E22"; "E23"; "E24"; "E25"; "E26"; "E27" ]
+    "E21"; "E22"; "E23"; "E24"; "E25"; "E26"; "E27"; "E28" ]
 
 let test_render_wraps () =
   match Registry.find "E6" with

@@ -1,0 +1,295 @@
+(* Tests for tussle.fault: plan validation, seeded plan generation,
+   injection compiled to engine events, determinism guards (same seed =
+   byte-identical output, like PR 2's telemetry guard), and the
+   per-experiment watchdog. *)
+
+module Rng = Tussle_prelude.Rng
+module Graph = Tussle_prelude.Graph
+module Engine = Tussle_netsim.Engine
+module Link = Tussle_netsim.Link
+module Net = Tussle_netsim.Net
+module Packet = Tussle_netsim.Packet
+module Topology = Tussle_netsim.Topology
+module Traffic = Tussle_netsim.Traffic
+module Diagnosis = Tussle_netsim.Diagnosis
+module Plan = Tussle_fault.Plan
+module Inject = Tussle_fault.Inject
+module Seed = Tussle_fault.Seed
+module Experiment = Tussle_experiments.Experiment
+module Registry = Tussle_experiments.Registry
+
+(* ---------- Plan ---------- *)
+
+let test_plan_validation () =
+  let w = Plan.window 1.0 2.0 in
+  Plan.validate [ Plan.Link_down { u = 0; v = 1; w } ];
+  Alcotest.check_raises "reversed window"
+    (Invalid_argument "Fault plan: window must end after it starts")
+    (fun () ->
+      Plan.validate [ Plan.Link_down { u = 0; v = 1; w = Plan.window 2.0 1.0 } ]);
+  Alcotest.check_raises "negative start"
+    (Invalid_argument "Fault plan: window start must be finite and >= 0")
+    (fun () ->
+      Plan.validate
+        [ Plan.Link_down { u = 0; v = 1; w = Plan.window (-1.0) 1.0 } ]);
+  Alcotest.check_raises "probability out of range"
+    (Invalid_argument "Fault plan: probability outside [0,1]") (fun () ->
+      Plan.validate [ Plan.Link_loss { u = 0; v = 1; w; prob = 1.5 } ]);
+  Alcotest.check_raises "self loop"
+    (Invalid_argument "Fault plan: link endpoints must differ") (fun () ->
+      Plan.validate [ Plan.Link_down { u = 3; v = 3; w } ]);
+  Alcotest.check_raises "negative spike"
+    (Invalid_argument "Fault plan: negative latency spike") (fun () ->
+      Plan.validate
+        [ Plan.Latency_spike { u = 0; v = 1; w; extra_s = -0.1 } ]);
+  (* an infinite window is legal: the fault never clears *)
+  Plan.validate [ Plan.Node_crash { node = 2; w = Plan.always } ]
+
+let test_plan_random_deterministic () =
+  let links = [ (0, 1); (1, 2) ] in
+  let draw seed =
+    Plan.to_string
+      (Plan.random (Rng.create seed) ~links ~horizon:10.0 ~episodes:5)
+  in
+  Alcotest.(check string) "same seed, same plan" (draw 42) (draw 42);
+  Alcotest.(check bool) "different seed, different plan" true
+    (draw 42 <> draw 43);
+  (* drawn plans are always well-formed *)
+  Plan.validate (Plan.random (Rng.create 42) ~links ~horizon:10.0 ~episodes:50);
+  Alcotest.check_raises "no links"
+    (Invalid_argument "Plan.random: no links") (fun () ->
+      ignore (Plan.random (Rng.create 1) ~links:[] ~horizon:1.0 ~episodes:1))
+
+(* ---------- Inject ---------- *)
+
+let line_forwarding ~node ~target _ =
+  if target > node then Some (node + 1)
+  else if target < node then Some (node - 1)
+  else None
+
+let two_node_net () =
+  Net.create (Topology.to_links (Topology.line 2)) line_forwarding
+
+(* inject one packet id [id] from 0 to [dst] at engine time [at] *)
+let send_at net engine ~id ~dst at =
+  ignore
+    (Engine.schedule engine at (fun engine ->
+         Net.inject net engine
+           (Packet.make ~id ~src:0 ~dst ~created:at ())))
+
+let outcome_of net id =
+  List.find_map
+    (fun ((p : Packet.t), o) -> if p.Packet.id = id then Some o else None)
+    (Net.outcomes net)
+
+let test_inject_down_window () =
+  let net = two_node_net () in
+  let engine = Engine.create () in
+  Inject.install ~seed:1
+    ~plan:[ Plan.Link_down { u = 0; v = 1; w = Plan.window 1.0 2.0 } ]
+    engine net;
+  send_at net engine ~id:0 ~dst:1 0.5;
+  send_at net engine ~id:1 ~dst:1 1.5;
+  send_at net engine ~id:2 ~dst:1 2.5;
+  Engine.run engine;
+  (match outcome_of net 0 with
+  | Some (Net.Delivered _) -> ()
+  | _ -> Alcotest.fail "before the window: delivered");
+  (match outcome_of net 1 with
+  | Some (Net.Lost (Net.Link_down (0, 1))) -> ()
+  | _ -> Alcotest.fail "inside the window: lost to link-down");
+  (match outcome_of net 2 with
+  | Some (Net.Delivered _) -> ()
+  | _ -> Alcotest.fail "after the window: delivered");
+  Alcotest.(check (list (pair string int))) "attributed"
+    [ ("link-down", 1) ]
+    (Net.losses_by_reason net)
+
+let test_inject_loss_deterministic () =
+  let run () =
+    let net = two_node_net () in
+    let engine = Engine.create () in
+    Inject.install ~seed:9
+      ~plan:
+        [ Plan.Link_loss { u = 0; v = 1; w = Plan.window 0.0 5.0; prob = 0.5 } ]
+      engine net;
+    for i = 0 to 19 do
+      send_at net engine ~id:i ~dst:1 (0.1 +. (0.2 *. float_of_int i))
+    done;
+    Engine.run engine;
+    List.map
+      (fun ((p : Packet.t), o) ->
+        (p.Packet.id, match o with Net.Delivered _ -> "ok" | Net.Lost _ -> "lost"))
+      (Net.outcomes net)
+  in
+  let a = run () and b = run () in
+  Alcotest.(check (list (pair int string))) "same seed, same fates" a b;
+  Alcotest.(check bool) "some lost, some delivered" true
+    (List.exists (fun (_, f) -> f = "lost") a
+    && List.exists (fun (_, f) -> f = "ok") a)
+
+let test_inject_latency_spike () =
+  let net = two_node_net () in
+  let engine = Engine.create () in
+  Inject.install ~seed:1
+    ~plan:
+      [ Plan.Latency_spike
+          { u = 0; v = 1; w = Plan.window 1.0 2.0; extra_s = 0.5 } ]
+    engine net;
+  send_at net engine ~id:0 ~dst:1 0.5;
+  send_at net engine ~id:1 ~dst:1 1.5;
+  Engine.run engine;
+  let latency id =
+    match outcome_of net id with
+    | Some (Net.Delivered { latency; _ }) -> latency
+    | _ -> Alcotest.fail "expected delivery"
+  in
+  Alcotest.(check bool) "spike adds latency" true
+    (latency 1 -. latency 0 > 0.49)
+
+let test_inject_unknown_link () =
+  let net = two_node_net () in
+  let engine = Engine.create () in
+  Alcotest.check_raises "no such link"
+    (Invalid_argument "Inject.install: no link between 0 and 5") (fun () ->
+      Inject.install ~seed:1
+        ~plan:[ Plan.Link_down { u = 0; v = 5; w = Plan.always } ]
+        engine net)
+
+let test_net_probe_against_covert_injection () =
+  (* E28's substrate: Diagnosis.net_probe must bracket a covert
+     injected middlebox failure and localize a revealing one exactly *)
+  let diagnose covert =
+    let net = Net.create (Topology.to_links (Topology.line 4)) line_forwarding in
+    let engine = Engine.create () in
+    Inject.install ~seed:5
+      ~plan:[ Plan.Middlebox_break { node = 2; w = Plan.always; covert } ]
+      engine net;
+    let gen = Traffic.create (Rng.create 6) in
+    let make ~target =
+      Traffic.next_packet gen ~src:0 ~dst:target
+        ~created:(Engine.now engine) ()
+    in
+    Diagnosis.localize ~probe:(Diagnosis.net_probe net engine ~make)
+      ~path:[ 0; 1; 2; 3 ]
+  in
+  let covert = diagnose true and revealing = diagnose false in
+  (match revealing.Diagnosis.verdict with
+  | Diagnosis.Blocked_at (name, 2) ->
+    Alcotest.(check string) "confessed name" Plan.broken_device_name name
+  | _ -> Alcotest.fail "revealing break must be localized exactly");
+  Alcotest.(check int) "one probe" 1 revealing.Diagnosis.probes_used;
+  (match covert.Diagnosis.verdict with
+  | Diagnosis.Blocked_between (1, 2) -> ()
+  | _ -> Alcotest.fail "covert break must be bracketed");
+  Alcotest.(check bool) "covert costs more probes" true
+    (covert.Diagnosis.probes_used > revealing.Diagnosis.probes_used)
+
+(* ---------- determinism guard (PR 2 style) ---------- *)
+
+let with_fault_seed seed f =
+  let saved = Seed.get () in
+  Seed.set seed;
+  Fun.protect ~finally:(fun () -> Seed.set saved) f
+
+let e28 () =
+  match Registry.find "E28" with
+  | Some e -> e
+  | None -> Alcotest.fail "E28 missing from the registry"
+
+let test_e28_deterministic_per_seed () =
+  let run () = (Experiment.run (e28 ())).Experiment.output in
+  let a = with_fault_seed 2027 run in
+  let b = with_fault_seed 2027 run in
+  Alcotest.(check string) "same fault seed, byte-identical output" a b;
+  let c = with_fault_seed 2028 run in
+  Alcotest.(check bool) "different fault seed, different output" true (a <> c)
+
+(* ---------- watchdog ---------- *)
+
+let quick_experiment =
+  {
+    Experiment.id = "T1";
+    title = "watchdog companion (terminates immediately)";
+    paper_claim = "none - test fixture";
+    run = (fun () -> ("ran fine\n", true));
+  }
+
+let output_mentions_timeout o =
+  let needle = "FAILED (timeout" and hay = o.Experiment.output in
+  let n = String.length hay and m = String.length needle in
+  let rec search i =
+    i + m <= n && (String.sub hay i m = needle || search (i + 1))
+  in
+  search 0
+
+let test_watchdog_times_out_hung_experiment () =
+  match
+    Registry.run_list ~domains:1 ~timeout_s:0.2
+      [ Registry.hang_probe; quick_experiment ]
+  with
+  | [ hung; fine ] ->
+    (match hung.Experiment.status with
+    | Experiment.Failed _ -> ()
+    | _ -> Alcotest.fail "hang probe must fail");
+    Alcotest.(check bool) "FAILED (timeout ...) in the body" true
+      (output_mentions_timeout hung);
+    Alcotest.(check bool) "partial telemetry: wall clock recorded" true
+      (hung.Experiment.wall_s >= 0.2);
+    (* the battery carried on past the hung experiment *)
+    Alcotest.(check bool) "companion still ran" true (Experiment.held fine)
+  | _ -> Alcotest.fail "expected two outcomes"
+
+let test_watchdog_passes_fast_experiment_through () =
+  let watched = Experiment.run ~timeout_s:30.0 quick_experiment in
+  let plain = Experiment.run quick_experiment in
+  Alcotest.(check bool) "held" true (Experiment.held watched);
+  Alcotest.(check string) "identical output" plain.Experiment.output
+    watched.Experiment.output
+
+let test_watchdog_validation () =
+  Alcotest.check_raises "non-positive timeout"
+    (Invalid_argument "Experiment.run: timeout_s must be positive and finite")
+    (fun () -> ignore (Experiment.run ~timeout_s:0.0 quick_experiment))
+
+let test_seed_roundtrip () =
+  let saved = Seed.get () in
+  Alcotest.(check int) "default" 1031 Seed.default;
+  Seed.set 7;
+  Alcotest.(check int) "set/get" 7 (Seed.get ());
+  Seed.set saved
+
+let () =
+  Alcotest.run "fault"
+    [
+      ( "plan",
+        [
+          Alcotest.test_case "validation" `Quick test_plan_validation;
+          Alcotest.test_case "random deterministic" `Quick
+            test_plan_random_deterministic;
+        ] );
+      ( "inject",
+        [
+          Alcotest.test_case "down window" `Quick test_inject_down_window;
+          Alcotest.test_case "loss deterministic" `Quick
+            test_inject_loss_deterministic;
+          Alcotest.test_case "latency spike" `Quick test_inject_latency_spike;
+          Alcotest.test_case "unknown link" `Quick test_inject_unknown_link;
+          Alcotest.test_case "net_probe vs covert injection" `Quick
+            test_net_probe_against_covert_injection;
+        ] );
+      ( "determinism",
+        [
+          Alcotest.test_case "E28 byte-identical per fault seed" `Slow
+            test_e28_deterministic_per_seed;
+          Alcotest.test_case "seed roundtrip" `Quick test_seed_roundtrip;
+        ] );
+      ( "watchdog",
+        [
+          Alcotest.test_case "hung experiment times out" `Quick
+            test_watchdog_times_out_hung_experiment;
+          Alcotest.test_case "fast experiment unchanged" `Quick
+            test_watchdog_passes_fast_experiment_through;
+          Alcotest.test_case "validation" `Quick test_watchdog_validation;
+        ] );
+    ]

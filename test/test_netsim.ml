@@ -202,7 +202,7 @@ let test_link_delay () =
   check_float "tx delay" 1.0 (Link.transmission_delay l 1000);
   match Link.try_enqueue l ~now:0.0 1000 with
   | `Sent arrival -> check_float "arrival" 1.01 arrival
-  | `Dropped -> Alcotest.fail "dropped"
+  | `Dropped | `Faulted _ -> Alcotest.fail "dropped"
 
 let test_link_queueing () =
   let l = Link.make ~latency:0.01 ~bandwidth_bps:8000.0 () in
@@ -210,7 +210,7 @@ let test_link_queueing () =
   (* second packet waits for the first to serialize *)
   match Link.try_enqueue l ~now:0.0 1000 with
   | `Sent arrival -> check_float "queued arrival" 2.01 arrival
-  | `Dropped -> Alcotest.fail "dropped"
+  | `Dropped | `Faulted _ -> Alcotest.fail "dropped"
 
 let test_link_drop_when_full () =
   let l = Link.make ~queue_capacity:2 ~latency:0.01 ~bandwidth_bps:8000.0 () in
@@ -218,7 +218,7 @@ let test_link_drop_when_full () =
   ignore (Link.try_enqueue l ~now:0.0 1000);
   (match Link.try_enqueue l ~now:0.0 1000 with
   | `Dropped -> ()
-  | `Sent _ -> Alcotest.fail "should drop");
+  | `Sent _ | `Faulted _ -> Alcotest.fail "should drop");
   Alcotest.(check int) "dropped count" 1 (Link.packets_dropped l);
   Alcotest.(check int) "sent count" 2 (Link.packets_sent l)
 
@@ -231,13 +231,84 @@ let test_link_drains () =
   Alcotest.(check int) "drained" 0 (Link.queued l ~now:2.5);
   match Link.try_enqueue l ~now:2.5 1000 with
   | `Sent _ -> ()
-  | `Dropped -> Alcotest.fail "should accept after drain"
+  | `Dropped | `Faulted _ -> Alcotest.fail "should accept after drain"
 
 let test_link_utilization () =
   let l = Link.make ~latency:0.01 ~bandwidth_bps:8000.0 () in
   ignore (Link.try_enqueue l ~now:0.0 1000);
   let u = Link.utilization l ~now:2.0 in
   check_float "half busy" 0.5 u
+
+let test_link_decreasing_now_raises () =
+  (* regression: a decreasing [now] used to silently corrupt the
+     busy-until accounting; the contract is now enforced *)
+  let l = Link.make ~latency:0.01 ~bandwidth_bps:8000.0 () in
+  ignore (Link.try_enqueue l ~now:1.0 1000);
+  Alcotest.check_raises "decreasing now"
+    (Invalid_argument
+       "Link.try_enqueue: decreasing now (calls must be in non-decreasing \
+        time order)") (fun () -> ignore (Link.try_enqueue l ~now:0.5 1000));
+  (* equal time is still fine (FIFO ties are legitimate) *)
+  match Link.try_enqueue l ~now:1.0 1000 with
+  | `Sent _ -> ()
+  | `Dropped | `Faulted _ -> Alcotest.fail "equal now must be accepted"
+
+let test_link_down_up () =
+  let l = Link.make ~latency:0.01 ~bandwidth_bps:8000.0 () in
+  Alcotest.(check bool) "starts up" true (Link.is_up l);
+  Link.set_up l false;
+  (match Link.try_enqueue l ~now:0.0 1000 with
+  | `Faulted Link.Down -> ()
+  | `Sent _ | `Dropped | `Faulted _ -> Alcotest.fail "down link must fault");
+  Alcotest.(check int) "fault drop counted" 1 (Link.fault_drops l);
+  Alcotest.(check int) "not a queue drop" 0 (Link.packets_dropped l);
+  Link.set_up l true;
+  match Link.try_enqueue l ~now:1.0 1000 with
+  | `Sent _ -> ()
+  | `Dropped | `Faulted _ -> Alcotest.fail "restored link must send"
+
+let test_link_loss_and_corrupt () =
+  let l = Link.make ~latency:0.01 ~bandwidth_bps:8000.0 () in
+  Link.set_fault_rng l (Rng.create 7);
+  Link.set_loss_prob l 1.0;
+  (match Link.try_enqueue l ~now:0.0 1000 with
+  | `Faulted Link.Loss -> ()
+  | `Sent _ | `Dropped | `Faulted _ -> Alcotest.fail "p=1 loss must fault");
+  Alcotest.(check int) "loss counted" 1 (Link.fault_drops l);
+  (* loss does not consume wire capacity *)
+  Alcotest.(check int) "nothing queued" 0 (Link.queued l ~now:0.0);
+  Link.set_loss_prob l 0.0;
+  Link.set_corrupt_prob l 1.0;
+  (match Link.try_enqueue l ~now:0.0 1000 with
+  | `Faulted Link.Corrupt -> ()
+  | `Sent _ | `Dropped | `Faulted _ -> Alcotest.fail "p=1 corrupt must fault");
+  Alcotest.(check int) "corruption counted" 1 (Link.corrupted_count l);
+  (* corruption happens after transmission: capacity was consumed *)
+  Alcotest.(check int) "wire occupied" 1 (Link.queued l ~now:0.0)
+
+let test_link_latency_spike () =
+  let l = Link.make ~latency:0.01 ~bandwidth_bps:8000.0 () in
+  Link.set_extra_latency l 0.25;
+  (match Link.try_enqueue l ~now:0.0 1000 with
+  | `Sent arrival -> check_float "spiked arrival" 1.26 arrival
+  | `Dropped | `Faulted _ -> Alcotest.fail "should send");
+  Link.set_extra_latency l 0.0;
+  match Link.try_enqueue l ~now:0.0 1000 with
+  | `Sent arrival -> check_float "restored arrival" 2.01 arrival
+  | `Dropped | `Faulted _ -> Alcotest.fail "should send"
+
+let test_link_fault_validation () =
+  let l = Link.make ~latency:0.01 ~bandwidth_bps:8000.0 () in
+  Alcotest.check_raises "prob without rng"
+    (Invalid_argument "Link.set_loss_prob: set_fault_rng first") (fun () ->
+      Link.set_loss_prob l 0.5);
+  Link.set_fault_rng l (Rng.create 1);
+  Alcotest.check_raises "prob out of range"
+    (Invalid_argument "Link.set_loss_prob: probability outside [0,1]")
+    (fun () -> Link.set_loss_prob l 1.5);
+  Alcotest.check_raises "negative spike"
+    (Invalid_argument "Link.set_extra_latency: negative") (fun () ->
+      Link.set_extra_latency l (-0.1))
 
 (* ---------- Topology ---------- *)
 
@@ -676,6 +747,46 @@ let test_diagnosis_short_path () =
     (fun () ->
       ignore (Diagnosis.localize ~probe:(fun _ -> Diagnosis.Reached) ~path:[ 1 ]))
 
+let test_diagnosis_two_node_path () =
+  (* the minimal path: source and destination only.  A silent failure
+     can only sit on the single hop — and must not read as
+     Unreachable_at_start, because there are no intermediate nodes to
+     have heard from *)
+  let probe _ = Diagnosis.Lost in
+  let r = Diagnosis.localize ~probe ~path:[ 7; 9 ] in
+  Alcotest.(check bool) "single hop bracketed" true
+    (r.Diagnosis.verdict = Diagnosis.Blocked_between (7, 9));
+  Alcotest.(check int) "one probe suffices" 1 r.Diagnosis.probes_used
+
+let test_diagnosis_first_hop_vs_destination () =
+  (* failure at the first hop: nothing past the source answers *)
+  let first_hop target = if target = 0 then Diagnosis.Reached else Diagnosis.Lost in
+  let r = Diagnosis.localize ~probe:first_hop ~path:diag_path in
+  Alcotest.(check bool) "first hop" true
+    (r.Diagnosis.verdict = Diagnosis.Unreachable_at_start);
+  (* failure at the destination: every intermediate node answers *)
+  let dest_only target = if target = 4 then Diagnosis.Lost else Diagnosis.Reached in
+  let r = Diagnosis.localize ~probe:dest_only ~path:diag_path in
+  Alcotest.(check bool) "destination hop" true
+    (r.Diagnosis.verdict = Diagnosis.Blocked_between (3, 4));
+  (* the destination sweep probed every intermediate node *)
+  Alcotest.(check int) "probe cost" 4 r.Diagnosis.probes_used
+
+let test_diagnosis_revealing_at_bracket_boundary () =
+  (* the destination probe dies silently (a covert fault further down),
+     but the forward scan hits a revealing device exactly where a
+     bracket would have been placed: the confession must win *)
+  let probe target =
+    if target = 4 then Diagnosis.Lost
+    else if target >= 2 then Diagnosis.Reported_block ("edge-filter", 2)
+    else Diagnosis.Reached
+  in
+  let r = Diagnosis.localize ~probe ~path:diag_path in
+  Alcotest.(check bool) "confession wins over bracket" true
+    (r.Diagnosis.verdict = Diagnosis.Blocked_at ("edge-filter", 2));
+  (* dest + node 1 + node 2 *)
+  Alcotest.(check int) "three probes" 3 r.Diagnosis.probes_used
+
 
 (* ---------- NAT ---------- *)
 
@@ -824,6 +935,99 @@ let test_transport_validation () =
     (Invalid_argument "Transport.start: nothing to send") (fun () ->
       ignore (Transport.start engine net gen ~src:0 ~dst:1 ~total_packets:0))
 
+(* ---------- Transport resilience (faulted links) ---------- *)
+
+(* single 0-1 link whose object we keep, so tests can flip its state *)
+let faultable_net () =
+  let g = Graph.create 2 in
+  let l = Link.make ~queue_capacity:16 ~latency:0.005 ~bandwidth_bps:2e6 () in
+  Graph.add_undirected g 0 1 l;
+  (Net.create g direct_forwarding, l)
+
+let test_transport_survives_down_window () =
+  (* the link dies mid-flight and comes back: the transfer must finish
+     after the restore, paced by backoff retransmissions *)
+  let net, link = faultable_net () in
+  let engine = Engine.create () in
+  let gen = Traffic.create (Rng.create 11) in
+  ignore (Engine.schedule engine 0.1 (fun _ -> Link.set_up link false));
+  ignore (Engine.schedule engine 0.8 (fun _ -> Link.set_up link true));
+  let c =
+    Transport.start ~rto_backoff:2.0 ~rto_max:1.0 ~max_retries:20 engine net
+      gen ~src:0 ~dst:1 ~total_packets:100
+  in
+  Engine.run ~until:120.0 engine;
+  Alcotest.(check int) "engine drained" 0 (Engine.pending engine);
+  Alcotest.(check bool) "completed after restore" true (Transport.completed c);
+  Alcotest.(check bool) "status agrees" true
+    (Transport.status c = Transport.Completed);
+  Alcotest.(check bool) "retransmissions counted" true
+    (Transport.retransmissions c > 0);
+  Alcotest.(check bool) "timeouts counted" true (Transport.timeouts c > 0)
+
+let test_transport_abandons_dead_path () =
+  (* the link never comes back: the connection must give up after
+     max_retries and let the engine drain — never hang it *)
+  let net, link = faultable_net () in
+  let engine = Engine.create () in
+  let gen = Traffic.create (Rng.create 12) in
+  Link.set_up link false;
+  let c =
+    Transport.start ~rto_backoff:2.0 ~rto_max:0.5 ~max_retries:3 engine net
+      gen ~src:0 ~dst:1 ~total_packets:50
+  in
+  Engine.run ~until:120.0 engine;
+  Alcotest.(check int) "engine drained" 0 (Engine.pending engine);
+  Alcotest.(check bool) "abandoned" true (Transport.abandoned c);
+  Alcotest.(check bool) "status agrees" true
+    (Transport.status c = Transport.Abandoned);
+  Alcotest.(check bool) "gave up at a recorded time" true
+    (Transport.abandon_time c <> None);
+  Alcotest.(check bool) "not completed" false (Transport.completed c);
+  (* goodput freezes at the abandon time instead of decaying with now *)
+  check_float "goodput at abandonment"
+    (Transport.goodput c ~now:(Engine.now engine))
+    (Transport.goodput c ~now:1e9)
+
+let test_transport_stalled_probe () =
+  let net, link = faultable_net () in
+  let engine = Engine.create () in
+  let gen = Traffic.create (Rng.create 13) in
+  Link.set_up link false;
+  let c =
+    Transport.start ~rto_backoff:2.0 ~rto_max:2.0 ~max_retries:50 engine net
+      gen ~src:0 ~dst:1 ~total_packets:10
+  in
+  Engine.run ~until:5.0 engine;
+  (* no ack ever arrived: the connection is alive but stalled *)
+  Alcotest.(check bool) "still active" true (Transport.status c = Transport.Active);
+  Alcotest.(check bool) "stalled" true (Transport.stalled c ~now:5.0 ~idle:1.0);
+  Link.set_up link true;
+  Engine.run ~until:120.0 engine;
+  Alcotest.(check bool) "recovers" true (Transport.completed c);
+  Alcotest.(check bool) "no longer stalled" true
+    (not (Transport.stalled c ~now:(Engine.now engine) ~idle:1.0))
+
+let test_transport_resilience_validation () =
+  let net, _ = faultable_net () in
+  let engine = Engine.create () in
+  let gen = Traffic.create (Rng.create 14) in
+  Alcotest.check_raises "backoff < 1"
+    (Invalid_argument "Transport.start: backoff < 1") (fun () ->
+      ignore
+        (Transport.start ~rto_backoff:0.5 engine net gen ~src:0 ~dst:1
+           ~total_packets:1));
+  Alcotest.check_raises "jitter without rng"
+    (Invalid_argument "Transport.start: jitter needs jitter_rng") (fun () ->
+      ignore
+        (Transport.start ~rto_jitter:0.2 engine net gen ~src:0 ~dst:1
+           ~total_packets:1));
+  Alcotest.check_raises "max_retries < 1"
+    (Invalid_argument "Transport.start: max_retries < 1") (fun () ->
+      ignore
+        (Transport.start ~max_retries:0 engine net gen ~src:0 ~dst:1
+           ~total_packets:1))
+
 let () =
   Alcotest.run "netsim"
     [
@@ -862,6 +1066,14 @@ let () =
           Alcotest.test_case "drop when full" `Quick test_link_drop_when_full;
           Alcotest.test_case "drains" `Quick test_link_drains;
           Alcotest.test_case "utilization" `Quick test_link_utilization;
+          Alcotest.test_case "decreasing now raises" `Quick
+            test_link_decreasing_now_raises;
+          Alcotest.test_case "down/up fault" `Quick test_link_down_up;
+          Alcotest.test_case "loss and corrupt faults" `Quick
+            test_link_loss_and_corrupt;
+          Alcotest.test_case "latency spike" `Quick test_link_latency_spike;
+          Alcotest.test_case "fault validation" `Quick
+            test_link_fault_validation;
         ] );
       ( "topology",
         [
@@ -905,6 +1117,13 @@ let () =
           Alcotest.test_case "aggressive starves" `Quick
             test_transport_aggressive_starves;
           Alcotest.test_case "validation" `Quick test_transport_validation;
+          Alcotest.test_case "survives down window" `Quick
+            test_transport_survives_down_window;
+          Alcotest.test_case "abandons dead path" `Quick
+            test_transport_abandons_dead_path;
+          Alcotest.test_case "stalled probe" `Quick test_transport_stalled_probe;
+          Alcotest.test_case "resilience validation" `Quick
+            test_transport_resilience_validation;
         ] );
       ( "nat",
         [
@@ -928,6 +1147,11 @@ let () =
           Alcotest.test_case "dead first hop" `Quick test_diagnosis_dead_first_hop;
           Alcotest.test_case "last hop" `Quick test_diagnosis_last_hop;
           Alcotest.test_case "short path" `Quick test_diagnosis_short_path;
+          Alcotest.test_case "two-node path" `Quick test_diagnosis_two_node_path;
+          Alcotest.test_case "first hop vs destination" `Quick
+            test_diagnosis_first_hop_vs_destination;
+          Alcotest.test_case "revealing at bracket boundary" `Quick
+            test_diagnosis_revealing_at_bracket_boundary;
         ] );
       ( "congestion",
         [

@@ -101,7 +101,7 @@ let test_failed_isolated () =
 (* ---------- determinism across domain counts ---------- *)
 
 let test_parallel_battery_identical () =
-  (* cheap subset of the battery; bench/main.ml exercises all 27 *)
+  (* cheap subset of the battery; bench/main.ml exercises all 28 *)
   let batch =
     List.map fast [ "E4"; "E6"; "E7"; "E8"; "E19"; "E23"; "E25"; "E26" ]
   in
