@@ -5,7 +5,7 @@
    operationalizes one qualitative claim from the text, prints the
    table, and checks the claim's shape.
 
-   Part 2 runs bechamel microbenchmarks (B1-B6) over the substrate hot
+   Part 2 runs bechamel microbenchmarks (B1-B12) over the substrate hot
    paths: the event loop, Dijkstra, path-vector convergence, the Nash
    solver, policy evaluation, and trust-graph queries.
 
@@ -151,6 +151,27 @@ let bench_transport () =
   Engine.run ~until:120.0 engine;
   assert (Tussle_netsim.Transport.completed c)
 
+let bench_selfheal () =
+  (* one full outage lifecycle on a 12-ring: hello sampling, down
+     detection, SPF + table swap, restoration, second swap *)
+  let links = Topology.to_links (Topology.ring 12) in
+  let net = Tussle_netsim.Net.create links (fun ~node:_ ~target:_ _ -> None) in
+  let engine = Engine.create () in
+  let heal = Tussle_routing.Selfheal.attach ~until:1.0 engine net in
+  Tussle_fault.Inject.install ~seed:9006
+    ~plan:
+      [ Tussle_fault.Plan.Link_down
+          { u = 0; v = 1; w = Tussle_fault.Plan.window 0.13 0.61 } ]
+    engine net;
+  Engine.run engine;
+  assert (Tussle_routing.Selfheal.reconvergences heal = 2)
+
+let bench_chaos_run () =
+  (* one chaos sweep run end to end: derive the plan, simulate the
+     scenario, check every invariant *)
+  let r = Tussle_chaos.Sweep.run_one ~master_seed:9007 0 in
+  assert (r.Tussle_chaos.Sweep.violations = [])
+
 let microbenchmarks () =
   let open Bechamel in
   let test name f = Test.make ~name (Staged.stage f) in
@@ -168,6 +189,8 @@ let microbenchmarks () =
         test "B8 multicast tree (BA-200, 80 receivers)" bench_multicast;
         test "B9 payment ledger (200 payments + settle)" bench_payment;
         test "B10 closed-loop transport (200 pkts)" bench_transport;
+        test "B11 self-heal reconvergence (12-ring outage)" bench_selfheal;
+        test "B12 chaos run (plan + sim + invariants)" bench_chaos_run;
       ]
   in
   let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) () in

@@ -2,6 +2,7 @@
 
    Subcommands:
      experiments [-e ID]   regenerate the paper's experiments
+     chaos                 seeded random fault plans vs. the invariants
      report FILE           validate and summarize a battery report
      scenario              run the actor/mechanism tussle engine
      market                run the access-provider market model
@@ -17,7 +18,7 @@ module Obs_json = Tussle_obs.Json
 
 let experiments_cmd =
   let id =
-    let doc = "Run a single experiment (E1..E27)." in
+    let doc = "Run a single experiment (E1..E29)." in
     Arg.(value & opt (some string) None & info [ "e"; "experiment" ] ~doc)
   in
   let domains =
@@ -151,10 +152,180 @@ let experiments_cmd =
           2
       end)
   in
-  let doc = "regenerate the paper's experiments (E1..E28)" in
+  let doc = "regenerate the paper's experiments (E1..E29)" in
   Cmd.v (Cmd.info "experiments" ~doc)
     Term.(const run $ id $ domains $ seq $ metrics $ trace $ report
           $ timeout_s $ fault_seed)
+
+(* ---------- chaos ---------- *)
+
+let chaos_cmd =
+  let seed =
+    let doc =
+      "Master seed for the chaos sweep.  Same seed, same plans, same \
+       output, byte for byte, for any --domains count; default 1031."
+    in
+    Arg.(value & opt (some string) None & info [ "chaos-seed" ] ~doc ~docv:"SEED")
+  in
+  let runs =
+    let doc = "Number of random fault plans to run (default 200)." in
+    Arg.(value & opt (some string) None & info [ "chaos-runs" ] ~doc ~docv:"N")
+  in
+  let domains =
+    let doc = "Number of domains for the sweep (default: the recommended \
+               domain count).  Output is byte-identical for any value." in
+    Arg.(value & opt (some string) None & info [ "domains" ] ~doc ~docv:"N")
+  in
+  let seq =
+    let doc = "Run strictly sequentially (same as --domains 1)." in
+    Arg.(value & flag & info [ "seq" ] ~doc)
+  in
+  let corpus =
+    let doc =
+      "Persist the shrunk reproducer of every invariant violation under \
+       $(docv) (created if missing)."
+    in
+    Arg.(value & opt (some string) None & info [ "corpus" ] ~doc ~docv:"DIR")
+  in
+  let replay =
+    let doc =
+      "Instead of sweeping, replay every *.plan reproducer under $(docv) \
+       and re-check all invariants."
+    in
+    Arg.(value & opt (some string) None & info [ "replay" ] ~doc ~docv:"DIR")
+  in
+  let run seed runs domains seq corpus replay =
+    let module Sweep = Tussle_chaos.Sweep in
+    let module Invariant = Tussle_chaos.Invariant in
+    let module Corpus = Tussle_chaos.Corpus in
+    let seed_result =
+      match seed with
+      | None -> Ok Tussle_fault.Seed.default
+      | Some s -> (
+        match int_of_string_opt (String.trim s) with
+        | Some n -> Ok n
+        | None ->
+          Error (Printf.sprintf "invalid chaos seed %S (expected an integer)" s))
+    in
+    let runs_result =
+      match runs with
+      | None -> Ok 200
+      | Some s -> (
+        match int_of_string_opt (String.trim s) with
+        | Some n when n >= 1 -> Ok n
+        | Some _ | None ->
+          Error
+            (Printf.sprintf "invalid run count %S (expected an integer >= 1)" s))
+    in
+    let domains_result =
+      if seq then Ok (Some 1)
+      else
+        match domains with
+        | None -> Ok None
+        | Some s -> Result.map Option.some (Tussle_prelude.Pool.domains_of_string s)
+    in
+    match (seed_result, runs_result, domains_result) with
+    | Error msg, _, _ ->
+      prerr_endline ("chaos: --chaos-seed: " ^ msg);
+      2
+    | _, Error msg, _ ->
+      prerr_endline ("chaos: --chaos-runs: " ^ msg);
+      2
+    | _, _, Error msg ->
+      prerr_endline ("chaos: --domains: " ^ msg);
+      2
+    | Ok seed, Ok runs, Ok domains -> (
+      match replay with
+      | Some dir -> (
+        let entries = Corpus.load_dir dir in
+        Printf.printf "chaos replay: %d corpus entr%s under %s\n"
+          (List.length entries)
+          (if List.length entries = 1 then "y" else "ies")
+          dir;
+        let bad = ref 0 in
+        List.iter
+          (fun (path, entry) ->
+            match entry with
+            | Error msg ->
+              incr bad;
+              Printf.printf "  %s: LOAD ERROR %s\n" (Filename.basename path) msg
+            | Ok e -> (
+              match Sweep.replay e with
+              | Error msg ->
+                incr bad;
+                Printf.printf "  %s: %s\n" (Filename.basename path) msg
+              | Ok [] ->
+                Printf.printf "  %s: ok (%s, seed %d, %d episode%s)\n"
+                  (Filename.basename path) e.Corpus.scenario e.Corpus.seed
+                  (List.length e.Corpus.plan)
+                  (if List.length e.Corpus.plan = 1 then "" else "s")
+              | Ok violations ->
+                incr bad;
+                Printf.printf "  %s: VIOLATION\n" (Filename.basename path);
+                List.iter
+                  (fun v ->
+                    Printf.printf "    %s\n" (Invariant.violation_string v))
+                  violations))
+          entries;
+        if !bad = 0 then begin
+          Printf.printf "chaos replay: all clean\n";
+          0
+        end
+        else begin
+          Printf.printf "chaos replay: %d failing entr%s\n" !bad
+            (if !bad = 1 then "y" else "ies");
+          1
+        end)
+      | None ->
+        let results = Sweep.run_sweep ?domains ~seed ~runs () in
+        let failures = Sweep.failures results in
+        Printf.printf
+          "chaos sweep: %d runs from seed %d over %s; invariants: %s\n" runs
+          seed
+          (String.concat ", "
+             (List.map
+                (fun (s : Tussle_chaos.Scenario.t) -> s.Tussle_chaos.Scenario.name)
+                Tussle_chaos.Scenario.all))
+          (String.concat ", " Invariant.names);
+        List.iter
+          (fun (r : Sweep.run) ->
+            Printf.printf "run %04d %s seed=%d episodes=%d: VIOLATION\n"
+              r.Sweep.index r.Sweep.scenario r.Sweep.seed r.Sweep.episodes;
+            List.iter
+              (fun v -> Printf.printf "  %s\n" (Invariant.violation_string v))
+              r.Sweep.violations;
+            let minimal = Sweep.shrink_run r in
+            Printf.printf "  shrunk %d -> %d episode%s:\n"
+              (List.length r.Sweep.plan) (List.length minimal)
+              (if List.length minimal = 1 then "" else "s");
+            String.split_on_char '\n' (Tussle_fault.Plan.to_string minimal)
+            |> List.iter (fun line ->
+                   if line <> "" then Printf.printf "    %s\n" line);
+            match corpus with
+            | None -> ()
+            | Some dir ->
+              let path =
+                Corpus.save ~dir
+                  {
+                    Corpus.scenario = r.Sweep.scenario;
+                    seed = r.Sweep.seed;
+                    plan = minimal;
+                  }
+              in
+              Printf.printf "  saved %s\n" path)
+          failures;
+        let n_fail = List.length failures in
+        Printf.printf "chaos sweep: %d/%d runs clean, %d violation%s\n"
+          (runs - n_fail) runs n_fail
+          (if n_fail = 1 then "" else "s");
+        if n_fail = 0 then 0 else 1)
+  in
+  let doc =
+    "run seeded random fault plans against the scenario checkers and \
+     validate every simulation invariant (see also --replay)"
+  in
+  Cmd.v (Cmd.info "chaos" ~doc)
+    Term.(const run $ seed $ runs $ domains $ seq $ corpus $ replay)
 
 (* ---------- report ---------- *)
 
@@ -388,6 +559,7 @@ let () =
   let info = Cmd.info "tussle" ~version:"1.0.0" ~doc in
   let group =
     Cmd.group info
-      [ experiments_cmd; report_cmd; scenario_cmd; market_cmd; policy_cmd ]
+      [ experiments_cmd; chaos_cmd; report_cmd; scenario_cmd; market_cmd;
+        policy_cmd ]
   in
   exit (Cmd.eval' group)

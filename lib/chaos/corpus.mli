@@ -1,0 +1,30 @@
+(** The replayable chaos regression corpus.
+
+    Every shrunk reproducer is persisted as a small text file —
+    scenario name, injection seed, and the minimal plan in
+    {!Tussle_fault.Plan.to_string} format — under [chaos/corpus/].
+    CI replays the whole directory on every run, so a bug found once
+    by the random sweep is guarded forever by a deterministic test. *)
+
+type entry = {
+  scenario : string;  (** {!Scenario.t} name the plan fails against *)
+  seed : int;  (** injection/traffic seed the failure was found with *)
+  plan : Tussle_fault.Plan.t;
+}
+
+val filename : entry -> string
+(** [scenario-seed-<hash>.plan]; the hash covers the plan text so
+    saving the same reproducer twice is idempotent. *)
+
+val save : dir:string -> entry -> string
+(** Write the entry under [dir] (created if missing, like mkdir -p)
+    and return the file path. *)
+
+val load : string -> (entry, string) result
+(** Parse one corpus file.  The plan is validated; [Error] carries a
+    human-readable reason (missing header, bad seed, malformed or
+    invalid plan, unreadable file). *)
+
+val load_dir : string -> (string * (entry, string) result) list
+(** All [*.plan] files under a directory in sorted filename order
+    (deterministic replay order); [[]] if the directory is missing. *)

@@ -1,0 +1,123 @@
+module Graph = Tussle_prelude.Graph
+module Engine = Tussle_netsim.Engine
+module Net = Tussle_netsim.Net
+module Link = Tussle_netsim.Link
+
+type transfer_state = Completed | Abandoned | Active
+
+type obs = {
+  injected : int;
+  delivered : int;
+  dropped : int;
+  in_flight : int;
+  engine_pending : int;
+  clock_start : float;
+  clock_end : float;
+  drops_by_reason : (string * int) list;
+  link_fault_drops : int;
+  link_corrupted : int;
+  transfers : transfer_state list;
+}
+
+(* Fold over the distinct physical link objects (an undirected label
+   shared both ways must be counted once — same dedup Inject uses). *)
+let fold_links links ~init ~f =
+  let seen = ref [] in
+  Graph.fold_edges links ~init ~f:(fun acc _ _ l ->
+      if List.memq l !seen then acc
+      else begin
+        seen := l :: !seen;
+        f acc l
+      end)
+
+let observe ?(transfers = []) ~clock_start engine net =
+  let links = Net.links net in
+  {
+    injected = Net.injected_count net;
+    delivered = Net.delivered_count net;
+    dropped = Net.lost_count net;
+    in_flight = Net.in_flight net;
+    engine_pending = Engine.pending engine;
+    clock_start;
+    clock_end = Engine.now engine;
+    drops_by_reason = Net.losses_by_reason net;
+    link_fault_drops =
+      fold_links links ~init:0 ~f:(fun acc l -> acc + Link.fault_drops l);
+    link_corrupted =
+      fold_links links ~init:0 ~f:(fun acc l -> acc + Link.corrupted_count l);
+    transfers;
+  }
+
+type violation = { invariant : string; detail : string }
+
+let reason_count o label =
+  Option.value ~default:0 (List.assoc_opt label o.drops_by_reason)
+
+(* The registry.  Each invariant returns [Some detail] on violation.
+   This list is the intended home for future correctness checks: a new
+   simulation-wide property becomes one entry here and every chaos
+   sweep, corpus replay, and planted-violation test starts enforcing
+   it. *)
+let all : (string * (obs -> string option)) list =
+  [
+    ( "packet-conservation",
+      fun o ->
+        if o.injected = o.delivered + o.dropped + o.in_flight then None
+        else
+          Some
+            (Printf.sprintf
+               "injected %d <> delivered %d + dropped %d + in-flight %d"
+               o.injected o.delivered o.dropped o.in_flight) );
+    ( "engine-drained",
+      fun o ->
+        if o.engine_pending = 0 then None
+        else Some (Printf.sprintf "%d events still queued" o.engine_pending) );
+    ( "monotone-clock",
+      fun o ->
+        if o.clock_end >= o.clock_start then None
+        else
+          Some
+            (Printf.sprintf "clock ran backwards: %g -> %g" o.clock_start
+               o.clock_end) );
+    ( "drop-accounting",
+      fun o ->
+        let by_reason =
+          List.fold_left (fun acc (_, n) -> acc + n) 0 o.drops_by_reason
+        in
+        let attributed =
+          reason_count o "link-down" + reason_count o "fault-loss"
+        in
+        let corrupted = reason_count o "corrupted" in
+        if by_reason <> o.dropped then
+          Some
+            (Printf.sprintf "per-reason drops %d <> lost packets %d" by_reason
+               o.dropped)
+        else if o.link_fault_drops <> attributed then
+          Some
+            (Printf.sprintf
+               "links counted %d fault drops, net attributed %d"
+               o.link_fault_drops attributed)
+        else if o.link_corrupted <> corrupted then
+          Some
+            (Printf.sprintf "links corrupted %d packets, net attributed %d"
+               o.link_corrupted corrupted)
+        else None );
+    ( "no-hung-transfer",
+      fun o ->
+        match List.filter (fun s -> s = Active) o.transfers with
+        | [] -> None
+        | stuck ->
+          Some
+            (Printf.sprintf "%d transfer(s) neither completed nor abandoned"
+               (List.length stuck)) );
+  ]
+
+let names = List.map fst all
+
+let check o =
+  List.filter_map
+    (fun (invariant, f) ->
+      Option.map (fun detail -> { invariant; detail }) (f o))
+    all
+
+let violation_string v = Printf.sprintf "%s: %s" v.invariant v.detail

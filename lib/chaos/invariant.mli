@@ -1,0 +1,54 @@
+(** The simulation invariant registry.
+
+    An invariant is a property that must hold at the end of {e every}
+    run, whatever faults were injected: the simulator may drop, delay
+    and abandon, but it may never lose track of a packet, leave the
+    engine wedged, or let a transfer hang.  The chaos sweep validates
+    the whole registry after each of its seeded fault plans; a
+    violation is a simulator bug by definition, and the failing plan is
+    shrunk ({!Shrink}) and persisted ({!Corpus}) as a regression.
+
+    This registry is the intended home for future correctness checks:
+    add an entry to {!all} and every sweep, replay, and test starts
+    enforcing it. *)
+
+type transfer_state = Completed | Abandoned | Active
+
+type obs = {
+  injected : int;  (** packets offered via [Net.inject] *)
+  delivered : int;
+  dropped : int;
+  in_flight : int;  (** transits never completed *)
+  engine_pending : int;  (** events still queued after the run *)
+  clock_start : float;
+  clock_end : float;
+  drops_by_reason : (string * int) list;  (** [Net.losses_by_reason] *)
+  link_fault_drops : int;  (** summed over distinct physical links *)
+  link_corrupted : int;
+  transfers : transfer_state list;  (** terminal status of each transport *)
+}
+(** Everything the invariants inspect, captured after a run. *)
+
+val observe :
+  ?transfers:transfer_state list ->
+  clock_start:float ->
+  Tussle_netsim.Engine.t ->
+  Tussle_netsim.Net.t ->
+  obs
+(** Snapshot the ledgers of a finished run.  [transfers] carries the
+    terminal status of any transport connections the scenario drove. *)
+
+type violation = { invariant : string; detail : string }
+
+val all : (string * (obs -> string option)) list
+(** The registry, in check order: packet conservation
+    ([injected = delivered + dropped + in-flight]), engine drained,
+    monotone clock, drop accounting (per-reason sums match totals and
+    the links' own fault counters), no hung transfer. *)
+
+val names : string list
+
+val check : obs -> violation list
+(** Run every registered invariant; [[]] means the run was clean. *)
+
+val violation_string : violation -> string

@@ -1,0 +1,127 @@
+module Rng = Tussle_prelude.Rng
+module Graph = Tussle_prelude.Graph
+module Engine = Tussle_netsim.Engine
+module Net = Tussle_netsim.Net
+module Topology = Tussle_netsim.Topology
+module Traffic = Tussle_netsim.Traffic
+module Transport = Tussle_netsim.Transport
+module Linkstate = Tussle_routing.Linkstate
+module Selfheal = Tussle_routing.Selfheal
+module Plan = Tussle_fault.Plan
+module Inject = Tussle_fault.Inject
+
+type t = {
+  name : string;
+  links : (int * int) list;
+  horizon : float;
+  run : seed:int -> plan:Plan.t -> Invariant.obs;
+}
+
+(* Every scenario is a hang guard away from an infinite loop, so each
+   drives its engine to a far horizon instead of to quiescence: a
+   buggy event source then shows up as an "engine-drained" violation
+   rather than a wedged sweep. *)
+let guard_horizon = 600.0
+
+let transfer_status conn =
+  match Transport.status conn with
+  | Transport.Completed -> Invariant.Completed
+  | Transport.Abandoned -> Invariant.Abandoned
+  | Transport.Active -> Invariant.Active
+
+(* A closed-loop transfer over a slow 4-node line: retransmission,
+   backoff and the give-up budget under arbitrary link faults. *)
+let line_transfer =
+  let edge = { Topology.latency = 0.005; bandwidth_bps = 2e6 } in
+  let run ~seed ~plan =
+    let net =
+      Net.create
+        (Topology.to_links (Topology.line ~edge 4))
+        (fun ~node ~target _ ->
+          if target > node then Some (node + 1)
+          else if target < node then Some (node - 1)
+          else None)
+    in
+    let engine = Engine.create () in
+    let clock_start = Engine.now engine in
+    Inject.install ~seed ~plan engine net;
+    let gen = Traffic.create (Rng.create (seed + 1)) in
+    let conn =
+      Transport.start ~rto_backoff:2.0 ~rto_max:2.0 ~rto_jitter:0.1
+        ~jitter_rng:(Rng.create (seed + 2))
+        ~max_retries:10 engine net gen ~src:0 ~dst:3 ~total_packets:120
+    in
+    Engine.run ~until:guard_horizon engine;
+    Invariant.observe ~transfers:[ transfer_status conn ] ~clock_start engine
+      net
+  in
+  { name = "line-transfer"; links = [ (0, 1); (1, 2); (2, 3) ];
+    horizon = 10.0; run }
+
+(* Open-loop constant-rate traffic over a ring with a self-healing
+   control plane: failover, restoration, and flapping under arbitrary
+   faults, with hello ticks bounded so the engine drains. *)
+let ring_selfheal =
+  let edge = { Topology.latency = 0.005; bandwidth_bps = 1e7 } in
+  let run ~seed ~plan =
+    let net =
+      Net.create
+        (Topology.to_links (Topology.ring ~edge 6))
+        (fun ~node:_ ~target:_ _ -> None)
+    in
+    let engine = Engine.create () in
+    let clock_start = Engine.now engine in
+    let _heal : Selfheal.t = Selfheal.attach ~until:12.0 engine net in
+    Inject.install ~seed ~plan engine net;
+    let gen = Traffic.create (Rng.create (seed + 1)) in
+    for k = 0 to 79 do
+      let at = 0.2 +. (0.1 *. float_of_int k) in
+      ignore
+        (Engine.schedule engine at (fun engine ->
+             Net.inject net engine
+               (Traffic.next_packet gen ~src:0 ~dst:3
+                  ~created:(Engine.now engine) ())))
+    done;
+    Engine.run ~until:guard_horizon engine;
+    Invariant.observe ~clock_start engine net
+  in
+  { name = "ring-selfheal";
+    links = [ (0, 1); (1, 2); (2, 3); (3, 4); (4, 5); (5, 0) ];
+    horizon = 10.0; run }
+
+(* Two crossing open-loop flows on a 3x3 grid with static tables:
+   drops must stay exactly attributed however the plan carves up the
+   mesh. *)
+let grid_static =
+  let run ~seed ~plan =
+    let links = Topology.to_links (Topology.grid 3 3) in
+    let table = Linkstate.compute_live links ~metric:`Hops in
+    let net = Net.create links (Linkstate.forwarding table) in
+    let engine = Engine.create () in
+    let clock_start = Engine.now engine in
+    Inject.install ~seed ~plan engine net;
+    let gen = Traffic.create (Rng.create (seed + 1)) in
+    let flow ~src ~dst ~start =
+      for k = 0 to 39 do
+        let at = start +. (0.15 *. float_of_int k) in
+        ignore
+          (Engine.schedule engine at (fun engine ->
+               Net.inject net engine
+                 (Traffic.next_packet gen ~src ~dst
+                    ~created:(Engine.now engine) ())))
+      done
+    in
+    flow ~src:0 ~dst:8 ~start:0.1;
+    flow ~src:2 ~dst:6 ~start:0.175;
+    Engine.run ~until:guard_horizon engine;
+    Invariant.observe ~clock_start engine net
+  in
+  { name = "grid-static";
+    links =
+      [ (0, 1); (1, 2); (3, 4); (4, 5); (6, 7); (7, 8);
+        (0, 3); (3, 6); (1, 4); (4, 7); (2, 5); (5, 8) ];
+    horizon = 8.0; run }
+
+let all = [ line_transfer; ring_selfheal; grid_static ]
+
+let find name = List.find_opt (fun s -> s.name = name) all

@@ -1,0 +1,40 @@
+(** Chaos scenario checkers.
+
+    A scenario is a small, self-contained simulation that the chaos
+    sweep can subject to an arbitrary fault plan: it builds a fresh
+    network and engine, installs the plan, drives deterministic
+    traffic from [seed], runs to a guard horizon, and returns the
+    {!Invariant.obs} ledger for the registry to judge.  Scenarios
+    never assert anything themselves — "correct under faults" is
+    defined once, by the invariant registry, not per scenario. *)
+
+type t = {
+  name : string;  (** stable id; used in corpus files and CLI output *)
+  links : (int * int) list;
+      (** the node pairs a random plan may target ([Plan.random]'s
+          [links] argument) — exactly the scenario's physical links *)
+  horizon : float;
+      (** the window within which random fault episodes are drawn;
+          well before the run's guard horizon so the engine can
+          drain *)
+  run : seed:int -> plan:Tussle_fault.Plan.t -> Invariant.obs;
+}
+
+val line_transfer : t
+(** [line-transfer]: a retrying {!Tussle_netsim.Transport} transfer
+    over a 4-node line — exercises retransmission, backoff and the
+    give-up budget under faults. *)
+
+val ring_selfheal : t
+(** [ring-selfheal]: open-loop constant-rate traffic over a 6-ring
+    with a {!Tussle_routing.Selfheal} control plane attached —
+    exercises failure detection, re-convergence and flapping. *)
+
+val grid_static : t
+(** [grid-static]: two crossing open-loop flows on a 3x3 grid with
+    static link-state tables — exercises drop attribution when the
+    mesh is carved up with no healing at all. *)
+
+val all : t list
+
+val find : string -> t option

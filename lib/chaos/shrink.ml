@@ -1,0 +1,30 @@
+module Plan = Tussle_fault.Plan
+
+(* Greedy delta-debugging over plan episodes.  A plan is a list, so
+   the search space is "which subset of episodes still reproduces the
+   violation"; we drive toward a 1-minimal answer: no single episode
+   can be removed without losing the failure.  [still_fails] is the
+   expensive oracle (a full simulation), so we try the cheapest
+   candidates first — the empty plan, then one-at-a-time removals,
+   restarting after every success so later removals see the smaller
+   plan. *)
+
+let drop_nth plan i = List.filteri (fun j _ -> j <> i) plan
+
+let shrink ~still_fails plan =
+  if still_fails [] then []
+  else
+    let rec minimize plan =
+      let n = List.length plan in
+      let rec try_drop i =
+        if i >= n then None
+        else
+          let candidate = drop_nth plan i in
+          if still_fails candidate then Some candidate else try_drop (i + 1)
+      in
+      if n <= 1 then plan
+      else match try_drop 0 with
+        | Some smaller -> minimize smaller
+        | None -> plan
+    in
+    minimize plan

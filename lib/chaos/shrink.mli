@@ -1,0 +1,17 @@
+(** Delta-debugging shrinker for failing fault plans.
+
+    When a chaos run violates an invariant, the drawn plan usually
+    carries several episodes that have nothing to do with the bug.
+    [shrink] minimizes the plan against a failure oracle so the corpus
+    stores the smallest reproducer we can find. *)
+
+val shrink :
+  still_fails:(Tussle_fault.Plan.t -> bool) ->
+  Tussle_fault.Plan.t ->
+  Tussle_fault.Plan.t
+(** [shrink ~still_fails plan] assumes [still_fails plan] and returns a
+    1-minimal sub-plan: removing any single remaining episode makes the
+    failure disappear.  Episodes keep their relative order, so the
+    result is still a valid plan for the same scenario.  The oracle is
+    called O(n²) times in the worst case — each call is one full
+    scenario simulation, which is why chaos plans are kept short. *)

@@ -28,6 +28,7 @@ let all =
     E26_dns_perversion.experiment;
     E27_transport.experiment;
     E28_faults.experiment;
+    E29_selfheal.experiment;
   ]
 
 (* Deliberately-hung toy experiment (outside [all]): spins forever at a

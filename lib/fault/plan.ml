@@ -65,25 +65,133 @@ let random rng ~links ~horizon ~episodes =
       | 2 -> Link_corrupt { u; v; w; prob = Rng.uniform rng 0.02 0.15 }
       | _ -> Latency_spike { u; v; w; extra_s = Rng.uniform rng 0.005 0.05 })
 
+(* Shortest decimal that parses back to exactly the same float, so
+   [to_string] is both human-readable and a lossless serialization
+   (the chaos corpus round-trips plans through files). *)
+let float_repr x =
+  if x = infinity then "inf"
+  else
+    let s = Printf.sprintf "%.15g" x in
+    if float_of_string s = x then s else Printf.sprintf "%.17g" x
+
 let window_string w =
-  if Float.is_finite w.until_s then
-    Printf.sprintf "[%.3f, %.3f)" w.from_s w.until_s
-  else Printf.sprintf "[%.3f, inf)" w.from_s
+  Printf.sprintf "[%s, %s)" (float_repr w.from_s) (float_repr w.until_s)
 
 let spec_string = function
   | Link_down { u; v; w } ->
     Printf.sprintf "link %d-%d down %s" u v (window_string w)
   | Link_loss { u; v; w; prob } ->
-    Printf.sprintf "link %d-%d loss p=%.3f %s" u v prob (window_string w)
+    Printf.sprintf "link %d-%d loss p=%s %s" u v (float_repr prob)
+      (window_string w)
   | Link_corrupt { u; v; w; prob } ->
-    Printf.sprintf "link %d-%d corrupt p=%.3f %s" u v prob (window_string w)
+    Printf.sprintf "link %d-%d corrupt p=%s %s" u v (float_repr prob)
+      (window_string w)
   | Latency_spike { u; v; w; extra_s } ->
-    Printf.sprintf "link %d-%d +%.3fs latency %s" u v extra_s (window_string w)
+    Printf.sprintf "link %d-%d latency +%ss %s" u v (float_repr extra_s)
+      (window_string w)
   | Node_crash { node; w } ->
     Printf.sprintf "node %d crash %s" node (window_string w)
   | Middlebox_break { node; w; covert } ->
-    Printf.sprintf "%s middlebox failure at node %d %s"
+    Printf.sprintf "middlebox %d %s %s" node
       (if covert then "covert" else "revealing")
-      node (window_string w)
+      (window_string w)
 
 let to_string plan = String.concat "\n" (List.map spec_string plan)
+
+(* ---------- parsing (the inverse of [to_string], line by line) ---------- *)
+
+let parse_float what s =
+  match float_of_string_opt s with
+  | Some x -> Ok x
+  | None -> Error (Printf.sprintf "bad %s %S" what s)
+
+let strip_affix ~prefix ~suffix what tok =
+  let n = String.length tok in
+  let pl = String.length prefix and sl = String.length suffix in
+  if n > pl + sl
+     && String.sub tok 0 pl = prefix
+     && String.sub tok (n - sl) sl = suffix
+  then Ok (String.sub tok pl (n - pl - sl))
+  else Error (Printf.sprintf "bad %s %S" what tok)
+
+(* "[from, until)" arrives as the two tokens "[from," and "until)". *)
+let parse_window ta tb =
+  let ( let* ) = Result.bind in
+  let* sa = strip_affix ~prefix:"[" ~suffix:"," "window start" ta in
+  let* sb = strip_affix ~prefix:"" ~suffix:")" "window end" tb in
+  let* from_s = parse_float "window start" sa in
+  let* until_s = parse_float "window end" sb in
+  Ok { from_s; until_s }
+
+let parse_pair tok =
+  match String.split_on_char '-' tok with
+  | [ a; b ] -> begin
+    match (int_of_string_opt a, int_of_string_opt b) with
+    | Some u, Some v -> Ok (u, v)
+    | _ -> Error (Printf.sprintf "bad link endpoints %S" tok)
+  end
+  | _ -> Error (Printf.sprintf "bad link endpoints %S" tok)
+
+let parse_int what tok =
+  match int_of_string_opt tok with
+  | Some n -> Ok n
+  | None -> Error (Printf.sprintf "bad %s %S" what tok)
+
+let parse_spec line =
+  let ( let* ) = Result.bind in
+  let tokens =
+    List.filter (fun t -> t <> "") (String.split_on_char ' ' line)
+  in
+  match tokens with
+  | [ "link"; uv; "down"; ta; tb ] ->
+    let* u, v = parse_pair uv in
+    let* w = parse_window ta tb in
+    Ok (Link_down { u; v; w })
+  | [ "link"; uv; "loss"; p; ta; tb ] ->
+    let* u, v = parse_pair uv in
+    let* ps = strip_affix ~prefix:"p=" ~suffix:"" "loss probability" p in
+    let* prob = parse_float "loss probability" ps in
+    let* w = parse_window ta tb in
+    Ok (Link_loss { u; v; w; prob })
+  | [ "link"; uv; "corrupt"; p; ta; tb ] ->
+    let* u, v = parse_pair uv in
+    let* ps = strip_affix ~prefix:"p=" ~suffix:"" "corrupt probability" p in
+    let* prob = parse_float "corrupt probability" ps in
+    let* w = parse_window ta tb in
+    Ok (Link_corrupt { u; v; w; prob })
+  | [ "link"; uv; "latency"; x; ta; tb ] ->
+    let* u, v = parse_pair uv in
+    let* xs = strip_affix ~prefix:"+" ~suffix:"s" "latency spike" x in
+    let* extra_s = parse_float "latency spike" xs in
+    let* w = parse_window ta tb in
+    Ok (Latency_spike { u; v; w; extra_s })
+  | [ "node"; n; "crash"; ta; tb ] ->
+    let* node = parse_int "node" n in
+    let* w = parse_window ta tb in
+    Ok (Node_crash { node; w })
+  | [ "middlebox"; n; mode; ta; tb ] ->
+    let* node = parse_int "node" n in
+    let* covert =
+      match mode with
+      | "covert" -> Ok true
+      | "revealing" -> Ok false
+      | other -> Error (Printf.sprintf "bad middlebox mode %S" other)
+    in
+    let* w = parse_window ta tb in
+    Ok (Middlebox_break { node; w; covert })
+  | _ -> Error (Printf.sprintf "unrecognized episode %S" line)
+
+let of_string s =
+  let lines = String.split_on_char '\n' s in
+  let rec go acc lineno = function
+    | [] -> Ok (List.rev acc)
+    | line :: rest ->
+      let trimmed = String.trim line in
+      if trimmed = "" || trimmed.[0] = '#' then go acc (lineno + 1) rest
+      else begin
+        match parse_spec trimmed with
+        | Ok spec -> go (spec :: acc) (lineno + 1) rest
+        | Error msg -> Error (Printf.sprintf "line %d: %s" lineno msg)
+      end
+  in
+  go [] 1 lines

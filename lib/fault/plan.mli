@@ -58,4 +58,13 @@ val random :
     [links] list, non-positive [horizon] or negative [episodes]. *)
 
 val to_string : t -> string
-(** One line per episode, for experiment tables and debugging. *)
+(** One line per episode.  Human-readable {e and} lossless: floats are
+    printed with enough digits to round-trip exactly, so
+    [of_string (to_string p) = Ok p] for any valid plan — the chaos
+    corpus persists plans through this format. *)
+
+val of_string : string -> (t, string) result
+(** Parse the [to_string] format back into a plan.  Blank lines and
+    lines starting with [#] are skipped (corpus files carry headers as
+    comments).  [Error] names the first offending line.  The result is
+    {e not} validated: run {!validate} before installing it. *)

@@ -24,9 +24,12 @@ type transit = {
 
 type t = {
   links : Link.t Graph.t;
-  forwarding : forwarding;
+  (* mutable so a control plane can re-converge mid-run (self-healing
+     routing swaps in fresh tables while packets are in flight) *)
+  mutable forwarding : forwarding;
   middleboxes : (int, Middlebox.t list) Hashtbl.t;
   transits : (int, transit) Hashtbl.t;
+  mutable injected : int;
   mutable outcomes : (Packet.t * outcome) list; (* reversed *)
   mutable observers : (Packet.t -> outcome -> unit) list; (* reversed *)
   ttl : int;
@@ -39,10 +42,13 @@ let create ?(ttl = 64) links forwarding =
     forwarding;
     middleboxes = Hashtbl.create 16;
     transits = Hashtbl.create 64;
+    injected = 0;
     outcomes = [];
     observers = [];
     ttl;
   }
+
+let set_forwarding t forwarding = t.forwarding <- forwarding
 
 let add_middlebox t node mb =
   let cur = Option.value ~default:[] (Hashtbl.find_opt t.middleboxes node) in
@@ -139,6 +145,7 @@ let rec arrive t engine p node =
 let inject t engine p =
   if Hashtbl.mem t.transits p.Packet.id then
     invalid_arg "Net.inject: duplicate packet id in flight";
+  t.injected <- t.injected + 1;
   Hashtbl.replace t.transits p.Packet.id
     { waypoints = p.Packet.source_route; degraded = false; tapped = false };
   ignore
@@ -146,6 +153,10 @@ let inject t engine p =
          arrive t engine p p.Packet.src))
 
 let outcomes t = List.rev t.outcomes
+
+let injected_count t = t.injected
+
+let in_flight t = Hashtbl.length t.transits
 
 let delivered_count t =
   List.length

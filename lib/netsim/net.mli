@@ -32,6 +32,12 @@ val create :
   ?ttl:int -> Link.t Tussle_prelude.Graph.t -> forwarding -> t
 (** [create links fwd].  [ttl] (default 64) bounds hop count. *)
 
+val set_forwarding : t -> forwarding -> unit
+(** Swap the forwarding function mid-run.  Packets already in flight
+    consult the new tables at their {e next} hop — exactly how a
+    re-converged control plane behaves.  The swap takes effect for the
+    event that runs after it; it never reorders scheduled events. *)
+
 val add_middlebox : t -> int -> Middlebox.t -> unit
 (** Attach a middlebox at a node; multiple middleboxes run in attachment
     order. *)
@@ -51,6 +57,15 @@ val on_complete : t -> (Packet.t -> outcome -> unit) -> unit
 
 val outcomes : t -> (Packet.t * outcome) list
 (** All completed packets, in completion order. *)
+
+val injected_count : t -> int
+(** Packets offered via {!inject} over the net's lifetime.  With
+    {!in_flight}, the packet-conservation ledger the chaos invariants
+    check: [injected_count = delivered + lost + in_flight]. *)
+
+val in_flight : t -> int
+(** Packets injected whose transit has not yet completed (their
+    arrival events are still in the engine's queue). *)
 
 val delivered_count : t -> int
 

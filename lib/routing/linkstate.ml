@@ -1,5 +1,6 @@
 module Graph = Tussle_prelude.Graph
 module Topology = Tussle_netsim.Topology
+module Link = Tussle_netsim.Link
 
 type t = {
   n : int;
@@ -8,22 +9,45 @@ type t = {
   costs : (int * int * float) list;
 }
 
-let compute g ~metric =
-  let weight (e : Topology.edge) =
-    match metric with `Latency -> e.Topology.latency | `Hops -> 1.0
-  in
+(* All-pairs shortest paths over a graph whose edges are already plain
+   costs.  An [infinity] cost masks an edge completely: it can never
+   relax a distance, so a node reachable only through masked edges
+   stays at [dist = infinity] — unreachable, exactly like a withdrawn
+   link. *)
+let compute_costs g =
   let n = Graph.node_count g in
   let dist = Array.make n [||] and pred = Array.make n [||] in
   for src = 0 to n - 1 do
-    let d, p = Graph.dijkstra g ~weight ~source:src in
+    let d, p = Graph.dijkstra g ~weight:Fun.id ~source:src in
     dist.(src) <- d;
     pred.(src) <- p
   done;
   let costs =
-    Graph.fold_edges g ~init:[] ~f:(fun acc u v e -> (u, v, weight e) :: acc)
+    Graph.fold_edges g ~init:[] ~f:(fun acc u v w ->
+        if Float.is_finite w then (u, v, w) :: acc else acc)
     |> List.rev
   in
   { n; dist; pred; costs }
+
+let compute g ~metric =
+  let weight (e : Topology.edge) =
+    match metric with `Latency -> e.Topology.latency | `Hops -> 1.0
+  in
+  compute_costs (Graph.map_edges g weight)
+
+let norm_pair (u, v) = if u <= v then (u, v) else (v, u)
+
+let compute_live ?(down = []) links ~metric =
+  let dead = List.map norm_pair down in
+  let n = Graph.node_count links in
+  let g = Graph.create n in
+  Graph.iter_edges links (fun u v l ->
+      let cost =
+        if List.mem (norm_pair (u, v)) dead then infinity
+        else match metric with `Latency -> Link.latency l | `Hops -> 1.0
+      in
+      Graph.add_edge g u v cost);
+  compute_costs g
 
 let check t node name =
   if node < 0 || node >= t.n then invalid_arg (name ^ ": node out of range")

@@ -14,6 +14,21 @@ val compute :
   t
 (** Run Dijkstra from every node over the flooded map. *)
 
+val compute_live :
+  ?down:(int * int) list ->
+  Tussle_netsim.Link.t Tussle_prelude.Graph.t ->
+  metric:[ `Latency | `Hops ] ->
+  t
+(** Recompute the map from a {e live} link graph, withdrawing every
+    link between a pair in [down] (either orientation) — the
+    incremental step a self-healing control plane runs after failure
+    detection ({!Selfheal}).  Withdrawn links are absent from
+    {!visible_link_costs}, and destinations reachable only through
+    them become unreachable ([next_hop = None]).  [down] reflects what
+    the control plane has {e detected}, not ground truth: a link that
+    died a moment ago but has not yet missed enough hellos is still
+    routed over. *)
+
 val next_hop : t -> node:int -> dst:int -> int option
 (** Forwarding table lookup. *)
 

@@ -38,6 +38,25 @@ val reachable_via :
     intermediary even when [can_reach src dst] is false — "exploiting
     hosts as intermediate forwarding agents." *)
 
+val path_alive :
+  Linkstate.t ->
+  Tussle_netsim.Link.t Tussle_prelude.Graph.t ->
+  src:int -> dst:int -> bool
+(** What an overlay liveness probe measures against a static underlay:
+    the underlay's chosen path exists {e and} every link along it is
+    currently up.  [false] the instant a link on the path dies — the
+    overlay notices failures at probe speed, long before (or instead
+    of) the underlay's control plane re-converging. *)
+
+val failover_waypoints :
+  can_reach:(int -> int -> bool) -> candidates:int list ->
+  src:int -> dst:int -> int list option
+(** The overlay's per-packet routing decision, recomputed every time
+    liveness changes: [Some []] while the direct path is alive (no
+    detour), [Some [r]] when it is dead but a relay [r] has both legs
+    alive ({!reachable_via}), [None] when no relay can help.  The
+    result plugs straight into a packet's loose source route. *)
+
 val recovery_ratio :
   can_reach:(int -> int -> bool) -> candidates:int list ->
   pairs:(int * int) list -> float

@@ -1,0 +1,143 @@
+module Graph = Tussle_prelude.Graph
+module Engine = Tussle_netsim.Engine
+module Net = Tussle_netsim.Net
+module Link = Tussle_netsim.Link
+
+type config = {
+  hello_interval : float;
+  hellos_missed : int;
+  recompute_delay : float;
+  metric : [ `Latency | `Hops ];
+}
+
+let default_config =
+  { hello_interval = 0.05; hellos_missed = 2; recompute_delay = 0.1;
+    metric = `Latency }
+
+(* One adjacency under watch: every physical link object carrying
+   traffic between u and v (both directions; deduplicated in case an
+   undirected label is shared). *)
+type watch = {
+  u : int;
+  v : int;
+  links : Link.t list;
+  mutable missed : int;
+  mutable declared_down : bool;
+}
+
+type t = {
+  cfg : config;
+  engine : Engine.t;
+  net : Net.t;
+  until : float;
+  watches : watch list;
+  mutable table : Linkstate.t;
+  mutable recompute_pending : bool;
+  mutable reconvergences : int;
+  mutable reconvergence_times : float list; (* reversed *)
+  mutable detections : ((int * int) * [ `Down | `Up ] * float) list;
+    (* reversed *)
+}
+
+let build_watches links =
+  let tbl = Hashtbl.create 16 in
+  let order = ref [] in
+  Graph.iter_edges links (fun a b l ->
+      let key = if a <= b then (a, b) else (b, a) in
+      match Hashtbl.find_opt tbl key with
+      | None ->
+        Hashtbl.replace tbl key [ l ];
+        order := key :: !order
+      | Some ls -> if not (List.memq l ls) then Hashtbl.replace tbl key (l :: ls));
+  List.rev_map
+    (fun ((u, v) as key) ->
+      { u; v; links = List.rev (Hashtbl.find tbl key); missed = 0;
+        declared_down = false })
+    !order
+
+let believed_down t =
+  List.filter_map
+    (fun w -> if w.declared_down then Some (w.u, w.v) else None)
+    t.watches
+
+let install t engine =
+  t.recompute_pending <- false;
+  t.table <-
+    Linkstate.compute_live ~down:(believed_down t) (Net.links t.net)
+      ~metric:t.cfg.metric;
+  Net.set_forwarding t.net (Linkstate.forwarding t.table);
+  t.reconvergences <- t.reconvergences + 1;
+  t.reconvergence_times <- Engine.now engine :: t.reconvergence_times
+
+(* Coalesce: a topology change noticed while a recompute is already
+   scheduled folds into that recompute (it reads the believed-down set
+   when it fires), mirroring a real control plane's SPF hold-down. *)
+let request_recompute t engine =
+  if not t.recompute_pending then begin
+    t.recompute_pending <- true;
+    ignore
+      (Engine.schedule_after engine t.cfg.recompute_delay (fun engine ->
+           install t engine))
+  end
+
+let rec tick t engine =
+  List.iter
+    (fun w ->
+      let up = List.for_all Link.is_up w.links in
+      if up then begin
+        w.missed <- 0;
+        if w.declared_down then begin
+          w.declared_down <- false;
+          t.detections <- ((w.u, w.v), `Up, Engine.now engine) :: t.detections;
+          request_recompute t engine
+        end
+      end
+      else begin
+        w.missed <- w.missed + 1;
+        if (not w.declared_down) && w.missed >= t.cfg.hellos_missed then begin
+          w.declared_down <- true;
+          t.detections <-
+            ((w.u, w.v), `Down, Engine.now engine) :: t.detections;
+          request_recompute t engine
+        end
+      end)
+    t.watches;
+  let next = Engine.now engine +. t.cfg.hello_interval in
+  if next <= t.until then ignore (Engine.schedule engine next (tick t))
+
+let attach ?(config = default_config) ~until engine net =
+  if not (config.hello_interval > 0.0) then
+    invalid_arg "Selfheal.attach: non-positive hello interval";
+  if config.hellos_missed < 1 then
+    invalid_arg "Selfheal.attach: hellos_missed < 1";
+  if not (config.recompute_delay >= 0.0) then
+    invalid_arg "Selfheal.attach: negative recompute delay";
+  if not (Float.is_finite until) || until < Engine.now engine then
+    invalid_arg "Selfheal.attach: until must be finite and >= now";
+  let table = Linkstate.compute_live (Net.links net) ~metric:config.metric in
+  Net.set_forwarding net (Linkstate.forwarding table);
+  let t =
+    {
+      cfg = config;
+      engine;
+      net;
+      until;
+      watches = build_watches (Net.links net);
+      table;
+      recompute_pending = false;
+      reconvergences = 0;
+      reconvergence_times = [];
+      detections = [];
+    }
+  in
+  let first = Engine.now engine +. config.hello_interval in
+  if first <= until then ignore (Engine.schedule engine first (tick t));
+  t
+
+let table t = t.table
+
+let reconvergences t = t.reconvergences
+
+let reconvergence_times t = List.rev t.reconvergence_times
+
+let detections t = List.rev t.detections

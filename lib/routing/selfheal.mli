@@ -1,0 +1,67 @@
+(** A self-healing link-state control plane.
+
+    PR 4 made faults injectable; this module makes routing {e recover}
+    from them instead of draining traffic into a black hole until the
+    plan restores the link.  A [Selfheal.t] attached to a live
+    {!Tussle_netsim.Net} samples every adjacency's liveness on a hello
+    timer, declares a link down after a configurable number of
+    consecutive missed hellos (and up again on the first good one),
+    and — one recompute delay later — swaps a freshly computed
+    {!Linkstate} forwarding table into the net via
+    {!Tussle_netsim.Net.set_forwarding}.  Packets in flight consult
+    the new table at their next hop.
+
+    The control plane acts only on what it has {e detected}: between a
+    link dying and the hello timeout expiring, traffic still drops on
+    the dead link.  That detection window — plus the recompute delay —
+    is the convergence time E29 measures, and the knob the paper's
+    "design for variation in outcome" argument turns. *)
+
+type config = {
+  hello_interval : float;  (** seconds between liveness samples *)
+  hellos_missed : int;
+      (** consecutive missed hellos before a link is declared down *)
+  recompute_delay : float;
+      (** control-plane delay between detection and new tables taking
+          effect (SPF computation + flooding, coalescing bursts) *)
+  metric : [ `Latency | `Hops ];  (** cost metric for recomputed paths *)
+}
+
+val default_config : config
+(** 50 ms hellos, 2 missed, 100 ms recompute, [`Latency] metric:
+    detection + installation in roughly 200 ms. *)
+
+type t
+
+val attach :
+  ?config:config ->
+  until:float ->
+  Tussle_netsim.Engine.t ->
+  Tussle_netsim.Net.t ->
+  t
+(** [attach ~until engine net] computes initial tables from the net's
+    link graph, installs them, and schedules hello ticks every
+    [hello_interval] up to simulation time [until] (after which the
+    control plane goes quiet, so the engine can drain — chaos
+    scenarios rely on this bound).  Raises [Invalid_argument] on a
+    non-positive hello interval, [hellos_missed < 1], a negative
+    recompute delay, or a non-finite [until] in the past. *)
+
+val table : t -> Linkstate.t
+(** The currently installed forwarding table. *)
+
+val believed_down : t -> (int * int) list
+(** Adjacencies currently declared down, in watch order (what the
+    control plane believes, which lags ground truth by the detection
+    window). *)
+
+val reconvergences : t -> int
+(** Number of table recomputations installed so far (a down {e and}
+    the later restore each count one; bursts coalesce). *)
+
+val reconvergence_times : t -> float list
+(** Simulation times at which new tables took effect, oldest first.
+    E29's convergence time is [install_time - fault_time]. *)
+
+val detections : t -> ((int * int) * [ `Down | `Up ] * float) list
+(** Every liveness-state flip the detector declared, oldest first. *)

@@ -9,6 +9,9 @@
 #     differs across seeds
 #   - watchdog: a hung experiment becomes FAILED (timeout), exit 1
 #   - tussle report on a missing/unreadable file exits 2 cleanly
+#   - chaos smoke: a fixed-seed sweep is clean and byte-identical
+#     across --domains 1/2/4; the committed corpus replays clean;
+#     --chaos-seed / --chaos-runs garbage exits 2
 # Regenerates BENCH_baseline.json at the repo root as a side effect.
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -108,6 +111,33 @@ if [ "$missing" -ne 2 ] || [ "$unreadable" -ne 2 ]; then
   exit 1
 fi
 echo "report prints a clean error and exits 2 on missing/unreadable files"
+
+echo "== chaos smoke (fixed seed, domain-invariant, zero violations) =="
+"$CLI" chaos --chaos-seed 42 --chaos-runs 60 --domains 1 > "$TMP/tussle-chaos-d1.out"
+"$CLI" chaos --chaos-seed 42 --chaos-runs 60 --domains 2 > "$TMP/tussle-chaos-d2.out"
+"$CLI" chaos --chaos-seed 42 --chaos-runs 60 --domains 4 > "$TMP/tussle-chaos-d4.out"
+cmp "$TMP/tussle-chaos-d1.out" "$TMP/tussle-chaos-d2.out"
+cmp "$TMP/tussle-chaos-d1.out" "$TMP/tussle-chaos-d4.out"
+grep -q '60/60 runs clean, 0 violation' "$TMP/tussle-chaos-d1.out"
+echo "chaos sweep clean and byte-identical across --domains 1/2/4"
+
+echo "== chaos corpus replay =="
+"$CLI" chaos --replay chaos/corpus
+echo "committed reproducers all replay clean"
+
+echo "== --chaos-seed / --chaos-runs reject garbage with exit 2 =="
+for flag in "--chaos-seed=nope" "--chaos-seed=1.5" \
+            "--chaos-runs=nope" "--chaos-runs=0" "--chaos-runs=-3"; do
+  set +e
+  "$CLI" chaos "$flag" >/dev/null 2>&1
+  code=$?
+  set -e
+  if [ "$code" -ne 2 ]; then
+    echo "FAIL: 'tussle chaos $flag' exited $code, expected 2" >&2
+    exit 1
+  fi
+done
+echo "tussle chaos exits 2 on bad --chaos-seed / --chaos-runs"
 
 echo "== regenerate BENCH_baseline.json =="
 "$BENCH" --experiments-only --seq --report BENCH_baseline.json > /dev/null

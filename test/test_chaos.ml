@@ -1,0 +1,270 @@
+(* Tests for tussle.chaos: the invariant registry, the seeded sweep
+   (clean, domain-invariant, seed-sensitive), the delta-debugging
+   shrinker on a deliberately planted violation, the replayable corpus,
+   and the guard that no enumeration path ever picks up the watchdog
+   hang probe. *)
+
+module Rng = Tussle_prelude.Rng
+module Engine = Tussle_netsim.Engine
+module Net = Tussle_netsim.Net
+module Topology = Tussle_netsim.Topology
+module Plan = Tussle_fault.Plan
+module Inject = Tussle_fault.Inject
+module Invariant = Tussle_chaos.Invariant
+module Scenario = Tussle_chaos.Scenario
+module Sweep = Tussle_chaos.Sweep
+module Shrink = Tussle_chaos.Shrink
+module Corpus = Tussle_chaos.Corpus
+module Experiment = Tussle_experiments.Experiment
+module Registry = Tussle_experiments.Registry
+
+(* ---------- the invariant registry on hand-built ledgers ---------- *)
+
+let clean_obs =
+  {
+    Invariant.injected = 10;
+    delivered = 7;
+    dropped = 3;
+    in_flight = 0;
+    engine_pending = 0;
+    clock_start = 0.0;
+    clock_end = 5.0;
+    drops_by_reason = [ ("link-down", 2); ("no-route", 1) ];
+    link_fault_drops = 2;
+    link_corrupted = 0;
+    transfers = [ Invariant.Completed; Invariant.Abandoned ];
+  }
+
+let violated_names obs =
+  List.map (fun v -> v.Invariant.invariant) (Invariant.check obs)
+
+let test_invariants_on_ledgers () =
+  Alcotest.(check (list string)) "clean ledger passes" [] (violated_names clean_obs);
+  Alcotest.(check (list string)) "lost packet" [ "packet-conservation" ]
+    (violated_names { clean_obs with Invariant.delivered = 6 });
+  Alcotest.(check (list string)) "wedged engine" [ "engine-drained" ]
+    (violated_names { clean_obs with Invariant.engine_pending = 3 });
+  Alcotest.(check (list string)) "clock ran backwards" [ "monotone-clock" ]
+    (violated_names { clean_obs with Invariant.clock_end = -1.0 });
+  Alcotest.(check (list string)) "unattributed drop" [ "drop-accounting" ]
+    (violated_names { clean_obs with Invariant.link_fault_drops = 5 });
+  Alcotest.(check (list string)) "hung transfer" [ "no-hung-transfer" ]
+    (violated_names
+       { clean_obs with Invariant.transfers = [ Invariant.Active ] });
+  Alcotest.(check int) "registry has five invariants" 5
+    (List.length Invariant.names)
+
+let test_invariants_on_real_run () =
+  (* a real scenario under a nasty plan: every invariant holds *)
+  let s = Scenario.line_transfer in
+  let plan =
+    [
+      Plan.Link_down { u = 1; v = 2; w = Plan.window 0.1 2.0 };
+      Plan.Link_loss { u = 0; v = 1; w = Plan.window 0.5 4.0; prob = 0.3 };
+      Plan.Link_corrupt { u = 2; v = 3; w = Plan.window 1.0 6.0; prob = 0.2 };
+    ]
+  in
+  let obs = s.Scenario.run ~seed:11 ~plan in
+  Alcotest.(check (list string)) "no violations" [] (violated_names obs);
+  Alcotest.(check bool) "faults actually bit" true
+    (obs.Invariant.dropped > 0)
+
+(* ---------- the sweep: clean, domain-invariant, seed-sensitive ---------- *)
+
+let render_runs runs =
+  String.concat "\n"
+    (List.map
+       (fun (r : Sweep.run) ->
+         Printf.sprintf "%d|%s|%d|%d|%s|%s" r.Sweep.index r.Sweep.scenario
+           r.Sweep.seed r.Sweep.episodes
+           (Plan.to_string r.Sweep.plan)
+           (String.concat ";"
+              (List.map Invariant.violation_string r.Sweep.violations)))
+       runs)
+
+let test_sweep_clean_and_deterministic () =
+  let a = Sweep.run_sweep ~domains:1 ~seed:42 ~runs:60 () in
+  Alcotest.(check int) "60 runs" 60 (List.length a);
+  Alcotest.(check int) "zero violations" 0 (List.length (Sweep.failures a));
+  Alcotest.(check bool) "every scenario exercised" true
+    (List.for_all
+       (fun (s : Scenario.t) ->
+         List.exists (fun r -> r.Sweep.scenario = s.Scenario.name) a)
+       Scenario.all);
+  let b = Sweep.run_sweep ~domains:2 ~seed:42 ~runs:60 () in
+  Alcotest.(check string) "identical across domain counts" (render_runs a)
+    (render_runs b);
+  let c = Sweep.run_sweep ~domains:1 ~seed:43 ~runs:60 () in
+  Alcotest.(check bool) "different seed, different sweep" true
+    (render_runs a <> render_runs c)
+
+(* ---------- planted violation -> shrink -> corpus -> replay ---------- *)
+
+(* A deliberately broken scenario: it stops its engine at t = 1.0, so
+   any episode whose window reaches past that leaves its restore event
+   queued — a genuine engine-drained violation, planted on purpose.
+   The real scenarios run to a far guard horizon precisely so this
+   cannot happen to them. *)
+let planted : Scenario.t =
+  let run ~seed ~plan =
+    let net =
+      Net.create
+        (Topology.to_links (Topology.line 2))
+        (fun ~node:_ ~target:_ _ -> None)
+    in
+    let engine = Engine.create () in
+    let clock_start = Engine.now engine in
+    Inject.install ~seed ~plan engine net;
+    Engine.run ~until:1.0 engine;
+    Invariant.observe ~clock_start engine net
+  in
+  { Scenario.name = "planted-truncated-run"; links = [ (0, 1) ];
+    horizon = 4.0; run }
+
+let culprit = Plan.Link_down { u = 0; v = 1; w = Plan.window 0.2 2.5 }
+
+let planted_plan =
+  [
+    Plan.Link_loss { u = 0; v = 1; w = Plan.window 0.1 0.5; prob = 0.2 };
+    culprit;
+    Plan.Latency_spike { u = 0; v = 1; w = Plan.window 0.3 0.8; extra_s = 0.01 };
+    Plan.Link_down { u = 0; v = 1; w = Plan.window 0.05 0.9 };
+  ]
+
+let test_shrink_planted_violation () =
+  let fails = Sweep.still_fails planted ~seed:7 in
+  Alcotest.(check bool) "planted plan fails" true (fails planted_plan);
+  Alcotest.(check bool) "empty plan passes" false (fails []);
+  let minimal = Shrink.shrink ~still_fails:fails planted_plan in
+  Alcotest.(check bool) "strictly fewer episodes" true
+    (List.length minimal < List.length planted_plan);
+  Alcotest.(check int) "in fact 1-minimal" 1 (List.length minimal);
+  Alcotest.(check bool) "kept exactly the culprit" true (minimal = [ culprit ]);
+  Alcotest.(check bool) "minimal plan still fails" true (fails minimal)
+
+let fresh_corpus_dir () =
+  let stamp = Filename.temp_file "tussle-chaos" "" in
+  Sys.remove stamp;
+  stamp ^ ".corpus"
+
+let test_corpus_roundtrip_and_replay () =
+  let dir = fresh_corpus_dir () in
+  let fails = Sweep.still_fails planted ~seed:7 in
+  let minimal = Shrink.shrink ~still_fails:fails planted_plan in
+  let entry =
+    { Corpus.scenario = planted.Scenario.name; seed = 7; plan = minimal }
+  in
+  let path = Corpus.save ~dir entry in
+  (match Corpus.load path with
+  | Error e -> Alcotest.fail e
+  | Ok e ->
+    Alcotest.(check string) "scenario round-trips" entry.Corpus.scenario
+      e.Corpus.scenario;
+    Alcotest.(check int) "seed round-trips" entry.Corpus.seed e.Corpus.seed;
+    Alcotest.(check bool) "plan round-trips" true (e.Corpus.plan = minimal);
+    (* the persisted reproducer, replayed from disk, still fails *)
+    Alcotest.(check bool) "replayed reproducer still fails" true
+      (Invariant.check
+         (planted.Scenario.run ~seed:e.Corpus.seed ~plan:e.Corpus.plan)
+      <> []));
+  (match Corpus.load_dir dir with
+  | [ (p, Ok _) ] -> Alcotest.(check string) "listed" path p
+  | other -> Alcotest.failf "expected 1 loadable entry, got %d" (List.length other));
+  (* saving the same reproducer again is idempotent (same filename) *)
+  let path2 = Corpus.save ~dir entry in
+  Alcotest.(check string) "idempotent save" path path2;
+  Alcotest.(check int) "still one file" 1 (List.length (Corpus.load_dir dir));
+  (* a registered-scenario entry replays through Sweep.replay *)
+  let real =
+    {
+      Corpus.scenario = "line-transfer";
+      seed = 5;
+      plan = [ Plan.Link_down { u = 1; v = 2; w = Plan.window 0.2 0.9 } ];
+    }
+  in
+  (match Sweep.replay real with
+  | Ok [] -> ()
+  | Ok vs ->
+    Alcotest.failf "unexpected violations: %s"
+      (String.concat "; " (List.map Invariant.violation_string vs))
+  | Error e -> Alcotest.fail e);
+  match Sweep.replay { real with Corpus.scenario = "no-such-scenario" } with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "unknown scenario must be an error"
+
+let test_corpus_load_errors () =
+  let dir = fresh_corpus_dir () in
+  let write name contents =
+    (match Sys.is_directory dir with
+    | (exception Sys_error _) | false -> Sys.mkdir dir 0o755
+    | true -> ());
+    let oc = open_out (Filename.concat dir name) in
+    output_string oc contents;
+    close_out oc
+  in
+  write "no-header.plan" "link 0-1 down [0, 1)\n";
+  write "bad-plan.plan" "scenario: line-transfer\nseed: 3\nwibble\n";
+  write "invalid-plan.plan" "scenario: line-transfer\nseed: 3\nlink 2-2 down [0, 1)\n";
+  let results = Corpus.load_dir dir in
+  Alcotest.(check int) "three entries" 3 (List.length results);
+  List.iter
+    (fun (path, r) ->
+      match r with
+      | Ok _ -> Alcotest.failf "%s should not load" path
+      | Error _ -> ())
+    results
+
+(* ---------- no enumeration path reaches the hang probe ---------- *)
+
+let test_hang_probe_not_swept () =
+  let ids = List.map (fun e -> e.Experiment.id) Registry.all in
+  Alcotest.(check bool) "E99 not in Registry.all" false (List.mem "E99" ids);
+  Alcotest.(check bool) "chaos scenarios don't know it" true
+    (Scenario.find "E99" = None);
+  Alcotest.(check bool) "no scenario is the probe" true
+    (List.for_all
+       (fun (s : Scenario.t) ->
+         s.Scenario.name <> "E99"
+         && not (List.mem s.Scenario.name ids))
+       Scenario.all);
+  (* a whole sweep never touches an experiment id at all *)
+  let runs = Sweep.run_sweep ~domains:1 ~seed:1 ~runs:9 () in
+  Alcotest.(check bool) "sweep targets are scenarios only" true
+    (List.for_all
+       (fun r -> Scenario.find r.Sweep.scenario <> None)
+       runs);
+  (* the probe stays findable for the watchdog tests — just never enumerated *)
+  match Registry.find "E99" with
+  | Some e -> Alcotest.(check string) "still findable" "E99" e.Experiment.id
+  | None -> Alcotest.fail "hang probe must stay findable by id"
+
+let () =
+  Alcotest.run "chaos"
+    [
+      ( "invariants",
+        [
+          Alcotest.test_case "hand-built ledgers" `Quick
+            test_invariants_on_ledgers;
+          Alcotest.test_case "real faulted run" `Quick
+            test_invariants_on_real_run;
+        ] );
+      ( "sweep",
+        [
+          Alcotest.test_case "clean + deterministic" `Slow
+            test_sweep_clean_and_deterministic;
+        ] );
+      ( "shrink-and-corpus",
+        [
+          Alcotest.test_case "planted violation shrinks" `Quick
+            test_shrink_planted_violation;
+          Alcotest.test_case "corpus round-trip + replay" `Quick
+            test_corpus_roundtrip_and_replay;
+          Alcotest.test_case "corpus load errors" `Quick
+            test_corpus_load_errors;
+        ] );
+      ( "hang-probe-guard",
+        [
+          Alcotest.test_case "never enumerated" `Quick
+            test_hang_probe_not_swept;
+        ] );
+    ]

@@ -60,6 +60,93 @@ let test_plan_random_deterministic () =
     (Invalid_argument "Plan.random: no links") (fun () ->
       ignore (Plan.random (Rng.create 1) ~links:[] ~horizon:1.0 ~episodes:1))
 
+(* ---------- Plan serialization (the chaos corpus wire format) ---------- *)
+
+let every_constructor_plan =
+  [
+    Plan.Link_down { u = 0; v = 1; w = Plan.window 0.0 1.0 };
+    Plan.Link_loss { u = 1; v = 2; w = Plan.window 0.1 0.5; prob = 0.2 };
+    Plan.Link_corrupt { u = 2; v = 3; w = Plan.window 1.0 6.0; prob = 1.0 };
+    Plan.Latency_spike
+      { u = 0; v = 3; w = Plan.window 0.3 0.8; extra_s = 0.0123456789 };
+    Plan.Node_crash { node = 4; w = Plan.always };
+    Plan.Middlebox_break { node = 5; w = Plan.window 2.0 infinity; covert = true };
+    Plan.Middlebox_break
+      { node = 6; w = Plan.window 0.25 0.75; covert = false };
+  ]
+
+let test_plan_string_roundtrip_by_hand () =
+  (match Plan.of_string (Plan.to_string every_constructor_plan) with
+  | Ok p ->
+    Alcotest.(check bool) "all constructors round-trip" true
+      (p = every_constructor_plan)
+  | Error e -> Alcotest.failf "round-trip failed: %s" e);
+  (* awkward floats survive the trip losslessly *)
+  let nasty =
+    [
+      Plan.Link_loss
+        { u = 0; v = 1; w = Plan.window 0.1 (0.1 +. 0.2); prob = 1.0 /. 3.0 };
+      Plan.Latency_spike
+        { u = 0; v = 1; w = Plan.window epsilon_float 1e17; extra_s = 1e-9 };
+    ]
+  in
+  (match Plan.of_string (Plan.to_string nasty) with
+  | Ok p -> Alcotest.(check bool) "nasty floats exact" true (p = nasty)
+  | Error e -> Alcotest.failf "nasty round-trip failed: %s" e);
+  (* the empty plan is one of the fixed points too *)
+  (match Plan.of_string (Plan.to_string []) with
+  | Ok [] -> ()
+  | Ok _ -> Alcotest.fail "empty plan grew episodes"
+  | Error e -> Alcotest.failf "empty round-trip failed: %s" e);
+  (* blank lines and # comments are skipped: corpus headers ride along *)
+  match
+    Plan.of_string
+      ("# corpus header\n\n" ^ Plan.to_string every_constructor_plan ^ "\n\n")
+  with
+  | Ok p ->
+    Alcotest.(check bool) "comments + blanks skipped" true
+      (p = every_constructor_plan)
+  | Error e -> Alcotest.failf "commented round-trip failed: %s" e
+
+let test_plan_of_string_errors () =
+  let expect_error_naming line s =
+    match Plan.of_string s with
+    | Ok _ -> Alcotest.failf "parsed garbage: %S" s
+    | Error e ->
+      let prefix = Printf.sprintf "line %d:" line in
+      Alcotest.(check bool)
+        (Printf.sprintf "error names %s in %S" prefix e)
+        true
+        (String.length e >= String.length prefix
+        && String.sub e 0 (String.length prefix) = prefix)
+  in
+  expect_error_naming 1 "wibble";
+  expect_error_naming 2 "link 0-1 down [0, 1)\nlink one-2 down [0, 1)";
+  expect_error_naming 3 "# ok\nlink 0-1 down [0, 1)\nlink 0-1 loss p=x [0, 1)"
+
+let plan_gen =
+  QCheck2.Gen.(
+    let* seed = int_range 0 100_000 in
+    let* episodes = int_range 0 12 in
+    return (seed, episodes))
+
+let prop_random_plans_roundtrip =
+  QCheck2.Test.make ~name:"of_string (to_string p) = Ok p on random plans"
+    ~count:200 plan_gen (fun (seed, episodes) ->
+      let links = [ (0, 1); (1, 2); (2, 3); (3, 0) ] in
+      let p =
+        Plan.random (Rng.create seed) ~links ~horizon:25.0 ~episodes
+      in
+      Plan.of_string (Plan.to_string p) = Ok p)
+
+let prop_random_plans_validate =
+  QCheck2.Test.make ~name:"random plans always pass validate" ~count:200
+    plan_gen (fun (seed, episodes) ->
+      let links = [ (0, 1); (1, 2) ] in
+      Plan.validate
+        (Plan.random (Rng.create seed) ~links ~horizon:50.0 ~episodes);
+      true)
+
 (* ---------- Inject ---------- *)
 
 let line_forwarding ~node ~target _ =
@@ -267,6 +354,15 @@ let () =
           Alcotest.test_case "validation" `Quick test_plan_validation;
           Alcotest.test_case "random deterministic" `Quick
             test_plan_random_deterministic;
+        ] );
+      ( "plan-serialization",
+        [
+          Alcotest.test_case "hand-built round-trips" `Quick
+            test_plan_string_roundtrip_by_hand;
+          Alcotest.test_case "of_string names bad lines" `Quick
+            test_plan_of_string_errors;
+          QCheck_alcotest.to_alcotest prop_random_plans_roundtrip;
+          QCheck_alcotest.to_alcotest prop_random_plans_validate;
         ] );
       ( "inject",
         [

@@ -1,16 +1,23 @@
 (* Tests for tussle.routing: link-state, path-vector (Gao-Rexford),
-   source routing, overlay, visibility. *)
+   source routing, overlay, visibility, and the self-healing control
+   plane's failover edge cases. *)
 
 module Rng = Tussle_prelude.Rng
 module Graph = Tussle_prelude.Graph
+module Engine = Tussle_netsim.Engine
+module Net = Tussle_netsim.Net
 module Topology = Tussle_netsim.Topology
 module Packet = Tussle_netsim.Packet
+module Traffic = Tussle_netsim.Traffic
 module Middlebox = Tussle_netsim.Middlebox
 module Linkstate = Tussle_routing.Linkstate
 module Pathvector = Tussle_routing.Pathvector
 module Sourceroute = Tussle_routing.Sourceroute
 module Overlay = Tussle_routing.Overlay
+module Selfheal = Tussle_routing.Selfheal
 module Visibility = Tussle_routing.Visibility
+module Plan = Tussle_fault.Plan
+module Inject = Tussle_fault.Inject
 
 let check_float = Alcotest.(check (float 1e-9))
 
@@ -313,6 +320,152 @@ let test_multicast_deployment_ledger () =
   Alcotest.(check bool) "payment deploys" true (Multicast.deploys paid);
   check_float "profit" 20.0 (Multicast.isp_profit paid)
 
+(* ---------- Selfheal: failover edge cases ---------- *)
+
+(* hello 50 ms, 2 missed, 100 ms recompute throughout: detection +
+   installation lands roughly 150-200 ms after a fault opens *)
+
+let no_forwarding ~node:_ ~target:_ _ = None
+
+let schedule_flow engine net gen ~src ~dst ~start ~interval ~count =
+  for k = 0 to count - 1 do
+    ignore
+      (Engine.schedule engine
+         (start +. (interval *. float_of_int k))
+         (fun engine ->
+           Net.inject net engine
+             (Traffic.next_packet gen ~src ~dst ~created:(Engine.now engine) ())))
+  done
+
+let reason_count net label =
+  Option.value ~default:0 (List.assoc_opt label (Net.losses_by_reason net))
+
+let test_selfheal_reroutes_around_outage () =
+  let links = Topology.to_links (Topology.ring 6) in
+  let net = Net.create links no_forwarding in
+  let engine = Engine.create () in
+  let heal = Selfheal.attach ~until:3.0 engine net in
+  (* kill the first hop of the table's own chosen path 0 -> 3 *)
+  let u, v =
+    match Linkstate.path (Selfheal.table heal) ~src:0 ~dst:3 with
+    | Some (a :: b :: _) -> (a, b)
+    | _ -> Alcotest.fail "no initial path 0 -> 3"
+  in
+  Inject.install ~seed:5
+    ~plan:[ Plan.Link_down { u; v; w = Plan.window 0.52 2.02 } ]
+    engine net;
+  let gen = Traffic.create (Rng.create 6) in
+  schedule_flow engine net gen ~src:0 ~dst:3 ~start:0.1 ~interval:0.05
+    ~count:40;
+  (* sample the installed table mid-outage, after convergence *)
+  let mid_hop = ref None in
+  ignore
+    (Engine.schedule engine 1.5 (fun _ ->
+         mid_hop := Linkstate.next_hop (Selfheal.table heal) ~node:u ~dst:3));
+  Engine.run ~until:600.0 engine;
+  Alcotest.(check int) "down then up = two reconvergences" 2
+    (Selfheal.reconvergences heal);
+  (match Selfheal.detections heal with
+  | [ (p1, `Down, t1); (p2, `Up, t2) ] ->
+    Alcotest.(check bool) "watched pair detected" true (p1 = (min u v, max u v) || p1 = (u, v) || p1 = (v, u));
+    Alcotest.(check bool) "same pair restored" true (p1 = p2);
+    Alcotest.(check bool) "detection inside the outage" true
+      (t1 > 0.52 && t1 < 0.75);
+    Alcotest.(check bool) "restore detected after the window" true (t2 >= 2.02)
+  | ds -> Alcotest.failf "expected down+up, got %d detections" (List.length ds));
+  (match !mid_hop with
+  | Some hop -> Alcotest.(check bool) "mid-outage table avoids dead link" true (hop <> v && hop <> u)
+  | None -> Alcotest.fail "mid-outage table has no route from the detour node");
+  Alcotest.(check bool) "most packets survive the outage" true
+    (Net.delivered_count net >= 34);
+  Alcotest.(check int) "every drop is attributed to the dead link"
+    (Net.lost_count net)
+    (reason_count net "link-down");
+  Alcotest.(check int) "conservation" 40
+    (Net.delivered_count net + Net.lost_count net);
+  Alcotest.(check int) "engine drained" 0 (Engine.pending engine)
+
+let test_selfheal_midflight_packets_survive () =
+  (* slow ring: a packet already on the wire when its link dies still
+     arrives; the next packet fails over via the recomputed table *)
+  let edge = { Topology.latency = 0.2; bandwidth_bps = 1e8 } in
+  let links = Topology.to_links (Topology.ring ~edge 6) in
+  let net = Net.create links no_forwarding in
+  let engine = Engine.create () in
+  let heal = Selfheal.attach ~until:2.5 engine net in
+  let u, v =
+    match Linkstate.path (Selfheal.table heal) ~src:0 ~dst:3 with
+    | Some (a :: b :: _) -> (a, b)
+    | _ -> Alcotest.fail "no initial path 0 -> 3"
+  in
+  Inject.install ~seed:5
+    ~plan:[ Plan.Link_down { u; v; w = Plan.window 0.52 100.0 } ]
+    engine net;
+  let gen = Traffic.create (Rng.create 6) in
+  (* packet A is in flight on (u, v) when the window opens at 0.52 *)
+  schedule_flow engine net gen ~src:0 ~dst:3 ~start:0.45 ~interval:1.05
+    ~count:2;
+  Engine.run ~until:600.0 engine;
+  Alcotest.(check int) "both packets delivered" 2 (Net.delivered_count net);
+  Alcotest.(check int) "nothing lost" 0 (Net.lost_count net);
+  Alcotest.(check int) "engine drained" 0 (Engine.pending engine)
+
+let test_selfheal_partition_is_clean_no_route () =
+  (* a line has no alternate path: after detection the recomputed table
+     must say no-route — packets drop cleanly, nothing hangs *)
+  let links = Topology.to_links (Topology.line 3) in
+  let net = Net.create links no_forwarding in
+  let engine = Engine.create () in
+  let heal = Selfheal.attach ~until:2.0 engine net in
+  Inject.install ~seed:5
+    ~plan:[ Plan.Link_down { u = 1; v = 2; w = Plan.window 0.52 infinity } ]
+    engine net;
+  let gen = Traffic.create (Rng.create 6) in
+  schedule_flow engine net gen ~src:0 ~dst:2 ~start:0.1 ~interval:0.05
+    ~count:36;
+  Engine.run ~until:600.0 engine;
+  Alcotest.(check int) "one reconvergence (never restored)" 1
+    (Selfheal.reconvergences heal);
+  Alcotest.(check (list (pair int int))) "believes the link down" [ (1, 2) ]
+    (Selfheal.believed_down heal);
+  Alcotest.(check bool) "recomputed table has no route" true
+    (Linkstate.next_hop (Selfheal.table heal) ~node:0 ~dst:2 = None);
+  Alcotest.(check bool) "pre-outage traffic delivered" true
+    (Net.delivered_count net > 0);
+  Alcotest.(check bool) "post-detection drops are clean no-route" true
+    (reason_count net "no-route" > 0);
+  Alcotest.(check bool) "detection-window drops hit the dead link" true
+    (reason_count net "link-down" > 0);
+  Alcotest.(check int) "conservation, nothing in flight" 36
+    (Net.delivered_count net + Net.lost_count net);
+  Alcotest.(check int) "engine drained despite infinite window" 0
+    (Engine.pending engine)
+
+let test_selfheal_flap_within_detection_window_coalesces () =
+  (* two sub-detection-threshold flaps (each covers only one 50 ms
+     hello, threshold is two) must not trigger any reconvergence *)
+  let links = Topology.to_links (Topology.ring 6) in
+  let net = Net.create links no_forwarding in
+  let engine = Engine.create () in
+  let heal = Selfheal.attach ~until:2.0 engine net in
+  Inject.install ~seed:5
+    ~plan:
+      [
+        Plan.Link_down { u = 0; v = 1; w = Plan.window 0.52 0.58 };
+        Plan.Link_down { u = 0; v = 1; w = Plan.window 0.62 0.68 };
+      ]
+    engine net;
+  let gen = Traffic.create (Rng.create 6) in
+  schedule_flow engine net gen ~src:0 ~dst:3 ~start:0.1 ~interval:0.05
+    ~count:30;
+  Engine.run ~until:600.0 engine;
+  Alcotest.(check int) "no reconvergence" 0 (Selfheal.reconvergences heal);
+  Alcotest.(check (list (pair int int))) "nothing believed down" []
+    (Selfheal.believed_down heal);
+  Alcotest.(check int) "conservation" 30
+    (Net.delivered_count net + Net.lost_count net);
+  Alcotest.(check int) "engine drained" 0 (Engine.pending engine)
+
 let () =
   Alcotest.run "routing"
     [
@@ -360,5 +513,16 @@ let () =
           Alcotest.test_case "best relay" `Quick test_overlay_best_relay;
           Alcotest.test_case "improvement" `Quick test_overlay_improvement;
           Alcotest.test_case "recovery" `Quick test_overlay_recovery;
+        ] );
+      ( "selfheal",
+        [
+          Alcotest.test_case "reroutes around an outage" `Quick
+            test_selfheal_reroutes_around_outage;
+          Alcotest.test_case "mid-flight packets survive" `Quick
+            test_selfheal_midflight_packets_survive;
+          Alcotest.test_case "partition is clean no-route" `Quick
+            test_selfheal_partition_is_clean_no_route;
+          Alcotest.test_case "flap inside detection window" `Quick
+            test_selfheal_flap_within_detection_window_coalesces;
         ] );
     ]
