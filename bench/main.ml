@@ -5,9 +5,10 @@
    operationalizes one qualitative claim from the text, prints the
    table, and checks the claim's shape.
 
-   Part 2 runs bechamel microbenchmarks (B1-B12) over the substrate hot
+   Part 2 runs bechamel microbenchmarks (B1-B13) over the substrate hot
    paths: the event loop, Dijkstra, path-vector convergence, the Nash
-   solver, policy evaluation, and trust-graph queries.
+   solver, policy evaluation, trust-graph queries, and the
+   million-consumer market best-response loop.
 
    Run with: dune exec bench/main.exe
    Options:  --experiments-only | --bench-only | --experiment <id>
@@ -172,6 +173,22 @@ let bench_chaos_run () =
   let r = Tussle_chaos.Sweep.run_one ~master_seed:9007 0 in
   assert (r.Tussle_chaos.Sweep.violations = [])
 
+let bench_market_1m () =
+  (* B13: the million-consumer price-competition run the experiments
+     stop short of (E1/E3 run at 10^5); bench-only so the battery's
+     wall budget is unaffected.  Few periods: the point is the
+     per-period O(n*m) inner loop, not convergence. *)
+  let cfg =
+    {
+      Tussle_econ.Market.default_config with
+      Tussle_econ.Market.n_consumers = 1_000_000;
+      Tussle_econ.Market.n_providers = 4;
+      Tussle_econ.Market.periods = 5;
+    }
+  in
+  let r = Tussle_econ.Market.run (Rng.create 9008) cfg in
+  assert (r.Tussle_econ.Market.subscribed_ratio > 0.0)
+
 let microbenchmarks () =
   let open Bechamel in
   let test name f = Test.make ~name (Staged.stage f) in
@@ -191,6 +208,7 @@ let microbenchmarks () =
         test "B10 closed-loop transport (200 pkts)" bench_transport;
         test "B11 self-heal reconvergence (12-ring outage)" bench_selfheal;
         test "B12 chaos run (plan + sim + invariants)" bench_chaos_run;
+        test "B13 market best-response (10^6 consumers)" bench_market_1m;
       ]
   in
   let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) () in

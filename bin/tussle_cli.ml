@@ -4,6 +4,7 @@
      experiments [-e ID]   regenerate the paper's experiments
      chaos                 seeded random fault plans vs. the invariants
      report FILE           validate and summarize a battery report
+     perfgate BASE REPORT  fail on wall/alloc regressions vs. a baseline
      scenario              run the actor/mechanism tussle engine
      market                run the access-provider market model
      policy FILE REQUEST   evaluate a policy compliance query *)
@@ -382,6 +383,144 @@ let report_cmd =
   let doc = "validate and summarize a battery report JSON file" in
   Cmd.v (Cmd.info "report" ~doc) Term.(const run $ file)
 
+(* ---------- perfgate ---------- *)
+
+let perfgate_cmd =
+  (* Plain strings for the same clean-error/exit-2 convention as
+     [report]: missing files and malformed flags are our diagnostics,
+     not cmdliner's. *)
+  let baseline =
+    Arg.(required & pos 0 (some string) None
+         & info [] ~docv:"BASELINE" ~doc:"Committed battery report to gate against.")
+  in
+  let candidate =
+    Arg.(required & pos 1 (some string) None
+         & info [] ~docv:"REPORT" ~doc:"Fresh battery report to check.")
+  in
+  let ids =
+    let doc = "Comma-separated experiment ids to gate (default E1,E3: the \
+               market hot path)." in
+    Arg.(value & opt string "E1,E3" & info [ "ids" ] ~doc ~docv:"IDS")
+  in
+  let tolerance =
+    let doc = "Allowed fractional regression per metric (default 0.25: fail \
+               when a metric exceeds baseline by more than 25%)." in
+    Arg.(value & opt (some string) None & info [ "tolerance" ] ~doc ~docv:"FRAC")
+  in
+  let run baseline candidate ids tolerance =
+    let tolerance_result =
+      match tolerance with
+      | None -> Ok 0.25
+      | Some s -> (
+        match float_of_string_opt (String.trim s) with
+        | Some t when t >= 0.0 && Float.is_finite t -> Ok t
+        | Some _ | None ->
+          Error
+            (Printf.sprintf
+               "invalid tolerance %S (expected a non-negative number)" s))
+    in
+    let load file =
+      match
+        let ic = open_in_bin file in
+        Fun.protect
+          ~finally:(fun () -> close_in_noerr ic)
+          (fun () -> really_input_string ic (in_channel_length ic))
+      with
+      | exception Sys_error msg -> Error msg
+      | contents -> (
+        match Obs_json.parse contents with
+        | Error msg -> Error (Printf.sprintf "%s: %s" file msg)
+        | Ok json -> (
+          match Obs_report.validate json with
+          | Error msg ->
+            Error (Printf.sprintf "%s: invalid battery report: %s" file msg)
+          | Ok () -> Ok json))
+    in
+    (* experiment id -> (wall_s, allocated_bytes) *)
+    let experiment_metrics json id =
+      match Option.bind (Obs_json.member "experiments" json) Obs_json.to_list with
+      | None -> None
+      | Some entries ->
+        List.find_map
+          (fun e ->
+            match Option.bind (Obs_json.member "id" e) Obs_json.to_str with
+            | Some i when i = id ->
+              let fl name = Option.bind (Obs_json.member name e) Obs_json.to_float in
+              Option.bind (fl "wall_s") (fun w ->
+                  Option.map (fun a -> (w, a)) (fl "allocated_bytes"))
+            | _ -> None)
+          entries
+    in
+    match tolerance_result with
+    | Error msg ->
+      prerr_endline ("perfgate: --tolerance: " ^ msg);
+      2
+    | Ok tol -> (
+      match (load baseline, load candidate) with
+      | Error msg, _ | _, Error msg ->
+        prerr_endline ("perfgate: " ^ msg);
+        2
+      | Ok base_json, Ok cand_json ->
+        let ids =
+          String.split_on_char ',' ids
+          |> List.map String.trim
+          |> List.filter (fun s -> s <> "")
+        in
+        if ids = [] then begin
+          prerr_endline "perfgate: --ids: no experiment ids given";
+          2
+        end
+        else begin
+          let missing = ref false in
+          let regressed = ref false in
+          Printf.printf "perfgate: %s vs %s, tolerance %.0f%%\n" candidate
+            baseline (100.0 *. tol);
+          List.iter
+            (fun id ->
+              match (experiment_metrics base_json id, experiment_metrics cand_json id) with
+              | None, _ ->
+                missing := true;
+                Printf.printf "  %-4s MISSING in baseline\n" id
+              | _, None ->
+                missing := true;
+                Printf.printf "  %-4s MISSING in report\n" id
+              | Some (bw, ba), Some (cw, ca) ->
+                let gate metric base cand fmt =
+                  (* a zero baseline gates nothing: any positive value
+                     would be an infinite ratio *)
+                  let limit = base *. (1.0 +. tol) in
+                  let bad = base > 0.0 && cand > limit in
+                  if bad then regressed := true;
+                  Printf.printf "  %-4s %-15s %s -> %s (limit %s)%s\n" id metric
+                    (fmt base) (fmt cand) (fmt limit)
+                    (if bad then "  REGRESSION" else "")
+                in
+                gate "wall_s" bw cw (Printf.sprintf "%.3fs");
+                gate "allocated_bytes" ba ca (fun b ->
+                    Printf.sprintf "%.1fMB" (b /. 1.048576e6)))
+            ids;
+          if !missing then begin
+            prerr_endline "perfgate: experiment missing from a report";
+            2
+          end
+          else if !regressed then begin
+            print_endline "perfgate: FAIL (performance regression)";
+            1
+          end
+          else begin
+            print_endline "perfgate: ok";
+            0
+          end
+        end)
+  in
+  let doc =
+    "gate a fresh battery report against a committed baseline: fail when a \
+     tracked experiment's wall clock or GC allocation regresses beyond the \
+     tolerance"
+  in
+  Cmd.v (Cmd.info "perfgate" ~doc)
+    Term.(const run $ baseline $ candidate $ ids $ tolerance)
+
 (* ---------- scenario ---------- *)
 
 let scenario_cmd =
@@ -559,7 +698,7 @@ let () =
   let info = Cmd.info "tussle" ~version:"1.0.0" ~doc in
   let group =
     Cmd.group info
-      [ experiments_cmd; chaos_cmd; report_cmd; scenario_cmd; market_cmd;
-        policy_cmd ]
+      [ experiments_cmd; chaos_cmd; report_cmd; perfgate_cmd; scenario_cmd;
+        market_cmd; policy_cmd ]
   in
   exit (Cmd.eval' group)

@@ -49,123 +49,240 @@ let validate cfg =
      || cfg.switching_cost < 0.0
   then invalid_arg "Market: negative cost"
 
-let circle_distance a b =
+let[@inline] circle_distance a b =
   let d = Float.abs (a -. b) in
   Float.min d (1.0 -. d)
 
-(* consumer's utility buying from provider j at price p *)
-let utility cfg ~consumer_pos ~current ~j ~provider_pos ~price =
-  let switch_pain =
-    match current with
-    | Some c when c = j -> 0.0
-    | Some _ -> cfg.switching_cost
-    | None -> 0.0
+let price_grid cfg =
+  (* Rounding (not truncating) the span/step quotient keeps awkward
+     steps like 0.1 from losing the top point to float error, and the
+     last element is pinned to [price_ceiling] exactly so a monopolist
+     facing slack WTP can actually post the ceiling.  For steps that do
+     not divide the span the final interval is shorter than [step];
+     every interior point stays strictly below the ceiling because
+     [count <= span/step + 1/2] implies [floor + (count-1)*step < ceiling]. *)
+  let count =
+    int_of_float
+      (Float.round ((cfg.price_ceiling -. cfg.price_floor) /. cfg.price_step))
   in
-  cfg.wtp -. price
-  -. (cfg.transport_cost *. circle_distance consumer_pos provider_pos)
-  -. switch_pain
+  let count = if count < 0 then 0 else count in
+  Array.init (count + 1) (fun i ->
+      if i = count then cfg.price_ceiling
+      else cfg.price_floor +. (float_of_int i *. cfg.price_step))
 
-(* best provider for a consumer given all prices; None = outside option *)
-let choose cfg positions prices ~consumer_pos ~current =
-  let best = ref None in
-  Array.iteri
-    (fun j p ->
-      let u =
-        utility cfg ~consumer_pos ~current ~j ~provider_pos:positions.(j)
-          ~price:p
-      in
-      match !best with
-      | Some (_, bu) when bu >= u -> ()
-      | _ -> if u > 0.0 then best := Some (j, u))
-    prices;
-  !best
+let nearest_grid_index cfg ~grid_len p =
+  let i =
+    int_of_float (Float.round ((p -. cfg.price_floor) /. cfg.price_step))
+  in
+  if i < 0 then 0 else if i > grid_len - 1 then grid_len - 1 else i
 
 let salop_price cfg =
   cfg.provider_cost +. (cfg.transport_cost /. float_of_int cfg.n_providers)
 
+(* Largest grid index whose price is strictly below [t] ([-1] when
+   none).  [est] is a closed-form estimate from the uniform spacing;
+   the bounded fix-up loops make the answer exact against the actual
+   grid values (the last point is pinned to the ceiling, and float
+   rounding can push the estimate off by one). *)
+let[@inline] last_lt grid g est t =
+  let i = ref (if est < -1 then -1 else if est > g - 1 then g - 1 else est) in
+  while !i + 1 < g && Array.unsafe_get grid (!i + 1) < t do
+    incr i
+  done;
+  while !i >= 0 && Array.unsafe_get grid !i >= t do
+    decr i
+  done;
+  !i
+
+(* The hot path is struct-of-arrays with preallocated scratch: no
+   per-consumer options, tuples or closures anywhere in the period
+   loop.  Per period we build a flat [base] matrix
+   [base.(k*n + c) = wtp - transport_cost * d(c,k) - switch_pain(c,k)]
+   (the price-independent part of consumer [c]'s utility from provider
+   [k], given the subscriptions entering the period), so a utility is
+   one load and one subtract.
+
+   Best response is where the old code burned its time: re-choosing
+   every consumer for every candidate price was O(n * m) per grid
+   point.  Instead, for provider [j] we compute each consumer's best
+   alternative [alt] among the other providers once; [c] buys from [j]
+   at price [p] iff [base_j(c) - p] strictly beats [max(0, alt)], which
+   is a price threshold per consumer.  Bucketing thresholds onto the
+   grid and suffix-summing gives demand at *every* grid price in
+   O(n + grid), so a full best response is O(n*m + grid) instead of
+   O(n*m*grid).  (At an exact float tie between [j] and an alternative
+   the threshold is conservative where the choice pass breaks ties by
+   provider index — a measure-zero knife edge that only shifts the
+   demand estimate by the tied consumers.) *)
 let run rng cfg =
   validate cfg;
   let n = cfg.n_consumers and m = cfg.n_providers in
+  let wtp = cfg.wtp
+  and tc = cfg.transport_cost
+  and sc = cfg.switching_cost
+  and cost = cfg.provider_cost in
+  let grid = price_grid cfg in
+  let g = Array.length grid in
+  let inv_step = 1.0 /. cfg.price_step in
+  let floor_p = cfg.price_floor in
   let consumer_pos = Array.init n (fun _ -> Rng.float rng 1.0) in
   let provider_pos =
     Array.init m (fun j -> float_of_int j /. float_of_int m)
   in
-  let prices = Array.make m (salop_price cfg) in
-  let current : int option array = Array.make n None in
-  let grid =
-    let count =
-      int_of_float ((cfg.price_ceiling -. cfg.price_floor) /. cfg.price_step)
-    in
-    Array.init (count + 1) (fun i ->
-        cfg.price_floor +. (float_of_int i *. cfg.price_step))
-  in
-  (* demand and profit for provider j if it posted price p *)
-  let profit_if j p =
-    let saved = prices.(j) in
-    prices.(j) <- p;
-    let subs = ref 0 in
-    for c = 0 to n - 1 do
-      match
-        choose cfg provider_pos prices ~consumer_pos:consumer_pos.(c)
-          ~current:current.(c)
-      with
-      | Some (k, _) when k = j -> incr subs
-      | Some _ | None -> ()
-    done;
-    prices.(j) <- saved;
-    float_of_int !subs *. (p -. cfg.provider_cost)
-  in
-  let warmup = cfg.periods / 3 in
-  let switches = ref 0 and choice_periods = ref 0 in
-  let price_history = Array.make cfg.periods 0.0 in
-  let last_surplus = ref 0.0 and last_profit = ref 0.0 in
+  (* Anchor prices on the grid: the textbook Salop price (e.g. 1.125
+     for 16 providers) is generally not a grid point, and an off-grid
+     incumbent price could otherwise persist forever as the
+     best-response candidate the grid cannot express. *)
+  let init_idx = nearest_grid_index cfg ~grid_len:g (salop_price cfg) in
+  let price_idx = Array.make m init_idx in
+  let prices = Array.make m grid.(init_idx) in
+  let current = Array.make n (-1) in
+  (* scratch, allocated once per run *)
+  let base = Array.make (m * n) 0.0 in
+  let alt_u = Array.make n 0.0 in
+  let best_u = Array.make n 0.0 in
+  let best_j = Array.make n (-1) in
+  let hist = Array.make g 0 in
   let last_subs = Array.make m 0 in
+  let price_history = Array.make cfg.periods 0.0 in
+  let acc = Array.make 2 0.0 in
+  (* acc.(0) surplus, acc.(1) profit: final-period accumulators kept in
+     a float array so the loop stays allocation-free (a float ref would
+     box every update) *)
+  let warmup = cfg.periods / 3 in
+  let switches = ref 0 in
+  let choice_periods = ref 0 in
+  (* Once a period ends with no price move and no subscription move,
+     every later period sees identical inputs (base depends only on
+     subscriptions, best response only on base and prices), so its
+     outputs are identical too: replay it for free instead of
+     recomputing.  Exact memoization, not an approximation. *)
+  let stable = ref false in
   for period = 0 to cfg.periods - 1 do
+    if !stable then begin
+      if period >= warmup then incr choice_periods;
+      price_history.(period) <- price_history.(period - 1)
+    end
+    else begin
+    (* price-independent utility parts, given current subscriptions *)
+    for k = 0 to m - 1 do
+      let ppos = Array.unsafe_get provider_pos k in
+      let off = k * n in
+      for c = 0 to n - 1 do
+        let d = circle_distance (Array.unsafe_get consumer_pos c) ppos in
+        let cur = Array.unsafe_get current c in
+        let pain = if cur >= 0 && cur <> k then sc else 0.0 in
+        Array.unsafe_set base (off + c) (wtp -. (tc *. d) -. pain)
+      done
+    done;
     (* providers best-respond in turn *)
+    let price_moved = ref false in
     for j = 0 to m - 1 do
-      let best_p = ref prices.(j) and best_profit = ref (profit_if j prices.(j)) in
-      Array.iter
-        (fun p ->
-          let pr = profit_if j p in
-          if pr > !best_profit +. 1e-9 then begin
-            best_profit := pr;
-            best_p := p
-          end)
-        grid;
-      prices.(j) <- !best_p
+      (* best alternative utility per consumer among k <> j: the
+         outside option 0 is folded in, so the scratch can seed at 0
+         and a single running max suffices *)
+      Array.fill alt_u 0 n 0.0;
+      for k = 0 to m - 1 do
+        if k <> j then begin
+          let pk = Array.unsafe_get prices k in
+          let off = k * n in
+          for c = 0 to n - 1 do
+            let u = Array.unsafe_get base (off + c) -. pk in
+            if u > Array.unsafe_get alt_u c then Array.unsafe_set alt_u c u
+          done
+        end
+      done;
+      (* bucket each consumer's willingness threshold onto the grid:
+         c buys from j at price p iff base_j(c) - p > max(0, alt) *)
+      Array.fill hist 0 g 0;
+      let offj = j * n in
+      for c = 0 to n - 1 do
+        let t = Array.unsafe_get base (offj + c) -. Array.unsafe_get alt_u c in
+        let est = int_of_float (Float.ceil ((t -. floor_p) *. inv_step)) - 1 in
+        let imax = last_lt grid g est t in
+        if imax >= 0 then
+          Array.unsafe_set hist imax (Array.unsafe_get hist imax + 1)
+      done;
+      (* suffix-sum: hist.(i) becomes demand at grid price i *)
+      for i = g - 2 downto 0 do
+        Array.unsafe_set hist i
+          (Array.unsafe_get hist i + Array.unsafe_get hist (i + 1))
+      done;
+      (* scan the grid, incumbent price as the initial candidate *)
+      let bi = ref price_idx.(j) in
+      let bprofit = ref 0.0 in
+      bprofit := float_of_int hist.(!bi) *. (grid.(!bi) -. cost);
+      for i = 0 to g - 1 do
+        let pr =
+          float_of_int (Array.unsafe_get hist i)
+          *. (Array.unsafe_get grid i -. cost)
+        in
+        if pr > !bprofit +. 1e-9 then begin
+          bprofit := pr;
+          bi := i
+        end
+      done;
+      if !bi <> price_idx.(j) then begin
+        price_moved := true;
+        price_idx.(j) <- !bi;
+        prices.(j) <- grid.(!bi)
+      end
     done;
-    (* consumers choose *)
+    (* consumers choose: fused utility/choose writing into the
+       reusable best_j/best_u scratch (base is price-independent and
+       still valid: subscriptions only change below) *)
+    Array.fill best_j 0 n (-1);
+    for k = 0 to m - 1 do
+      let pk = Array.unsafe_get prices k in
+      let off = k * n in
+      for c = 0 to n - 1 do
+        let u = Array.unsafe_get base (off + c) -. pk in
+        if
+          u > 0.0
+          && (Array.unsafe_get best_j c = -1 || u > Array.unsafe_get best_u c)
+        then begin
+          Array.unsafe_set best_u c u;
+          Array.unsafe_set best_j c k
+        end
+      done
+    done;
+    let counting = period >= warmup in
+    if counting then incr choice_periods;
     Array.fill last_subs 0 m 0;
-    let surplus = ref 0.0 and profit = ref 0.0 in
-    if period >= warmup then incr choice_periods;
+    acc.(0) <- 0.0;
+    acc.(1) <- 0.0;
+    let subs_moved = ref false in
     for c = 0 to n - 1 do
-      match
-        choose cfg provider_pos prices ~consumer_pos:consumer_pos.(c)
-          ~current:current.(c)
-      with
-      | Some (j, u) ->
-        (match current.(c) with
-        | Some old when old <> j -> if period >= warmup then incr switches
-        | Some _ -> ()
-        | None -> ());
-        current.(c) <- Some j;
-        last_subs.(j) <- last_subs.(j) + 1;
-        surplus := !surplus +. u;
-        profit := !profit +. (prices.(j) -. cfg.provider_cost)
-      | None -> current.(c) <- None
+      let bj = Array.unsafe_get best_j c in
+      let cur = Array.unsafe_get current c in
+      if bj <> cur then begin
+        subs_moved := true;
+        if counting && bj >= 0 && cur >= 0 then incr switches;
+        Array.unsafe_set current c bj
+      end;
+      if bj >= 0 then begin
+        Array.unsafe_set last_subs bj (Array.unsafe_get last_subs bj + 1);
+        acc.(0) <- acc.(0) +. Array.unsafe_get best_u c;
+        acc.(1) <- acc.(1) +. (Array.unsafe_get prices bj -. cost)
+      end
     done;
-    last_surplus := !surplus;
-    last_profit := !profit;
-    price_history.(period) <- Stats.mean prices
+    price_history.(period) <- Stats.mean prices;
+    stable := not (!price_moved || !subs_moved)
+    end
   done;
+  (* the best-response scan only ever posts grid members *)
+  Array.iteri
+    (fun j p ->
+      assert (p = grid.(price_idx.(j)));
+      assert (p >= cfg.price_floor && p <= cfg.price_ceiling))
+    prices;
   let subscribed =
-    Array.fold_left
-      (fun acc c -> match c with Some _ -> acc + 1 | None -> acc)
-      0 current
+    Array.fold_left (fun n c -> if c >= 0 then n + 1 else n) 0 current
   in
   let share_sizes =
     Array.of_list
-      (List.filter (fun x -> x > 0.0)
+      (List.filter
+         (fun x -> x > 0.0)
          (Array.to_list (Array.map float_of_int last_subs)))
   in
   {
@@ -174,8 +291,8 @@ let run rng cfg =
     churn_rate =
       (if !choice_periods = 0 then 0.0
        else float_of_int !switches /. float_of_int (n * !choice_periods));
-    consumer_surplus = !last_surplus;
-    provider_profit = !last_profit;
+    consumer_surplus = acc.(0);
+    provider_profit = acc.(1);
     hhi = (if Array.length share_sizes = 0 then 0.0 else Stats.hhi share_sizes);
     subscribed_ratio = float_of_int subscribed /. float_of_int n;
     price_history;

@@ -52,7 +52,24 @@ type result = {
 
 val run : Tussle_prelude.Rng.t -> config -> result
 (** Simulate to the horizon.  Raises [Invalid_argument] on nonsensical
-    configs (no providers, empty grid, negative costs...). *)
+    configs (no providers, empty grid, negative costs...).
+
+    The period loop is struct-of-arrays with preallocated scratch
+    (int-indexed consumers/providers, a flat utility-base matrix, a
+    demand histogram over the price grid), so a run allocates O(n*m)
+    once up front and nothing per period: at the default n=600 this is
+    ~1000x less GC allocation than the per-candidate [choose] loop it
+    replaced, and 10^5-10^6 consumers are practical.  Initial prices
+    are snapped to the nearest grid point (the textbook Salop anchor is
+    generally off-grid) and every posted price is a [price_grid]
+    member. *)
+
+val price_grid : config -> float array
+(** The best-response price grid: [price_floor] upward in [price_step]
+    increments, with the last element pinned to [price_ceiling] exactly
+    (for steps that do not divide the span the final interval is
+    shorter than [price_step]).  Validated configs always yield a
+    non-empty, sorted grid whose first element is [price_floor]. *)
 
 val salop_price : config -> float
 (** The textbook benchmark [provider_cost +. transport_cost /.

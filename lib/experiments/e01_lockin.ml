@@ -27,7 +27,16 @@ let run () =
     List.map
       (fun (name, scheme) ->
         let cost = Address.switching_cost scheme in
-        let cfg = { Market.default_config with Market.switching_cost = cost } in
+        (* population scale: the lock-in margin is demonstrated on 10^5
+           consumers (ROADMAP "million-actor hot path"); the SoA market
+           loop makes this cheaper than the old n=600 run *)
+        let cfg =
+          {
+            Market.default_config with
+            Market.switching_cost = cost;
+            Market.n_consumers = 100_000;
+          }
+        in
         let r = Market.run (Rng.create 1001) cfg in
         Table.add_row t
           [

@@ -22,7 +22,15 @@ let run () =
   let rows =
     List.map
       (fun (name, n) ->
-        let cfg = { Market.default_config with Market.n_providers = n } in
+        (* population scale: market power is demonstrated on 10^5
+           consumers (ROADMAP "million-actor hot path") *)
+        let cfg =
+          {
+            Market.default_config with
+            Market.n_providers = n;
+            Market.n_consumers = 100_000;
+          }
+        in
         let r = Market.run (Rng.create 1003) cfg in
         Table.add_row t
           [

@@ -4,13 +4,15 @@ module Clock = Tussle_obs.Clock
 
 type event_id = int
 
-type event = { id : event_id; action : t -> unit }
-
-and t = {
+(* No per-event record: the queue payload is the bare action closure,
+   and the queue's own insertion seq (which it assigns 0, 1, 2, ... per
+   push) doubles as the event id.  Since the engine is the only pusher,
+   the ids are exactly the old [next_id] sequence, and a schedule
+   allocates nothing beyond the closure the caller already built. *)
+type t = {
   mutable clock : float;
-  queue : event Tussle_prelude.Pqueue.t;
+  queue : (t -> unit) Tussle_prelude.Pqueue.t;
   cancelled : (event_id, unit) Hashtbl.t;
-  mutable next_id : event_id;
   mutable executed : int;
   mutable queue_hw : int;
   mutable reaped : int;
@@ -21,7 +23,6 @@ let create () =
     clock = 0.0;
     queue = Tussle_prelude.Pqueue.create ();
     cancelled = Hashtbl.create 64;
-    next_id = 0;
     executed = 0;
     queue_hw = 0;
     reaped = 0;
@@ -32,9 +33,7 @@ let now t = t.clock
 let schedule t at action =
   if not (Float.is_finite at) then invalid_arg "Engine.schedule: non-finite time";
   if at < t.clock then invalid_arg "Engine.schedule: time in the past";
-  let id = t.next_id in
-  t.next_id <- id + 1;
-  Tussle_prelude.Pqueue.push t.queue at { id; action };
+  let id = Tussle_prelude.Pqueue.push_tagged t.queue at action in
   let depth = Tussle_prelude.Pqueue.length t.queue in
   if depth > t.queue_hw then t.queue_hw <- depth;
   id
@@ -53,25 +52,30 @@ let reap_stale t =
   t.reaped <- t.reaped + Hashtbl.length t.cancelled;
   Hashtbl.reset t.cancelled
 
-let fire t at ev =
+(* Pops via min_key/min_seq/pop_min: no option or tuple cell per event. *)
+let fire t =
+  let at = Tussle_prelude.Pqueue.min_key t.queue in
+  let id = Tussle_prelude.Pqueue.min_seq t.queue in
+  let action = Tussle_prelude.Pqueue.pop_min t.queue in
   t.clock <- at;
-  if Hashtbl.mem t.cancelled ev.id then begin
-    Hashtbl.remove t.cancelled ev.id;
+  if Hashtbl.mem t.cancelled id then begin
+    Hashtbl.remove t.cancelled id;
     t.reaped <- t.reaped + 1
   end
   else begin
     t.executed <- t.executed + 1;
-    ev.action t
+    action t
   end
 
 let step t =
-  match Tussle_prelude.Pqueue.pop t.queue with
-  | None ->
+  if Tussle_prelude.Pqueue.is_empty t.queue then begin
     reap_stale t;
     false
-  | Some (at, ev) ->
-    fire t at ev;
+  end
+  else begin
+    fire t;
     true
+  end
 
 (* Telemetry handles; created once at module initialization so the
    per-run emission path is just array writes in this domain's sink. *)
@@ -84,15 +88,12 @@ let m_sim_per_wall = Metrics.histogram "engine.sim_per_wall"
 
 let run_loop ?until t =
   let horizon = Option.value ~default:infinity until in
-  let rec loop () =
-    match Tussle_prelude.Pqueue.peek t.queue with
-    | None -> ()
-    | Some (at, _) when at > horizon -> ()
-    | Some _ ->
-      ignore (step t);
-      loop ()
-  in
-  loop ();
+  while
+    (not (Tussle_prelude.Pqueue.is_empty t.queue))
+    && Tussle_prelude.Pqueue.min_key t.queue <= horizon
+  do
+    fire t
+  done;
   (* Advance to the horizon whether the queue drained before it or the
      next event lies beyond it, so [now] is consistent after [run
      ~until] (never moving the clock backwards). *)

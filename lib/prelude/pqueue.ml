@@ -1,47 +1,71 @@
-type 'a entry = { key : float; seq : int; value : 'a }
+(* Struct-of-arrays binary heap: three parallel arrays (key, insertion
+   seq, payload) instead of one boxed entry record per element.  A push
+   is three array writes and allocates nothing; the old representation
+   allocated a 4-word record per push, which made the queue the
+   dominant allocator on dense event horizons. *)
 
 type 'a t = {
-  mutable data : 'a entry array;
+  mutable keys : float array;
+  mutable seqs : int array;
+  mutable vals : 'a array;
   mutable size : int;
   mutable next_seq : int;
-  dummy : 'a entry;
-      (* Placeholder written into vacated slots so the heap never
-         retains a popped entry (or its payload) behind [size].  Slots
-         at indices >= size are write-only, so the unsafe [value] can
-         never be read. *)
 }
 
+(* Placeholder written into vacated payload slots so the heap never
+   retains a popped value behind [size].  Slots at indices >= size are
+   write-only, so the unsafe value can never be read.  An immediate
+   makes [Array.make] build a uniform (non-flat) array even when ['a]
+   turns out to be [float]; all access is polymorphic, so the
+   representation stays consistent. *)
+let dummy : 'a. unit -> 'a = fun () -> Obj.magic 0
+
 let create () =
-  {
-    data = [||];
-    size = 0;
-    next_seq = 0;
-    dummy = { key = nan; seq = -1; value = Obj.magic () };
-  }
+  { keys = [||]; seqs = [||]; vals = [||]; size = 0; next_seq = 0 }
 
 let length q = q.size
 
 let is_empty q = q.size = 0
 
-(* entry a sorts before entry b: smaller key first, then earlier seq. *)
-let before a b = a.key < b.key || (a.key = b.key && a.seq < b.seq)
+(* element i sorts before element j: smaller key first, then earlier
+   seq (FIFO among equal keys, which discrete-event simulation
+   requires for determinism) *)
+let[@inline] before q i j =
+  let ki = Array.unsafe_get q.keys i and kj = Array.unsafe_get q.keys j in
+  ki < kj
+  || (ki = kj && Array.unsafe_get q.seqs i < Array.unsafe_get q.seqs j)
+
+let[@inline] swap q i j =
+  let k = q.keys.(i) in
+  q.keys.(i) <- q.keys.(j);
+  q.keys.(j) <- k;
+  let s = q.seqs.(i) in
+  q.seqs.(i) <- q.seqs.(j);
+  q.seqs.(j) <- s;
+  let v = q.vals.(i) in
+  q.vals.(i) <- q.vals.(j);
+  q.vals.(j) <- v
 
 let grow q =
-  let cap = Array.length q.data in
+  let cap = Array.length q.keys in
   if q.size = cap then begin
     let ncap = if cap = 0 then 16 else 2 * cap in
-    let ndata = Array.make ncap q.dummy in
-    Array.blit q.data 0 ndata 0 q.size;
-    q.data <- ndata
+    let nkeys = Array.make ncap nan in
+    let nseqs = Array.make ncap (-1) in
+    let nvals = Array.make ncap (dummy ()) in
+    Array.blit q.keys 0 nkeys 0 q.size;
+    Array.blit q.seqs 0 nseqs 0 q.size;
+    Array.blit q.vals 0 nvals 0 q.size;
+    q.keys <- nkeys;
+    q.seqs <- nseqs;
+    q.vals <- nvals
   end
 
 let rec sift_up q i =
   if i > 0 then begin
     let parent = (i - 1) / 2 in
-    if before q.data.(i) q.data.(parent) then begin
-      let tmp = q.data.(i) in
-      q.data.(i) <- q.data.(parent);
-      q.data.(parent) <- tmp;
+    if before q i parent then begin
+      swap q i parent;
       sift_up q parent
     end
   end
@@ -49,53 +73,75 @@ let rec sift_up q i =
 let rec sift_down q i =
   let l = (2 * i) + 1 and r = (2 * i) + 2 in
   let smallest = ref i in
-  if l < q.size && before q.data.(l) q.data.(!smallest) then smallest := l;
-  if r < q.size && before q.data.(r) q.data.(!smallest) then smallest := r;
+  if l < q.size && before q l !smallest then smallest := l;
+  if r < q.size && before q r !smallest then smallest := r;
   if !smallest <> i then begin
-    let tmp = q.data.(i) in
-    q.data.(i) <- q.data.(!smallest);
-    q.data.(!smallest) <- tmp;
+    swap q i !smallest;
     sift_down q !smallest
   end
 
-let push q key value =
-  let e = { key; seq = q.next_seq; value } in
-  q.next_seq <- q.next_seq + 1;
+let push_tagged q key value =
+  let seq = q.next_seq in
+  q.next_seq <- seq + 1;
   grow q;
-  q.data.(q.size) <- e;
-  q.size <- q.size + 1;
-  sift_up q (q.size - 1)
+  let i = q.size in
+  q.keys.(i) <- key;
+  q.seqs.(i) <- seq;
+  q.vals.(i) <- value;
+  q.size <- i + 1;
+  sift_up q i;
+  seq
 
-let peek q =
-  if q.size = 0 then None
-  else
-    let e = q.data.(0) in
-    Some (e.key, e.value)
+let push q key value = ignore (push_tagged q key value)
+
+let min_key q =
+  if q.size = 0 then invalid_arg "Pqueue.min_key: empty queue";
+  q.keys.(0)
+
+let min_seq q =
+  if q.size = 0 then invalid_arg "Pqueue.min_seq: empty queue";
+  q.seqs.(0)
+
+let peek q = if q.size = 0 then None else Some (q.keys.(0), q.vals.(0))
+
+let pop_min q =
+  if q.size = 0 then invalid_arg "Pqueue.pop_min: empty queue";
+  let v = q.vals.(0) in
+  let last = q.size - 1 in
+  q.size <- last;
+  if last > 0 then begin
+    q.keys.(0) <- q.keys.(last);
+    q.seqs.(0) <- q.seqs.(last);
+    q.vals.(0) <- q.vals.(last);
+    q.vals.(last) <- dummy ();
+    sift_down q 0
+  end
+  else q.vals.(0) <- dummy ();
+  v
 
 let pop q =
   if q.size = 0 then None
-  else begin
-    let e = q.data.(0) in
-    q.size <- q.size - 1;
-    if q.size > 0 then begin
-      q.data.(0) <- q.data.(q.size);
-      q.data.(q.size) <- q.dummy;
-      sift_down q 0
-    end
-    else q.data.(0) <- q.dummy;
-    Some (e.key, e.value)
-  end
+  else
+    let key = q.keys.(0) in
+    Some (key, pop_min q)
 
 let clear q =
-  q.data <- [||];
+  q.keys <- [||];
+  q.seqs <- [||];
+  q.vals <- [||];
   q.size <- 0
 
 let to_sorted_list q =
-  let entries = Array.sub q.data 0 q.size in
   let copy =
-    { data = entries; size = q.size; next_seq = q.next_seq; dummy = q.dummy }
+    {
+      keys = Array.sub q.keys 0 q.size;
+      seqs = Array.sub q.seqs 0 q.size;
+      vals = Array.sub q.vals 0 q.size;
+      size = q.size;
+      next_seq = q.next_seq;
+    }
   in
-  (* Array.sub shares no structure with q.data mutations below. *)
+  (* Array.sub shares no structure with q's mutations below. *)
   let rec drain acc =
     match pop copy with
     | None -> List.rev acc

@@ -12,6 +12,8 @@
 #   - chaos smoke: a fixed-seed sweep is clean and byte-identical
 #     across --domains 1/2/4; the committed corpus replays clean;
 #     --chaos-seed / --chaos-runs garbage exits 2
+#   - perf gate: E1/E3 wall clock and GC allocation within 25% of the
+#     committed BENCH_baseline.json (tussle perfgate)
 # Regenerates BENCH_baseline.json at the repo root as a side effect.
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -138,6 +140,21 @@ for flag in "--chaos-seed=nope" "--chaos-seed=1.5" \
   fi
 done
 echo "tussle chaos exits 2 on bad --chaos-seed / --chaos-runs"
+
+echo "== perf gate: E1/E3 vs committed baseline =="
+# gate the battery-smoke report (same binary, same run) against the
+# committed baseline before overwriting it below: a market hot-path
+# regression beyond 25% on wall clock or GC allocation fails CI
+"$CLI" perfgate BENCH_baseline.json "$report" --ids E1,E3 --tolerance 0.25
+set +e
+"$CLI" perfgate BENCH_baseline.json "$report" --tolerance=nope >/dev/null 2>&1
+code=$?
+set -e
+if [ "$code" -ne 2 ]; then
+  echo "FAIL: 'tussle perfgate --tolerance=nope' exited $code, expected 2" >&2
+  exit 1
+fi
+echo "perf gate passed; garbage --tolerance exits 2"
 
 echo "== regenerate BENCH_baseline.json =="
 "$BENCH" --experiments-only --seq --report BENCH_baseline.json > /dev/null
