@@ -3,6 +3,8 @@
    Subcommands:
      experiments [-e ID]   regenerate the paper's experiments
      chaos                 seeded random fault plans vs. the invariants
+     explain PLAN-FILE     replay a reproducer and narrate every drop
+     trends REPORT         append to the benchmark history, diff vs baseline
      report FILE           validate and summarize a battery report
      perfgate BASE REPORT  fail on wall/alloc regressions vs. a baseline
      scenario              run the actor/mechanism tussle engine
@@ -302,18 +304,44 @@ let chaos_cmd =
             String.split_on_char '\n' (Tussle_fault.Plan.to_string minimal)
             |> List.iter (fun line ->
                    if line <> "" then Printf.printf "    %s\n" line);
+            let entry =
+              {
+                Corpus.scenario = r.Sweep.scenario;
+                seed = r.Sweep.seed;
+                plan = minimal;
+              }
+            in
+            (* replay the shrunk reproducer with the flight recorder on
+               and attach the offending flows' causal records to each
+               violation *)
+            let attachment =
+              match Tussle_chaos.Explain.run entry with
+              | Error msg -> Printf.sprintf "  explain: %s\n" msg
+              | Ok er ->
+                String.concat ""
+                  (List.map
+                     (fun v ->
+                       Tussle_chaos.Explain.narrative_of_violation ~entry
+                         ~events:er.Tussle_chaos.Explain.events v)
+                     (if er.Tussle_chaos.Explain.violations = [] then
+                        r.Sweep.violations
+                      else er.Tussle_chaos.Explain.violations))
+            in
+            String.split_on_char '\n' attachment
+            |> List.iter (fun line ->
+                   if line <> "" then Printf.printf "  %s\n" line);
             match corpus with
             | None -> ()
             | Some dir ->
-              let path =
-                Corpus.save ~dir
-                  {
-                    Corpus.scenario = r.Sweep.scenario;
-                    seed = r.Sweep.seed;
-                    plan = minimal;
-                  }
+              let path = Corpus.save ~dir entry in
+              Printf.printf "  saved %s\n" path;
+              let explain_path =
+                Filename.remove_extension path ^ ".explain.txt"
               in
-              Printf.printf "  saved %s\n" path)
+              let oc = open_out explain_path in
+              output_string oc attachment;
+              close_out oc;
+              Printf.printf "  saved %s\n" explain_path)
           failures;
         let n_fail = List.length failures in
         Printf.printf "chaos sweep: %d/%d runs clean, %d violation%s\n"
@@ -327,6 +355,238 @@ let chaos_cmd =
   in
   Cmd.v (Cmd.info "chaos" ~doc)
     Term.(const run $ seed $ runs $ domains $ seq $ corpus $ replay)
+
+(* ---------- explain ---------- *)
+
+let explain_cmd =
+  (* Plain string positional for the clean-error/exit-2 convention. *)
+  let file =
+    Arg.(required & pos 0 (some string) None
+         & info [] ~docv:"PLAN-FILE"
+             ~doc:"Corpus reproducer (scenario/seed header + fault plan) \
+                   to replay with the flight recorder on.")
+  in
+  let json_out =
+    let doc = "Also write the tussle.flow-trace/1 JSON artifact to $(docv)." in
+    Arg.(value & opt (some string) None & info [ "json" ] ~doc ~docv:"FILE")
+  in
+  let domains =
+    let doc =
+      "Accepted for symmetry with the other subcommands and validated; the \
+       replay itself is a single-threaded simulation, so the narrative is \
+       byte-identical for any value."
+    in
+    Arg.(value & opt (some string) None & info [ "domains" ] ~doc ~docv:"N")
+  in
+  let seq =
+    let doc = "Same as --domains 1." in
+    Arg.(value & flag & info [ "seq" ] ~doc)
+  in
+  let run file json_out domains seq =
+    let module Corpus = Tussle_chaos.Corpus in
+    let module Explain = Tussle_chaos.Explain in
+    let domains_result =
+      if seq then Ok (Some 1)
+      else
+        match domains with
+        | None -> Ok None
+        | Some s -> Result.map Option.some (Tussle_prelude.Pool.domains_of_string s)
+    in
+    match domains_result with
+    | Error msg ->
+      prerr_endline ("explain: --domains: " ^ msg);
+      2
+    | Ok _ -> (
+      match Corpus.load file with
+      | Error msg ->
+        Printf.eprintf "explain: %s\n" msg;
+        2
+      | Ok entry -> (
+        match Explain.run entry with
+        | Error msg ->
+          Printf.eprintf "explain: %s\n" msg;
+          2
+        | Ok r ->
+          print_string r.Explain.narrative;
+          (match json_out with
+          | None -> ()
+          | Some out ->
+            (try Obs_json.to_file out (Explain.to_json r)
+             with Sys_error msg ->
+               Printf.eprintf "explain: --json: %s\n" msg;
+               exit 2);
+            Printf.printf "flow trace written to %s (%d events)\n" out
+              (List.length r.Explain.events));
+          if r.Explain.violations = [] then 0 else 1))
+  in
+  let doc =
+    "replay a chaos corpus reproducer with the flow-level flight recorder \
+     on and print a causal narrative: every drop attributed to the fault \
+     episode that explains it, plus the control-plane timeline"
+  in
+  Cmd.v (Cmd.info "explain" ~doc)
+    Term.(const run $ file $ json_out $ domains $ seq)
+
+(* ---------- trends ---------- *)
+
+let trends_cmd =
+  let file =
+    Arg.(required & pos 0 (some string) None
+         & info [] ~docv:"REPORT"
+             ~doc:"Fresh battery report JSON to append to the history.")
+  in
+  let history =
+    let doc = "Benchmark history file, one JSON line per appended report." in
+    Arg.(value & opt string "BENCH_history.jsonl"
+         & info [ "history" ] ~doc ~docv:"FILE")
+  in
+  let baseline =
+    let doc = "Battery report to diff the fresh report against (wall clock \
+               and GC allocation per experiment)." in
+    Arg.(value & opt (some string) None & info [ "baseline" ] ~doc ~docv:"FILE")
+  in
+  let run file history baseline =
+    let load file =
+      match
+        let ic = open_in_bin file in
+        Fun.protect
+          ~finally:(fun () -> close_in_noerr ic)
+          (fun () -> really_input_string ic (in_channel_length ic))
+      with
+      | exception Sys_error msg -> Error msg
+      | contents -> (
+        match Obs_json.parse contents with
+        | Error msg -> Error (Printf.sprintf "%s: %s" file msg)
+        | Ok json -> (
+          match Obs_report.validate json with
+          | Error msg ->
+            Error (Printf.sprintf "%s: invalid battery report: %s" file msg)
+          | Ok () -> Ok json))
+    in
+    let experiments json =
+      match Option.bind (Obs_json.member "experiments" json) Obs_json.to_list with
+      | None -> []
+      | Some entries ->
+        List.filter_map
+          (fun e ->
+            let str name = Option.bind (Obs_json.member name e) Obs_json.to_str in
+            let fl name = Option.bind (Obs_json.member name e) Obs_json.to_float in
+            match (str "id", fl "wall_s", fl "allocated_bytes") with
+            | Some id, Some w, Some a -> Some (id, w, a)
+            | _ -> None)
+          entries
+    in
+    match load file with
+    | Error msg ->
+      prerr_endline ("trends: " ^ msg);
+      2
+    | Ok json -> (
+      let top name conv = Option.bind (Obs_json.member name json) conv in
+      let exps = experiments json in
+      let line =
+        Obs_json.Obj
+          [
+            ("schema", Obs_json.Str "tussle.bench-history/1");
+            ( "label",
+              Obs_json.Str (Option.value ~default:"?" (top "label" Obs_json.to_str)) );
+            ( "generated_at",
+              Obs_json.Float
+                (Option.value ~default:0.0 (top "generated_at" Obs_json.to_float)) );
+            ( "domains",
+              Obs_json.Int (Option.value ~default:0 (top "domains" Obs_json.to_int)) );
+            ( "wall_s",
+              Obs_json.Float
+                (Option.value ~default:0.0 (top "wall_s" Obs_json.to_float)) );
+            ( "experiments",
+              Obs_json.List
+                (List.map
+                   (fun (id, w, a) ->
+                     Obs_json.Obj
+                       [
+                         ("id", Obs_json.Str id);
+                         ("wall_s", Obs_json.Float w);
+                         ("allocated_bytes", Obs_json.Float a);
+                       ])
+                   exps) );
+          ]
+      in
+      match
+        let oc = open_out_gen [ Open_append; Open_creat ] 0o644 history in
+        Fun.protect
+          ~finally:(fun () -> close_out_noerr oc)
+          (fun () ->
+            output_string oc (Obs_json.to_string ~minify:true line);
+            output_char oc '\n')
+      with
+      | exception Sys_error msg ->
+        prerr_endline ("trends: --history: " ^ msg);
+        2
+      | () -> (
+        (* round-trip the whole history: every line must still parse *)
+        let reread =
+          let ic = open_in_bin history in
+          Fun.protect
+            ~finally:(fun () -> close_in_noerr ic)
+            (fun () -> really_input_string ic (in_channel_length ic))
+        in
+        let lines =
+          String.split_on_char '\n' reread
+          |> List.filter (fun l -> String.trim l <> "")
+        in
+        let bad = ref [] in
+        List.iteri
+          (fun i l ->
+            match Obs_json.parse l with
+            | Error msg -> bad := (i + 1, msg) :: !bad
+            | Ok j ->
+              if
+                Option.bind (Obs_json.member "schema" j) Obs_json.to_str
+                <> Some "tussle.bench-history/1"
+              then bad := (i + 1, "missing bench-history schema tag") :: !bad)
+          lines;
+        match List.rev !bad with
+        | (lineno, msg) :: _ ->
+          Printf.eprintf "trends: %s:%d: %s\n" history lineno msg;
+          2
+        | [] ->
+          Printf.printf "trends: appended %s to %s (%d entr%s)\n" file history
+            (List.length lines)
+            (if List.length lines = 1 then "y" else "ies");
+          (match baseline with
+          | None -> 0
+          | Some bfile -> (
+            match load bfile with
+            | Error msg ->
+              prerr_endline ("trends: --baseline: " ^ msg);
+              2
+            | Ok bjson ->
+              let base = experiments bjson in
+              let delta b c = if b > 0.0 then 100.0 *. (c -. b) /. b else 0.0 in
+              Printf.printf "%-5s %12s %12s %8s %12s %12s %8s\n" "id"
+                "wall_base" "wall_now" "d%" "alloc_base" "alloc_now" "d%";
+              List.iter
+                (fun (id, w, a) ->
+                  match
+                    List.find_opt (fun (bid, _, _) -> bid = id) base
+                  with
+                  | None ->
+                    Printf.printf "%-5s %12s %12.3f %8s %12s %12.1f %8s\n" id
+                      "-" w "new" "-" (a /. 1.048576e6) "new"
+                  | Some (_, bw, ba) ->
+                    Printf.printf
+                      "%-5s %11.3fs %11.3fs %+7.1f%% %10.1fMB %10.1fMB \
+                       %+7.1f%%\n"
+                      id bw w (delta bw w) (ba /. 1.048576e6)
+                      (a /. 1.048576e6) (delta ba a))
+                exps;
+              0))))
+  in
+  let doc =
+    "append a battery report to the benchmark history (JSONL, validated \
+     round-trip) and print per-experiment wall/alloc deltas against a \
+     baseline report"
+  in
+  Cmd.v (Cmd.info "trends" ~doc) Term.(const run $ file $ history $ baseline)
 
 (* ---------- report ---------- *)
 
@@ -698,7 +958,7 @@ let () =
   let info = Cmd.info "tussle" ~version:"1.0.0" ~doc in
   let group =
     Cmd.group info
-      [ experiments_cmd; chaos_cmd; report_cmd; perfgate_cmd; scenario_cmd;
-        market_cmd; policy_cmd ]
+      [ experiments_cmd; chaos_cmd; explain_cmd; trends_cmd; report_cmd;
+        perfgate_cmd; scenario_cmd; market_cmd; policy_cmd ]
   in
   exit (Cmd.eval' group)

@@ -1,5 +1,6 @@
 module Rng = Tussle_prelude.Rng
 module Graph = Tussle_prelude.Graph
+module Flight = Tussle_obs.Flight
 module Engine = Tussle_netsim.Engine
 module Net = Tussle_netsim.Net
 module Link = Tussle_netsim.Link
@@ -36,22 +37,51 @@ let schedule_window engine (w : Plan.window) ~on_open ~on_close =
   if Float.is_finite w.Plan.until_s then
     ignore (Engine.schedule engine w.Plan.until_s (fun _ -> on_close ()))
 
+(* Episode boundaries land in the flight recorder's control-plane
+   stream (flow = [Flight.control_flow]) so a narrative can interleave
+   "fault opened/closed" with the drops it caused.  [value] carries the
+   episode's index in the plan, [detail] its [Plan.spec_string]. *)
+let located = function
+  | Plan.Link_down { u; v; _ }
+  | Plan.Link_loss { u; v; _ }
+  | Plan.Link_corrupt { u; v; _ }
+  | Plan.Latency_spike { u; v; _ } ->
+    (u, v)
+  | Plan.Node_crash { node; _ } | Plan.Middlebox_break { node; _ } ->
+    (node, -1)
+
 let install ~seed ~plan engine net =
   Plan.validate plan;
   let g = Net.links net in
   let rng = Rng.create seed in
-  List.iter
-    (fun spec ->
+  List.iteri
+    (fun idx spec ->
+      let node, peer = located spec in
+      let record kind () =
+        if Flight.enabled () then
+          Flight.emit ~sim_t:(Engine.now engine) ~flow:Flight.control_flow
+            ~node ~peer ~detail:(Plan.spec_string spec)
+            ~value:(float_of_int idx) kind
+      in
+      let windowed w ~on_open ~on_close =
+        schedule_window engine w
+          ~on_open:(fun () ->
+            record "fault-open" ();
+            on_open ())
+          ~on_close:(fun () ->
+            record "fault-close" ();
+            on_close ())
+      in
       match (spec : Plan.spec) with
       | Plan.Link_down { u; v; w } ->
         let ls = links_between g u v in
-        schedule_window engine w
+        windowed w
           ~on_open:(fun () -> List.iter (fun l -> Link.set_up l false) ls)
           ~on_close:(fun () -> List.iter (fun l -> Link.set_up l true) ls)
       | Plan.Link_loss { u; v; w; prob } ->
         let ls = links_between g u v in
         let episode_rng = Rng.split rng in
-        schedule_window engine w
+        windowed w
           ~on_open:(fun () ->
             List.iter
               (fun l ->
@@ -63,7 +93,7 @@ let install ~seed ~plan engine net =
       | Plan.Link_corrupt { u; v; w; prob } ->
         let ls = links_between g u v in
         let episode_rng = Rng.split rng in
-        schedule_window engine w
+        windowed w
           ~on_open:(fun () ->
             List.iter
               (fun l ->
@@ -74,14 +104,14 @@ let install ~seed ~plan engine net =
             List.iter (fun l -> Link.set_corrupt_prob l 0.0) ls)
       | Plan.Latency_spike { u; v; w; extra_s } ->
         let ls = links_between g u v in
-        schedule_window engine w
+        windowed w
           ~on_open:(fun () ->
             List.iter (fun l -> Link.set_extra_latency l extra_s) ls)
           ~on_close:(fun () ->
             List.iter (fun l -> Link.set_extra_latency l 0.0) ls)
       | Plan.Node_crash { node; w } ->
         let ls = links_incident g node in
-        schedule_window engine w
+        windowed w
           ~on_open:(fun () -> List.iter (fun l -> Link.set_up l false) ls)
           ~on_close:(fun () -> List.iter (fun l -> Link.set_up l true) ls)
       | Plan.Middlebox_break { node; w; covert } ->
@@ -94,7 +124,7 @@ let install ~seed ~plan engine net =
               if !active then Middlebox.Drop else Middlebox.Forward)
         in
         Net.add_middlebox net node mb;
-        schedule_window engine w
+        windowed w
           ~on_open:(fun () -> active := true)
           ~on_close:(fun () -> active := false))
     plan

@@ -57,6 +57,12 @@ val random :
     states yield equal plans.  Raises [Invalid_argument] on an empty
     [links] list, non-positive [horizon] or negative [episodes]. *)
 
+val spec_string : spec -> string
+(** One episode rendered in the [to_string] line format, e.g.
+    ["link 1-2 down [0.2, 0.9)"].  Used by the flight recorder's
+    fault-open/fault-close events and by [tussle explain] when naming
+    the episode a drop is attributed to. *)
+
 val to_string : t -> string
 (** One line per episode.  Human-readable {e and} lossless: floats are
     printed with enough digits to round-trip exactly, so

@@ -61,6 +61,10 @@ let queued l ~now =
   reap l now;
   List.length l.departures
 
+(* Occupancy as of the last offered time, without another reap: cheap
+   enough for the flight recorder to read right after [try_enqueue]. *)
+let queue_length l = List.length l.departures
+
 (* ---------- fault-injection state ---------- *)
 
 let is_up l = l.up

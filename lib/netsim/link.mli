@@ -49,6 +49,12 @@ val try_enqueue :
 val queued : t -> now:float -> int
 (** Packets currently occupying the queue at time [now]. *)
 
+val queue_length : t -> int
+(** Queue occupancy as of the last offered time, without advancing the
+    internal clock.  Read by the flight recorder right after a
+    successful [try_enqueue], where it includes the packet just
+    enqueued. *)
+
 val utilization : t -> now:float -> float
 (** Fraction of elapsed time the link spent transmitting, in [0,1]. *)
 

@@ -12,6 +12,12 @@ type t = {
 
 let name t = t.name
 
+let action_to_string = function
+  | Forward -> "forward"
+  | Drop -> "drop"
+  | Degrade -> "degrade"
+  | Tap -> "tap"
+
 let reveals_presence t = t.reveals_presence
 
 let decide t p =

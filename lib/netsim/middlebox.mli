@@ -21,6 +21,10 @@ type t
 
 val name : t -> string
 
+val action_to_string : action -> string
+(** Stable labels ["forward"] / ["drop"] / ["degrade"] / ["tap"], used
+    by the flight recorder's middlebox-transform events. *)
+
 val reveals_presence : t -> bool
 
 val decide : t -> Packet.t -> action

@@ -1,5 +1,6 @@
 module Graph = Tussle_prelude.Graph
 module Metrics = Tussle_obs.Metrics
+module Flight = Tussle_obs.Flight
 
 type drop_reason =
   | No_route
@@ -68,6 +69,15 @@ let m_drop_fault_loss = Metrics.counter "net.drops.fault_loss"
 let m_drop_corrupted = Metrics.counter "net.drops.corrupted"
 let m_delivered = Metrics.counter "net.delivered"
 
+let drop_reason_label = function
+  | No_route -> "no-route"
+  | Queue_full _ -> "queue-full"
+  | Filtered (name, _) -> "filtered:" ^ name
+  | Ttl_exceeded -> "ttl-exceeded"
+  | Link_down _ -> "link-down"
+  | Fault_loss _ -> "fault-loss"
+  | Corrupted _ -> "corrupted"
+
 let count_outcome = function
   | Delivered _ -> Metrics.incr m_delivered
   | Lost No_route -> Metrics.incr m_drop_no_route
@@ -78,16 +88,45 @@ let count_outcome = function
   | Lost (Fault_loss _) -> Metrics.incr m_drop_fault_loss
   | Lost (Corrupted _) -> Metrics.incr m_drop_corrupted
 
-let finish t p outcome =
+(* Flight-recorder terminus: one event per completed transit, located
+   at the node (or link) where the packet's fate was decided. *)
+let record_finish ~now ~at p outcome =
+  match outcome with
+  | Delivered { latency; degraded; tapped } ->
+    Flight.emit ~sim_t:now ~flow:p.Packet.id ~node:at ~peer:(-1)
+      ~detail:
+        (match (degraded, tapped) with
+        | true, true -> "degraded,tapped"
+        | true, false -> "degraded"
+        | false, true -> "tapped"
+        | false, false -> "")
+      ~value:latency "deliver"
+  | Lost reason ->
+    let node, peer =
+      match reason with
+      | No_route | Ttl_exceeded -> (at, -1)
+      | Queue_full (u, v) | Link_down (u, v) | Fault_loss (u, v)
+      | Corrupted (u, v) ->
+        (u, v)
+      | Filtered (_, n) -> (n, -1)
+    in
+    Flight.emit ~sim_t:now ~flow:p.Packet.id ~node ~peer
+      ~detail:(drop_reason_label reason) ~value:0.0 "drop"
+
+let finish t ~now ~at p outcome =
   Hashtbl.remove t.transits p.Packet.id;
   count_outcome outcome;
+  if Flight.enabled () then record_finish ~now ~at p outcome;
   t.outcomes <- (p, outcome) :: t.outcomes;
   List.iter (fun observe -> observe p outcome) (List.rev t.observers)
 
 let on_complete t observe = t.observers <- observe :: t.observers
 
-(* Run the node's middleboxes; [Some reason] means the packet died here. *)
-let run_middleboxes t node p state =
+(* Run the node's middleboxes; [Some reason] means the packet died here.
+   Transforms (degrade, tap, drop) land in the flight recorder; the
+   drop's own terminus event carries the filtered reason, so only
+   non-fatal transforms are emitted here. *)
+let run_middleboxes t ~now node p state =
   let rec apply = function
     | [] -> None
     | mb :: rest -> begin
@@ -96,9 +135,15 @@ let run_middleboxes t node p state =
       | Middlebox.Drop -> Some (Filtered (Middlebox.name mb, node))
       | Middlebox.Degrade ->
         state.degraded <- true;
+        if Flight.enabled () then
+          Flight.emit ~sim_t:now ~flow:p.Packet.id ~node ~peer:(-1)
+            ~detail:(Middlebox.name mb) ~value:0.0 "mb-degrade";
         apply rest
       | Middlebox.Tap ->
         state.tapped <- true;
+        if Flight.enabled () then
+          Flight.emit ~sim_t:now ~flow:p.Packet.id ~node ~peer:(-1)
+            ~detail:(Middlebox.name mb) ~value:0.0 "mb-tap";
         apply rest
     end
   in
@@ -106,36 +151,44 @@ let run_middleboxes t node p state =
 
 let rec arrive t engine p node =
   Packet.record_hop p node;
+  let now = Engine.now engine in
   let state = Hashtbl.find t.transits p.Packet.id in
-  match run_middleboxes t node p state with
-  | Some reason -> finish t p (Lost reason)
+  match run_middleboxes t ~now node p state with
+  | Some reason -> finish t ~now ~at:node p (Lost reason)
   | None ->
     (* consume a reached waypoint *)
     (match state.waypoints with
     | w :: rest when w = node -> state.waypoints <- rest
     | _ -> ());
     if node = p.Packet.dst && state.waypoints = [] then
-      let latency = Engine.now engine -. p.Packet.created in
-      finish t p
+      let latency = now -. p.Packet.created in
+      finish t ~now ~at:node p
         (Delivered { latency; degraded = state.degraded; tapped = state.tapped })
     else if List.length p.Packet.hops >= t.ttl then
-      finish t p (Lost Ttl_exceeded)
+      finish t ~now ~at:node p (Lost Ttl_exceeded)
     else
       let target =
         match state.waypoints with w :: _ -> w | [] -> p.Packet.dst
       in
       match t.forwarding ~node ~target p with
-      | None -> finish t p (Lost No_route)
+      | None -> finish t ~now ~at:node p (Lost No_route)
       | Some next -> begin
         match Graph.find_edge t.links node next with
-        | None -> finish t p (Lost No_route)
+        | None -> finish t ~now ~at:node p (Lost No_route)
         | Some link -> begin
-          match Link.try_enqueue link ~now:(Engine.now engine) p.Packet.size_bytes with
-          | `Dropped -> finish t p (Lost (Queue_full (node, next)))
-          | `Faulted Link.Down -> finish t p (Lost (Link_down (node, next)))
-          | `Faulted Link.Loss -> finish t p (Lost (Fault_loss (node, next)))
-          | `Faulted Link.Corrupt -> finish t p (Lost (Corrupted (node, next)))
+          match Link.try_enqueue link ~now p.Packet.size_bytes with
+          | `Dropped -> finish t ~now ~at:node p (Lost (Queue_full (node, next)))
+          | `Faulted Link.Down ->
+            finish t ~now ~at:node p (Lost (Link_down (node, next)))
+          | `Faulted Link.Loss ->
+            finish t ~now ~at:node p (Lost (Fault_loss (node, next)))
+          | `Faulted Link.Corrupt ->
+            finish t ~now ~at:node p (Lost (Corrupted (node, next)))
           | `Sent arrival_time ->
+            if Flight.enabled () then
+              Flight.emit ~sim_t:now ~flow:p.Packet.id ~node ~peer:next
+                ~detail:"" ~value:(float_of_int (Link.queue_length link))
+                "hop";
             ignore
               (Engine.schedule engine arrival_time (fun engine ->
                    arrive t engine p next))
@@ -148,6 +201,11 @@ let inject t engine p =
   t.injected <- t.injected + 1;
   Hashtbl.replace t.transits p.Packet.id
     { waypoints = p.Packet.source_route; degraded = false; tapped = false };
+  if Flight.enabled () then
+    Flight.emit ~sim_t:(Engine.now engine) ~flow:p.Packet.id
+      ~node:p.Packet.src ~peer:p.Packet.dst
+      ~detail:(Packet.app_to_string p.Packet.app)
+      ~value:(float_of_int p.Packet.size_bytes) "inject";
   ignore
     (Engine.schedule engine (Engine.now engine) (fun engine ->
          arrive t engine p p.Packet.src))
@@ -182,15 +240,6 @@ let mean_latency t =
   match latencies with
   | [] -> None
   | _ -> Some (Tussle_prelude.Stats.mean (Array.of_list latencies))
-
-let drop_reason_label = function
-  | No_route -> "no-route"
-  | Queue_full _ -> "queue-full"
-  | Filtered (name, _) -> "filtered:" ^ name
-  | Ttl_exceeded -> "ttl-exceeded"
-  | Link_down _ -> "link-down"
-  | Fault_loss _ -> "fault-loss"
-  | Corrupted _ -> "corrupted"
 
 let losses_by_reason t =
   let tbl = Hashtbl.create 8 in

@@ -1,4 +1,5 @@
 module Rng = Tussle_prelude.Rng
+module Flight = Tussle_obs.Flight
 
 type behaviour = Compliant | Aggressive
 
@@ -36,6 +37,9 @@ type t = {
   mutable last_progress : float;
   mutable finish_time : float option;
   mutable abandon_time : float option;
+  (* flight-recorder flow id: a fresh negative id when the recorder is
+     on at [start], [Flight.control_flow] (inert) otherwise *)
+  flow : int;
 }
 
 let status t =
@@ -49,12 +53,20 @@ let status t =
 let window_room t =
   t.outstanding < int_of_float (Float.max 1.0 t.cwnd)
 
+let retries_of t seq =
+  Option.value ~default:0 (Hashtbl.find_opt t.retry_count seq)
+
 let send_seq t seq =
   let p =
     Traffic.next_packet t.gen ~src:t.src ~dst:t.dst
       ~created:(Engine.now t.engine) ()
   in
   Hashtbl.replace t.seq_of_packet p.Packet.id seq;
+  if Flight.enabled () then
+    Flight.emit ~sim_t:(Engine.now t.engine) ~flow:t.flow ~node:seq
+      ~peer:p.Packet.id ~detail:""
+      ~value:(float_of_int (retries_of t seq))
+      "xfer-send";
   Net.inject t.net t.engine p
 
 let rec fill_window t =
@@ -86,15 +98,23 @@ let on_ack t seq =
   | Compliant -> t.cwnd <- t.cwnd +. (t.increase /. Float.max 1.0 t.cwnd)
   | Aggressive -> t.cwnd <- t.cwnd +. (t.increase /. Float.max 1.0 t.cwnd));
   if t.abandon_time <> None then ()
-  else if Hashtbl.length t.acked_seqs >= t.total && t.finish_time = None then
-    t.finish_time <- Some (Engine.now t.engine)
+  else if Hashtbl.length t.acked_seqs >= t.total && t.finish_time = None then begin
+    t.finish_time <- Some (Engine.now t.engine);
+    if Flight.enabled () then
+      Flight.emit ~sim_t:(Engine.now t.engine) ~flow:t.flow ~node:t.src
+        ~peer:t.dst ~detail:""
+        ~value:(Engine.now t.engine -. t.started)
+        "xfer-complete"
+  end
   else fill_window t
-
-let retries_of t seq =
-  Option.value ~default:0 (Hashtbl.find_opt t.retry_count seq)
 
 let give_up t =
   t.abandon_time <- Some (Engine.now t.engine);
+  if Flight.enabled () then
+    Flight.emit ~sim_t:(Engine.now t.engine) ~flow:t.flow ~node:t.src
+      ~peer:t.dst ~detail:"max-retries"
+      ~value:(float_of_int (Hashtbl.length t.acked_seqs))
+      "xfer-abandon";
   (* stop the pump: nothing further is sent, so the engine drains *)
   t.pending_retransmit <- []
 
@@ -145,11 +165,16 @@ let observer t (p : Packet.t) outcome =
       (* the ACK rides back on an uncongested reverse channel *)
       ignore
         (Engine.schedule_after t.engine t.ack_delay (fun _ -> on_ack t seq))
-    | Net.Lost _ ->
+    | Net.Lost reason ->
       (* loss detected only after the retransmission timer *)
+      let wait = rto t seq in
+      if Flight.enabled () then
+        Flight.emit ~sim_t:(Engine.now t.engine) ~flow:t.flow ~node:seq
+          ~peer:p.Packet.id
+          ~detail:(Net.drop_reason_label reason)
+          ~value:wait "xfer-timer";
       ignore
-        (Engine.schedule_after t.engine (rto t seq) (fun _ ->
-             on_loss t seq)))
+        (Engine.schedule_after t.engine wait (fun _ -> on_loss t seq)))
 
 let start ?(behaviour = Compliant) ?(initial_window = 1.0) ?(increase = 1.0)
     ?(ack_delay = 0.002) ?loss_timeout ?(rto_backoff = 1.0) ?rto_max
@@ -201,8 +226,18 @@ let start ?(behaviour = Compliant) ?(initial_window = 1.0) ?(increase = 1.0)
       last_progress = Engine.now engine;
       finish_time = None;
       abandon_time = None;
+      flow =
+        (if Flight.enabled () then Flight.new_flow ()
+         else Flight.control_flow);
     }
   in
+  if Flight.enabled () then
+    Flight.emit ~sim_t:(Engine.now engine) ~flow:t.flow ~node:src ~peer:dst
+      ~detail:(match behaviour with
+        | Compliant -> "compliant"
+        | Aggressive -> "aggressive")
+      ~value:(float_of_int total_packets)
+      "xfer-start";
   Net.on_complete net (observer t);
   fill_window t;
   t
@@ -229,6 +264,8 @@ let last_progress t = t.last_progress
 
 let stalled t ~now ~idle =
   status t = Active && now -. t.last_progress >= idle
+
+let flow t = t.flow
 
 let goodput t ~now =
   let stop =

@@ -107,6 +107,14 @@ val stalled : t -> now:float -> idle:float -> bool
 (** Still [Active] but without new acknowledgements for at least
     [idle] seconds — the "quantify graceful degradation" probe. *)
 
+val flow : t -> int
+(** This connection's flight-recorder flow id: a fresh id from
+    {!Tussle_obs.Flight.new_flow} when the recorder was enabled at
+    {!start} time, {!Tussle_obs.Flight.control_flow} otherwise.  Every
+    connection-level event (xfer-start/-send/-timer/-complete/-abandon)
+    carries it, so a transfer's record joins against the per-packet
+    events of the packets it injected. *)
+
 val goodput : t -> now:float -> float
 (** Acknowledged packets per second, up to [now] (or the finish or
     abandon time if earlier).  0 before anything is acknowledged. *)

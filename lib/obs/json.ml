@@ -77,13 +77,21 @@ let to_string ?(minify = false) t =
   go 0 t;
   Buffer.contents buf
 
+(* Write-to-temp + rename: a crashed or watchdogged run can leave a
+   stale [.tmp] behind but never a truncated artifact at [path]. *)
 let to_file path t =
-  let oc = open_out path in
-  Fun.protect
-    ~finally:(fun () -> close_out oc)
-    (fun () ->
-      output_string oc (to_string t);
-      output_char oc '\n')
+  let tmp = path ^ ".tmp" in
+  let oc = open_out tmp in
+  (match
+     output_string oc (to_string t);
+     output_char oc '\n'
+   with
+  | () -> close_out oc
+  | exception e ->
+    close_out_noerr oc;
+    (try Sys.remove tmp with Sys_error _ -> ());
+    raise e);
+  Sys.rename tmp path
 
 (* ---------- parser ---------- *)
 

@@ -21,7 +21,9 @@ val to_string : ?minify:bool -> t -> string
 
 val to_file : string -> t -> unit
 (** [to_string ~minify:false] plus a trailing newline, written
-    atomically-enough for telemetry (plain [open_out]). *)
+    atomically: the bytes go to [path ^ ".tmp"] first and are renamed
+    over [path] only once complete, so a crashed or watchdogged run
+    never leaves a truncated artifact (a stale [.tmp] at worst). *)
 
 val parse : string -> (t, string) result
 (** Recursive-descent parser for the subset we emit (all of JSON minus

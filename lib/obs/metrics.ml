@@ -143,7 +143,31 @@ let observe h v =
 type value =
   | Count of int
   | Level of { last : float; max_ : float; sets : int }
-  | Dist of { count : int; sum : float; buckets : (int * int) list }
+  | Dist of {
+      count : int;
+      sum : float;
+      buckets : (int * int) list;
+      p50 : float;
+      p90 : float;
+      p99 : float;
+    }
+
+(* Percentile estimate from the log2 buckets: the upper bound of the
+   bucket where the cumulative count first reaches q*count.  An upper
+   bound (not a midpoint) so the estimate is conservative: the true
+   quantile is never above it by construction. *)
+let percentile_of_buckets ~count buckets q =
+  if count = 0 then 0.0
+  else begin
+    let target = q *. float_of_int count in
+    let rec go cum = function
+      | [] -> 0.0
+      | (i, n) :: rest ->
+        let cum = cum +. float_of_int n in
+        if cum >= target then bucket_upper i else go cum rest
+    in
+    go 0.0 buckets
+  end
 
 let snapshot () =
   locked (fun () ->
@@ -194,7 +218,16 @@ let snapshot () =
               for i = bucket_count - 1 downto 0 do
                 if buckets.(i) > 0 then nonempty := (i, buckets.(i)) :: !nonempty
               done;
-              Dist { count = !count; sum = !sum; buckets = !nonempty }
+              let pct = percentile_of_buckets ~count:!count !nonempty in
+              Dist
+                {
+                  count = !count;
+                  sum = !sum;
+                  buckets = !nonempty;
+                  p50 = pct 0.50;
+                  p90 = pct 0.90;
+                  p99 = pct 0.99;
+                }
           in
           (name, v))
         named
@@ -231,12 +264,14 @@ let render snap =
         | Level { last; max_; sets } ->
           ( "gauge",
             Printf.sprintf "last=%g max=%g sets=%d" last max_ sets )
-        | Dist { count; sum; _ } ->
+        | Dist { count; sum; p50; p90; p99; _ } ->
           ( "histogram",
             if count = 0 then "empty"
             else
-              Printf.sprintf "count=%d sum=%g mean=%g" count sum
-                (sum /. float_of_int count) )
+              Printf.sprintf "count=%d sum=%g mean=%g p50<=%g p90<=%g p99<=%g"
+                count sum
+                (sum /. float_of_int count)
+                p50 p90 p99 )
       in
       Buffer.add_string buf (Printf.sprintf "%-40s %-10s %s\n" name kind rendered))
     snap;

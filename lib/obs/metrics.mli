@@ -85,9 +85,21 @@ type value =
       (** merged gauge: [max_] over all domains; [last]/[sets] are
           merged best-effort ([last] from an arbitrary sink that set
           it, [sets] summed) *)
-  | Dist of { count : int; sum : float; buckets : (int * int) list }
+  | Dist of {
+      count : int;
+      sum : float;
+      buckets : (int * int) list;
+      p50 : float;
+      p90 : float;
+      p99 : float;
+    }
       (** merged histogram; [buckets] lists [(index, count)] for
-          non-empty buckets, ascending *)
+          non-empty buckets, ascending.  [p50]/[p90]/[p99] are
+          conservative percentile estimates from the log2 buckets:
+          each is the {e upper bound} of the bucket where the
+          cumulative count first reaches that quantile (0 when the
+          histogram is empty), so the true quantile never exceeds
+          the reported value. *)
 
 val snapshot : unit -> (string * value) list
 (** Merge every domain's sink, sorted by metric name.  Metrics that

@@ -65,12 +65,15 @@ let metric_value_to_json = function
         ("max", Json.Float max_);
         ("sets", Json.Int sets);
       ]
-  | Metrics.Dist { count; sum; buckets } ->
+  | Metrics.Dist { count; sum; buckets; p50; p90; p99 } ->
     Json.Obj
       [
         ("type", Json.Str "histogram");
         ("count", Json.Int count);
         ("sum", Json.Float sum);
+        ("p50", Json.Float p50);
+        ("p90", Json.Float p90);
+        ("p99", Json.Float p99);
         ( "buckets",
           Json.List
             (List.map

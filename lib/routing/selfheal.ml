@@ -1,4 +1,5 @@
 module Graph = Tussle_prelude.Graph
+module Flight = Tussle_obs.Flight
 module Engine = Tussle_netsim.Engine
 module Net = Tussle_netsim.Net
 module Link = Tussle_netsim.Link
@@ -67,7 +68,12 @@ let install t engine =
       ~metric:t.cfg.metric;
   Net.set_forwarding t.net (Linkstate.forwarding t.table);
   t.reconvergences <- t.reconvergences + 1;
-  t.reconvergence_times <- Engine.now engine :: t.reconvergence_times
+  t.reconvergence_times <- Engine.now engine :: t.reconvergence_times;
+  if Flight.enabled () then
+    Flight.emit ~sim_t:(Engine.now engine) ~flow:Flight.control_flow
+      ~node:(-1) ~peer:(-1) ~detail:"routes-installed"
+      ~value:(float_of_int (List.length (believed_down t)))
+      "heal-reconverge"
 
 (* Coalesce: a topology change noticed while a recompute is already
    scheduled folds into that recompute (it reads the believed-down set
@@ -89,6 +95,10 @@ let rec tick t engine =
         if w.declared_down then begin
           w.declared_down <- false;
           t.detections <- ((w.u, w.v), `Up, Engine.now engine) :: t.detections;
+          if Flight.enabled () then
+            Flight.emit ~sim_t:(Engine.now engine)
+              ~flow:Flight.control_flow ~node:w.u ~peer:w.v ~detail:"up"
+              ~value:0.0 "heal-detect";
           request_recompute t engine
         end
       end
@@ -98,6 +108,10 @@ let rec tick t engine =
           w.declared_down <- true;
           t.detections <-
             ((w.u, w.v), `Down, Engine.now engine) :: t.detections;
+          if Flight.enabled () then
+            Flight.emit ~sim_t:(Engine.now engine)
+              ~flow:Flight.control_flow ~node:w.u ~peer:w.v ~detail:"down"
+              ~value:0.0 "heal-detect";
           request_recompute t engine
         end
       end)

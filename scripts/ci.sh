@@ -12,9 +12,19 @@
 #   - chaos smoke: a fixed-seed sweep is clean and byte-identical
 #     across --domains 1/2/4; the committed corpus replays clean;
 #     --chaos-seed / --chaos-runs garbage exits 2
+#   - flight recorder off (the default): battery stdout byte-identical
+#     across --domains 1/2/4
+#   - tussle explain: every committed corpus reproducer yields a
+#     deterministic causal narrative (byte-identical across
+#     --domains 1/2/4) plus a flow-trace artifact; parse/schema errors
+#     and garbage flags exit 2
+#   - tussle trends: history lines round-trip; parse errors exit 2;
+#     the battery-smoke report is appended to the committed
+#     BENCH_history.jsonl with deltas vs BENCH_baseline.json
 #   - perf gate: E1/E3 wall clock and GC allocation within 25% of the
 #     committed BENCH_baseline.json (tussle perfgate)
-# Regenerates BENCH_baseline.json at the repo root as a side effect.
+# Regenerates BENCH_baseline.json and appends one line to
+# BENCH_history.jsonl at the repo root as side effects.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -127,6 +137,64 @@ echo "== chaos corpus replay =="
 "$CLI" chaos --replay chaos/corpus
 echo "committed reproducers all replay clean"
 
+echo "== flight recorder off: battery byte-identical across domains =="
+"$BENCH" --experiments-only --domains 1 > "$TMP/tussle-battery-dom1.out"
+"$BENCH" --experiments-only --domains 2 > "$TMP/tussle-battery-dom2.out"
+"$BENCH" --experiments-only --domains 4 > "$TMP/tussle-battery-dom4.out"
+cmp "$TMP/tussle-battery-dom1.out" "$TMP/tussle-battery-dom2.out"
+cmp "$TMP/tussle-battery-dom1.out" "$TMP/tussle-battery-dom4.out"
+echo "battery stdout byte-identical with the recorder disabled"
+
+echo "== tussle explain on every committed reproducer =="
+for plan in chaos/corpus/*.plan; do
+  "$CLI" explain "$plan" --domains 1 > "$TMP/tussle-explain-d1.out"
+  "$CLI" explain "$plan" --domains 2 > "$TMP/tussle-explain-d2.out"
+  "$CLI" explain "$plan" --domains 4 > "$TMP/tussle-explain-d4.out"
+  cmp "$TMP/tussle-explain-d1.out" "$TMP/tussle-explain-d2.out"
+  cmp "$TMP/tussle-explain-d1.out" "$TMP/tussle-explain-d4.out"
+  grep -q 'DROPPED at\|flows of interest: none' "$TMP/tussle-explain-d1.out"
+  "$CLI" explain "$plan" --json "$TMP/tussle-flowtrace.json" > /dev/null
+  grep -q '"schema": "tussle.flow-trace/1"' "$TMP/tussle-flowtrace.json"
+  echo "explain ok: $(basename "$plan")"
+done
+echo "== tussle explain error paths exit 2 =="
+for args in "$TMP/definitely-missing.plan" "README.md" \
+            "chaos/corpus --domains=0"; do
+  set +e
+  # shellcheck disable=SC2086
+  "$CLI" explain $args >/dev/null 2>&1
+  code=$?
+  set -e
+  if [ "$code" -ne 2 ]; then
+    echo "FAIL: 'tussle explain $args' exited $code, expected 2" >&2
+    exit 1
+  fi
+done
+echo "explain exits 2 on missing/unparseable plans and bad --domains"
+
+echo "== tussle trends round-trips its history =="
+hist="$TMP/tussle-history.jsonl"
+rm -f "$hist"
+"$CLI" trends "$report" --history "$hist" | grep -q '(1 entry)'
+"$CLI" trends "$report" --history "$hist" --baseline "$report" \
+  > "$TMP/tussle-trends.out"
+grep -q '(2 entries)' "$TMP/tussle-trends.out"
+grep -q 'E1' "$TMP/tussle-trends.out"
+set +e
+"$CLI" trends "$TMP/definitely-missing-report.json" --history "$hist" \
+  >/dev/null 2>&1
+missing=$?
+echo "not json" > "$TMP/tussle-bad-history.jsonl"
+"$CLI" trends "$report" --history "$TMP/tussle-bad-history.jsonl" \
+  >/dev/null 2>&1
+corrupt=$?
+set -e
+if [ "$missing" -ne 2 ] || [ "$corrupt" -ne 2 ]; then
+  echo "FAIL: trends error paths exited $missing/$corrupt, expected 2/2" >&2
+  exit 1
+fi
+echo "trends appends, round-trips, and exits 2 on parse errors"
+
 echo "== --chaos-seed / --chaos-runs reject garbage with exit 2 =="
 for flag in "--chaos-seed=nope" "--chaos-seed=1.5" \
             "--chaos-runs=nope" "--chaos-runs=0" "--chaos-runs=-3"; do
@@ -155,6 +223,11 @@ if [ "$code" -ne 2 ]; then
   exit 1
 fi
 echo "perf gate passed; garbage --tolerance exits 2"
+
+echo "== append battery smoke to the committed benchmark history =="
+# deltas vs the committed baseline, before it is overwritten below
+"$CLI" trends "$report" --history BENCH_history.jsonl \
+  --baseline BENCH_baseline.json
 
 echo "== regenerate BENCH_baseline.json =="
 "$BENCH" --experiments-only --seq --report BENCH_baseline.json > /dev/null

@@ -15,6 +15,9 @@ module Scenario = Tussle_chaos.Scenario
 module Sweep = Tussle_chaos.Sweep
 module Shrink = Tussle_chaos.Shrink
 module Corpus = Tussle_chaos.Corpus
+module Explain = Tussle_chaos.Explain
+module Flight = Tussle_obs.Flight
+module Obs_json = Tussle_obs.Json
 module Experiment = Tussle_experiments.Experiment
 module Registry = Tussle_experiments.Registry
 
@@ -238,6 +241,103 @@ let test_hang_probe_not_swept () =
   | Some e -> Alcotest.(check string) "still findable" "E99" e.Experiment.id
   | None -> Alcotest.fail "hang probe must stay findable by id"
 
+(* ---------- explain ---------- *)
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  go 0
+
+let line_entry =
+  {
+    Corpus.scenario = "line-transfer";
+    seed = 5;
+    plan = [ Plan.Link_down { u = 1; v = 2; w = Plan.window 0.2 0.9 } ];
+  }
+
+let test_explain_deterministic_and_causal () =
+  match (Explain.run line_entry, Explain.run line_entry) with
+  | Error e, _ | _, Error e -> Alcotest.fail e
+  | Ok a, Ok b ->
+    Alcotest.(check string) "byte-identical narrative" a.Explain.narrative
+      b.Explain.narrative;
+    Alcotest.(check bool) "recorder left disabled" false (Flight.enabled ());
+    Alcotest.(check bool) "names the faulted link" true
+      (contains a.Explain.narrative "link 1-2");
+    Alcotest.(check bool) "names the drop reason" true
+      (contains a.Explain.narrative "link-down");
+    Alcotest.(check bool) "attributes drops to the episode" true
+      (contains a.Explain.narrative "during episode [0]");
+    Alcotest.(check bool) "clean verdict on a fixed regression" true
+      (a.Explain.violations = []);
+    (* the flow-trace artifact validates, and survives a serializer
+       round-trip *)
+    let artifact = Explain.to_json a in
+    (match Explain.validate_json artifact with
+    | Ok () -> ()
+    | Error e -> Alcotest.fail e);
+    (match Obs_json.parse (Obs_json.to_string artifact) with
+    | Error e -> Alcotest.fail e
+    | Ok j -> (
+      match Explain.validate_json j with
+      | Ok () -> ()
+      | Error e -> Alcotest.fail e));
+    (match
+       Explain.validate_json (Obs_json.Obj [ ("schema", Obs_json.Str "nope") ])
+     with
+    | Error _ -> ()
+    | Ok () -> Alcotest.fail "bad schema tag accepted")
+
+let test_violation_narrative () =
+  (* the attachment the sweep prints for each violation: pure, so it
+     can be pinned against a hand-built causal stream *)
+  let ev ~seq ~sim_t ~flow ~kind ~node ~peer ~detail ~value =
+    { Flight.seq; sim_t; flow; kind; node; peer; detail; value }
+  in
+  let events =
+    [
+      ev ~seq:0 ~sim_t:0.19 ~flow:3 ~kind:"inject" ~node:0 ~peer:3
+        ~detail:"web" ~value:1500.0;
+      ev ~seq:1 ~sim_t:0.25 ~flow:3 ~kind:"drop" ~node:1 ~peer:2
+        ~detail:"link-down" ~value:0.0;
+    ]
+  in
+  let v =
+    { Invariant.invariant = "packet-conservation"; detail = "one lost" }
+  in
+  let s = Explain.narrative_of_violation ~entry:line_entry ~events v in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool)
+        (Printf.sprintf "attachment mentions %S" needle)
+        true (contains s needle))
+    [ "violation: packet-conservation"; "packet 3"; "DROPPED at link 1-2";
+      "during episode [0]" ]
+
+let test_explain_unknown_scenario () =
+  match Explain.run { Corpus.scenario = "no-such"; seed = 1; plan = [] } with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "unknown scenario accepted"
+
+let test_recorder_zero_perturbation () =
+  (* the flight recorder observes the simulation; it must not change
+     what the simulation does *)
+  let sc =
+    match Scenario.find "line-transfer" with
+    | Some s -> s
+    | None -> Alcotest.fail "line-transfer scenario missing"
+  in
+  let plan = line_entry.Corpus.plan in
+  Flight.disable ();
+  Flight.reset ();
+  let off = sc.Scenario.run ~seed:5 ~plan in
+  Flight.enable ();
+  Flight.reset ();
+  let on_ = sc.Scenario.run ~seed:5 ~plan in
+  Flight.disable ();
+  Flight.reset ();
+  Alcotest.(check bool) "identical observation on vs off" true (off = on_)
+
 let () =
   Alcotest.run "chaos"
     [
@@ -261,6 +361,17 @@ let () =
             test_corpus_roundtrip_and_replay;
           Alcotest.test_case "corpus load errors" `Quick
             test_corpus_load_errors;
+        ] );
+      ( "explain",
+        [
+          Alcotest.test_case "deterministic causal narrative" `Quick
+            test_explain_deterministic_and_causal;
+          Alcotest.test_case "violation attachment" `Quick
+            test_violation_narrative;
+          Alcotest.test_case "unknown scenario rejected" `Quick
+            test_explain_unknown_scenario;
+          Alcotest.test_case "recorder never perturbs a run" `Quick
+            test_recorder_zero_perturbation;
         ] );
       ( "hang-probe-guard",
         [

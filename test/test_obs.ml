@@ -6,6 +6,7 @@
 module Json = Tussle_obs.Json
 module Metrics = Tussle_obs.Metrics
 module Trace = Tussle_obs.Trace
+module Flight = Tussle_obs.Flight
 module Report = Tussle_obs.Report
 module Experiment = Tussle_experiments.Experiment
 module Registry = Tussle_experiments.Registry
@@ -156,11 +157,18 @@ let test_histogram_observe () =
   Metrics.observe h 1.5e-9;
   Metrics.observe h 0.25;
   (match List.assoc_opt "test.hist" (Metrics.snapshot ()) with
-  | Some (Metrics.Dist { count; sum; buckets }) ->
+  | Some (Metrics.Dist { count; sum; buckets; p50; p90; p99 }) ->
     Alcotest.(check int) "count" 3 count;
     Alcotest.(check (float 1e-12)) "sum" (0.25 +. 2.5e-9) sum;
     Alcotest.(check (list (pair int int)))
-      "buckets" [ (1, 2); (Metrics.bucket_index 0.25, 1) ] buckets
+      "buckets" [ (1, 2); (Metrics.bucket_index 0.25, 1) ] buckets;
+    (* 3 samples: p50 falls in the first bucket (2 of 3 samples),
+       p90/p99 in the bucket holding the 0.25 sample *)
+    Alcotest.(check (float 1e-24)) "p50" (Metrics.bucket_upper 1) p50;
+    Alcotest.(check (float 1e-12)) "p90"
+      (Metrics.bucket_upper (Metrics.bucket_index 0.25)) p90;
+    Alcotest.(check (float 1e-12)) "p99"
+      (Metrics.bucket_upper (Metrics.bucket_index 0.25)) p99
   | _ -> Alcotest.fail "histogram missing");
   obs_off ()
 
@@ -221,6 +229,52 @@ let test_chrome_trace_json () =
     | Some evs -> Alcotest.failf "expected 1 trace event, got %d" (List.length evs)
     | None -> Alcotest.fail "traceEvents missing"));
   obs_off ()
+
+(* ---------- flight recorder ---------- *)
+
+let flight_off () =
+  Flight.disable ();
+  Flight.reset ()
+
+let test_flight_disabled_inert () =
+  flight_off ();
+  Alcotest.(check bool) "off by default here" false (Flight.enabled ());
+  Flight.emit ~sim_t:1.0 ~flow:0 ~node:0 ~peer:1 ~detail:"x" ~value:2.0 "hop";
+  Alcotest.(check int) "nothing retained" 0 (List.length (Flight.events ()));
+  Alcotest.(check int) "nothing overwritten" 0 (Flight.dropped ())
+
+let test_flight_ring_overwrite () =
+  flight_off ();
+  Flight.enable ~capacity:4 ();
+  Flight.reset ();
+  (* a fresh domain gets a fresh ring at the just-set capacity (the
+     calling domain's ring, if any, was registered at its old size) *)
+  let d =
+    Domain.spawn (fun () ->
+        for i = 0 to 9 do
+          Flight.emit ~sim_t:(float_of_int i) ~flow:i ~node:i ~peer:(-1)
+            ~detail:"" ~value:0.0 "e"
+        done)
+  in
+  Domain.join d;
+  let evs = Flight.events () in
+  Alcotest.(check int) "capacity retained" 4 (List.length evs);
+  Alcotest.(check (list int))
+    "newest events win" [ 6; 7; 8; 9 ]
+    (List.map (fun e -> e.Flight.flow) evs);
+  Alcotest.(check int) "overwritten counted" 6 (Flight.dropped ());
+  flight_off ()
+
+let test_flight_flow_ids () =
+  flight_off ();
+  Flight.enable ();
+  Flight.reset ();
+  Alcotest.(check int) "control flow is -1" (-1) Flight.control_flow;
+  Alcotest.(check int) "first transfer id" (-2) (Flight.new_flow ());
+  Alcotest.(check int) "second transfer id" (-3) (Flight.new_flow ());
+  Flight.reset ();
+  Alcotest.(check int) "reset restarts ids" (-2) (Flight.new_flow ());
+  flight_off ()
 
 (* ---------- battery report ---------- *)
 
@@ -367,6 +421,14 @@ let () =
           Alcotest.test_case "span nesting" `Quick test_span_nesting;
           Alcotest.test_case "ring overwrite" `Quick test_span_ring_overwrite;
           Alcotest.test_case "chrome trace json" `Quick test_chrome_trace_json;
+        ] );
+      ( "flight",
+        [
+          Alcotest.test_case "disabled is inert" `Quick
+            test_flight_disabled_inert;
+          Alcotest.test_case "ring overwrite keeps newest" `Quick
+            test_flight_ring_overwrite;
+          Alcotest.test_case "flow ids and reset" `Quick test_flight_flow_ids;
         ] );
       ( "report",
         [
