@@ -17,7 +17,11 @@
              --trace <file>          (write Chrome trace-event JSON)
              --report <file>         (write the battery report JSON)
              --fault-seed <n>        (seed for fault-injecting experiments)
-             --timeout-s <s>         (per-experiment watchdog; default off) *)
+             --timeout-s <s>         (per-experiment watchdog; default off)
+             --sweep                 (statistical sweep instead of the battery)
+             --sweep-seed <n> | --sweep-runs <n> | --alpha <a>
+                                     (sweep parameters; validated even
+                                      without --sweep, exit 2 on garbage) *)
 
 module Rng = Tussle_prelude.Rng
 module Graph = Tussle_prelude.Graph
@@ -297,6 +301,45 @@ let () =
       Printf.eprintf "main: --fault-seed: invalid fault seed %S (expected \
                       an integer)\n" s;
       exit 2));
+  (* Sweep flags are validated whenever present — same exit-2
+     convention as --domains — so a typo never silently runs the
+     default sweep. *)
+  let sweep_mode = List.mem "--sweep" args in
+  let sweep_seed =
+    match flag_value "--sweep-seed" with
+    | None -> 1031
+    | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some n -> n
+      | None ->
+        Printf.eprintf
+          "main: --sweep-seed: invalid seed %S (expected an integer)\n" s;
+        exit 2)
+  in
+  let sweep_runs =
+    match flag_value "--sweep-runs" with
+    | None -> 12
+    | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some n when n >= 2 -> n
+      | Some _ | None ->
+        Printf.eprintf
+          "main: --sweep-runs: invalid run count %S (expected an integer >= \
+           2)\n" s;
+        exit 2)
+  in
+  let alpha =
+    match flag_value "--alpha" with
+    | None -> 0.01
+    | Some s -> (
+      match float_of_string_opt (String.trim s) with
+      | Some a when a > 0.0 && a < 1.0 -> a
+      | Some _ | None ->
+        Printf.eprintf
+          "main: --alpha: invalid significance level %S (expected a number \
+           strictly between 0 and 1)\n" s;
+        exit 2)
+  in
   let trace_file = flag_value "--trace" in
   let report_file = flag_value "--report" in
   let metrics = List.mem "--metrics" args in
@@ -329,6 +372,29 @@ let () =
     end;
     exit code
   in
+  if sweep_mode then begin
+    (* statistical sweep instead of the battery/microbenchmarks: same
+       driver, summary and gates as `tussle sweep` *)
+    let report, errors =
+      Tussle_sweep.Driver.run_sweep ?domains ?timeout_s ~seed:sweep_seed
+        ~runs:sweep_runs ~alpha
+        (Tussle_experiments.Registry.sweepables ())
+    in
+    print_string (Tussle_obs.Sweep_report.summary report);
+    List.iter
+      (fun e -> prerr_endline ("main: " ^ Tussle_sweep.Driver.error_string e))
+      errors;
+    let violations = Tussle_sweep.Driver.check_report report in
+    List.iter
+      (fun v ->
+        prerr_endline
+          ("main: report invariant violated: "
+          ^ Tussle_chaos.Invariant.violation_string v))
+      violations;
+    let total, passed = Tussle_obs.Sweep_report.count_verdicts report in
+    finish
+      (if errors <> [] || violations <> [] || passed < total then 1 else 0)
+  end;
   match single with
   | Some id -> begin
     match Tussle_experiments.Registry.run_one ?timeout_s id with

@@ -3,9 +3,10 @@
    Subcommands:
      experiments [-e ID]   regenerate the paper's experiments
      chaos                 seeded random fault plans vs. the invariants
+     sweep                 statistical verdicts across seeds (t-tests + CIs)
      explain PLAN-FILE     replay a reproducer and narrate every drop
      trends REPORT         append to the benchmark history, diff vs baseline
-     report FILE           validate and summarize a battery report
+     report FILE           validate and summarize a battery or sweep report
      perfgate BASE REPORT  fail on wall/alloc regressions vs. a baseline
      scenario              run the actor/mechanism tussle engine
      market                run the access-provider market model
@@ -15,6 +16,7 @@ open Cmdliner
 module Obs_metrics = Tussle_obs.Metrics
 module Obs_trace = Tussle_obs.Trace
 module Obs_report = Tussle_obs.Report
+module Obs_sweep_report = Tussle_obs.Sweep_report
 module Obs_json = Tussle_obs.Json
 
 (* ---------- experiments ---------- *)
@@ -616,32 +618,223 @@ let report_cmd =
       Printf.eprintf "%s: %s\n" file msg;
       2
     | Ok json -> (
-      match Obs_report.validate json with
-      | Error msg ->
-        Printf.eprintf "%s: invalid battery report: %s\n" file msg;
-        2
-      | Ok () ->
-        let str name = Option.bind (Obs_json.member name json) Obs_json.to_str in
-        let intf path node =
-          Option.bind (Obs_json.member path node) Obs_json.to_int
-        in
-        let summary = Obs_json.member "summary" json in
-        Printf.printf "%s: valid %s\n" file
-          (Option.value ~default:"battery report" (str "schema"));
-        (match summary with
-        | Some s ->
-          Printf.printf
-            "label=%s experiments=%d held=%d violated=%d failed=%d\n"
-            (Option.value ~default:"?" (str "label"))
-            (Option.value ~default:0 (intf "total" s))
-            (Option.value ~default:0 (intf "held" s))
-            (Option.value ~default:0 (intf "violated" s))
-            (Option.value ~default:0 (intf "failed" s))
-        | None -> ());
-        0))
+      (* dispatch on the schema tag: the same checker validates
+         battery reports and sweep reports *)
+      let str name = Option.bind (Obs_json.member name json) Obs_json.to_str in
+      let intf path node =
+        Option.bind (Obs_json.member path node) Obs_json.to_int
+      in
+      match str "schema" with
+      | Some tag when tag = Obs_sweep_report.schema_tag -> (
+        match Obs_sweep_report.validate json with
+        | Error msg ->
+          Printf.eprintf "%s: invalid sweep report: %s\n" file msg;
+          2
+        | Ok () ->
+          Printf.printf "%s: valid %s\n" file tag;
+          (match Obs_json.member "summary" json with
+          | Some s ->
+            Printf.printf "label=%s experiments=%d verdicts=%d passed=%d\n"
+              (Option.value ~default:"?" (str "label"))
+              (Option.value ~default:0 (intf "experiments" s))
+              (Option.value ~default:0 (intf "verdicts" s))
+              (Option.value ~default:0 (intf "passed" s))
+          | None -> ());
+          0)
+      | _ -> (
+        match Obs_report.validate json with
+        | Error msg ->
+          Printf.eprintf "%s: invalid battery report: %s\n" file msg;
+          2
+        | Ok () ->
+          let summary = Obs_json.member "summary" json in
+          Printf.printf "%s: valid %s\n" file
+            (Option.value ~default:"battery report" (str "schema"));
+          (match summary with
+          | Some s ->
+            Printf.printf
+              "label=%s experiments=%d held=%d violated=%d failed=%d\n"
+              (Option.value ~default:"?" (str "label"))
+              (Option.value ~default:0 (intf "total" s))
+              (Option.value ~default:0 (intf "held" s))
+              (Option.value ~default:0 (intf "violated" s))
+              (Option.value ~default:0 (intf "failed" s))
+          | None -> ());
+          0)))
   in
-  let doc = "validate and summarize a battery report JSON file" in
+  let doc = "validate and summarize a battery or sweep report JSON file" in
   Cmd.v (Cmd.info "report" ~doc) Term.(const run $ file)
+
+(* ---------- sweep ---------- *)
+
+let sweep_cmd =
+  let ids =
+    let doc =
+      "Comma-separated experiment ids to sweep (default: every experiment \
+       exposing a sweep surface, currently E1 and E29)."
+    in
+    Arg.(value & opt (some string) None & info [ "e"; "experiments" ] ~doc ~docv:"IDS")
+  in
+  (* All numeric flags taken as strings so garbage is rejected with our
+     clean one-line error and exit 2 — the --domains convention. *)
+  let sweep_seed =
+    let doc =
+      "Master seed for the sweep.  Every run's seed derives from (seed, run \
+       index) alone, so the summary and the report are byte-identical across \
+       repeats and across any --domains count; default 1031."
+    in
+    Arg.(value & opt (some string) None & info [ "sweep-seed" ] ~doc ~docv:"SEED")
+  in
+  let sweep_runs =
+    let doc = "Number of seeded replicates per experiment (>= 2; default 100)." in
+    Arg.(value & opt (some string) None & info [ "sweep-runs" ] ~doc ~docv:"N")
+  in
+  let alpha =
+    let doc =
+      "Significance level: a verdict passes when its p-value is below \
+       $(docv) (in (0, 1); default 0.01)."
+    in
+    Arg.(value & opt (some string) None & info [ "alpha" ] ~doc ~docv:"ALPHA")
+  in
+  let domains =
+    let doc =
+      "Number of domains for the probe fan-out (default: the recommended \
+       domain count).  Output is byte-identical for any value."
+    in
+    Arg.(value & opt (some string) None & info [ "domains" ] ~doc ~docv:"N")
+  in
+  let seq =
+    let doc = "Run strictly sequentially (same as --domains 1)." in
+    Arg.(value & flag & info [ "seq" ] ~doc)
+  in
+  let timeout_s =
+    let doc =
+      "Arm the per-run watchdog: a probe replicate still running after \
+       $(docv) seconds fails that experiment's sweep while the others carry \
+       on.  Off by default."
+    in
+    Arg.(value & opt (some string) None & info [ "timeout-s" ] ~doc ~docv:"SECONDS")
+  in
+  let report =
+    let doc = "Write the tussle.sweep-report/1 JSON artifact to $(docv)." in
+    Arg.(value & opt (some string) None & info [ "report" ] ~doc ~docv:"FILE")
+  in
+  let run ids sweep_seed sweep_runs alpha domains seq timeout_s report =
+    let fail flag msg =
+      prerr_endline (Printf.sprintf "sweep: %s: %s" flag msg);
+      2
+    in
+    let seed_result =
+      match sweep_seed with
+      | None -> Ok 1031
+      | Some s -> (
+        match int_of_string_opt (String.trim s) with
+        | Some n -> Ok n
+        | None -> Error (Printf.sprintf "invalid seed %S (expected an integer)" s))
+    in
+    let runs_result =
+      match sweep_runs with
+      | None -> Ok 100
+      | Some s -> (
+        match int_of_string_opt (String.trim s) with
+        | Some n when n >= 2 -> Ok n
+        | Some _ | None ->
+          Error (Printf.sprintf "invalid run count %S (expected an integer >= 2)" s))
+    in
+    let alpha_result =
+      match alpha with
+      | None -> Ok 0.01
+      | Some s -> (
+        match float_of_string_opt (String.trim s) with
+        | Some a when a > 0.0 && a < 1.0 -> Ok a
+        | Some _ | None ->
+          Error
+            (Printf.sprintf "invalid significance level %S (expected a number \
+                             strictly between 0 and 1)" s))
+    in
+    let domains_result =
+      if seq then Ok (Some 1)
+      else
+        match domains with
+        | None -> Ok None
+        | Some s -> Result.map Option.some (Tussle_prelude.Pool.domains_of_string s)
+    in
+    let timeout_result =
+      match timeout_s with
+      | None -> Ok None
+      | Some s -> (
+        match float_of_string_opt (String.trim s) with
+        | Some t when t > 0.0 && Float.is_finite t -> Ok (Some t)
+        | Some _ | None ->
+          Error
+            (Printf.sprintf "invalid timeout %S (expected a positive number \
+                             of seconds)" s))
+    in
+    match (seed_result, runs_result, alpha_result, domains_result, timeout_result) with
+    | Error msg, _, _, _, _ -> fail "--sweep-seed" msg
+    | _, Error msg, _, _, _ -> fail "--sweep-runs" msg
+    | _, _, Error msg, _, _ -> fail "--alpha" msg
+    | _, _, _, Error msg, _ -> fail "--domains" msg
+    | _, _, _, _, Error msg -> fail "--timeout-s" msg
+    | Ok seed, Ok runs, Ok alpha, Ok domains, Ok timeout_s -> (
+      let experiments_result =
+        match ids with
+        | None -> Ok (Tussle_experiments.Registry.sweepables ())
+        | Some s ->
+          let ids = String.split_on_char ',' s |> List.map String.trim in
+          List.fold_left
+            (fun acc id ->
+              Result.bind acc (fun es ->
+                  match Tussle_experiments.Registry.find id with
+                  | None -> Error (Printf.sprintf "unknown experiment %S" id)
+                  | Some e when e.Tussle_experiments.Experiment.sweep = None ->
+                    Error
+                      (Printf.sprintf
+                         "experiment %s has no sweep surface (no per-run \
+                          metrics to test)"
+                         e.Tussle_experiments.Experiment.id)
+                  | Some e -> Ok (es @ [ e ])))
+            (Ok []) ids
+      in
+      match experiments_result with
+      | Error msg -> fail "--experiments" msg
+      | Ok experiments ->
+        let sweep_report, errors =
+          Tussle_sweep.Driver.run_sweep ?domains ?timeout_s ~seed ~runs ~alpha
+            experiments
+        in
+        print_string (Obs_sweep_report.summary sweep_report);
+        List.iter
+          (fun e ->
+            prerr_endline
+              ("sweep: " ^ Tussle_sweep.Driver.error_string e))
+          errors;
+        let violations = Tussle_sweep.Driver.check_report sweep_report in
+        List.iter
+          (fun v ->
+            prerr_endline
+              ("sweep: report invariant violated: "
+              ^ Tussle_chaos.Invariant.violation_string v))
+          violations;
+        (match report with
+        | None -> ()
+        | Some file -> (
+          try
+            Obs_sweep_report.write file sweep_report;
+            Printf.printf "\nreport written to %s\n" file
+          with Sys_error msg ->
+            prerr_endline ("sweep: --report: " ^ msg);
+            exit 2));
+        let total, passed = Obs_sweep_report.count_verdicts sweep_report in
+        if errors <> [] || violations <> [] || passed < total then 1 else 0)
+  in
+  let doc =
+    "statistical verdicts: sweep experiments across seeds and hypothesis-test \
+     the claims"
+  in
+  Cmd.v (Cmd.info "sweep" ~doc)
+    Term.(const run $ ids $ sweep_seed $ sweep_runs $ alpha $ domains $ seq
+          $ timeout_s $ report)
 
 (* ---------- perfgate ---------- *)
 
@@ -958,7 +1151,7 @@ let () =
   let info = Cmd.info "tussle" ~version:"1.0.0" ~doc in
   let group =
     Cmd.group info
-      [ experiments_cmd; chaos_cmd; explain_cmd; trends_cmd; report_cmd;
-        perfgate_cmd; scenario_cmd; market_cmd; policy_cmd ]
+      [ experiments_cmd; chaos_cmd; sweep_cmd; explain_cmd; trends_cmd;
+        report_cmd; perfgate_cmd; scenario_cmd; market_cmd; policy_cmd ]
   in
   exit (Cmd.eval' group)

@@ -121,3 +121,100 @@ let check o =
     all
 
 let violation_string v = Printf.sprintf "%s: %s" v.invariant v.detail
+
+(* ---------- sweep-report invariants ---------- *)
+
+module Sweep_report = Tussle_obs.Sweep_report
+module Stats = Tussle_prelude.Stats
+
+(* Fold every metric of every experiment, collecting the first
+   violation detail each metric produces. *)
+let each_metric report f =
+  List.concat_map
+    (fun (e : Sweep_report.exp) ->
+      List.filter_map (fun m -> f e m) e.Sweep_report.metrics)
+    report.Sweep_report.experiments
+
+let first_some = function [] -> None | d :: _ -> Some d
+
+let report_all : (string * (Sweep_report.t -> string option)) list =
+  [
+    ( "sweep-samples-match-runs",
+      fun r ->
+        first_some
+          (each_metric r (fun e m ->
+               let n = Array.length m.Sweep_report.samples in
+               if n <> e.Sweep_report.runs then
+                 Some
+                   (Printf.sprintf "%s/%s: %d samples for %d runs"
+                      e.Sweep_report.id m.Sweep_report.name n
+                      e.Sweep_report.runs)
+               else if e.Sweep_report.runs <> r.Sweep_report.runs then
+                 Some
+                   (Printf.sprintf "%s: experiment runs %d <> sweep runs %d"
+                      e.Sweep_report.id e.Sweep_report.runs
+                      r.Sweep_report.runs)
+               else None)) );
+    ( "sweep-ci-brackets-mean",
+      fun r ->
+        first_some
+          (each_metric r (fun e m ->
+               if
+                 m.Sweep_report.ci_lo <= m.Sweep_report.mean
+                 && m.Sweep_report.mean <= m.Sweep_report.ci_hi
+               then None
+               else
+                 Some
+                   (Printf.sprintf "%s/%s: CI [%g, %g] does not bracket mean %g"
+                      e.Sweep_report.id m.Sweep_report.name
+                      m.Sweep_report.ci_lo m.Sweep_report.ci_hi
+                      m.Sweep_report.mean))) );
+    ( "sweep-mean-matches-samples",
+      fun r ->
+        first_some
+          (each_metric r (fun e m ->
+               if Array.length m.Sweep_report.samples = 0 then None
+               else
+                 let actual = Stats.mean m.Sweep_report.samples in
+                 let scale = Float.max 1.0 (Float.abs actual) in
+                 if Float.abs (actual -. m.Sweep_report.mean) <= 1e-9 *. scale
+                 then None
+                 else
+                   Some
+                     (Printf.sprintf
+                        "%s/%s: recorded mean %g but samples average to %g"
+                        e.Sweep_report.id m.Sweep_report.name
+                        m.Sweep_report.mean actual))) );
+    ( "sweep-stats-well-formed",
+      fun r ->
+        first_some
+          (each_metric r (fun e m ->
+               let bad name v =
+                 Some
+                   (Printf.sprintf "%s/%s: %s is %g" e.Sweep_report.id
+                      m.Sweep_report.name name v)
+               in
+               if not (Float.is_finite m.Sweep_report.mean) then
+                 bad "mean" m.Sweep_report.mean
+               else if
+                 (not (Float.is_finite m.Sweep_report.stddev))
+                 || m.Sweep_report.stddev < 0.0
+               then bad "stddev" m.Sweep_report.stddev
+               else if
+                 Array.exists
+                   (fun x -> not (Float.is_finite x))
+                   m.Sweep_report.samples
+               then
+                 Some
+                   (Printf.sprintf "%s/%s: non-finite sample"
+                      e.Sweep_report.id m.Sweep_report.name)
+               else None)) );
+  ]
+
+let report_names = List.map fst report_all
+
+let check_report r =
+  List.filter_map
+    (fun (invariant, f) ->
+      Option.map (fun detail -> { invariant; detail }) (f r))
+    report_all

@@ -52,3 +52,25 @@ val check : obs -> violation list
 (** Run every registered invariant; [[]] means the run was clean. *)
 
 val violation_string : violation -> string
+
+(** {2 Sweep-report invariants}
+
+    A second registry operating on the statistical artifact rather
+    than a simulation run: every [tussle.sweep-report/1] the sweep
+    driver produces must be internally consistent before it is
+    written or trusted.  Same contract as {!all} — an entry returning
+    [Some detail] is a bug in the statistical layer by definition. *)
+
+val report_all :
+  (string * (Tussle_obs.Sweep_report.t -> string option)) list
+(** In check order: every metric's sample count matches its
+    experiment's (and the sweep's) run count; each confidence interval
+    brackets its recorded mean; the recorded mean agrees with the mean
+    of the stored samples (relative 1e-9); means/stddevs/samples are
+    finite with non-negative stddev. *)
+
+val report_names : string list
+
+val check_report : Tussle_obs.Sweep_report.t -> violation list
+(** Run every report invariant; [[]] means the artifact is
+    consistent. *)

@@ -46,4 +46,5 @@ let experiment =
        producer to the consumer\" — as masking spreads, price \
        discrimination collapses and surplus moves to consumers.";
     run;
+    sweep = None;
   }

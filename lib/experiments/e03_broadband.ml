@@ -66,4 +66,5 @@ let experiment =
        competitors\" — duopoly prices well above the open-access \
        outcome; concentration (HHI) falls as entry opens.";
     run;
+    sweep = None;
   }

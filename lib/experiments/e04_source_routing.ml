@@ -120,4 +120,5 @@ let experiment =
        provider-level source routing must incorporate a recognition of \
        the need for payment.\"";
     run;
+    sweep = None;
   }

@@ -178,4 +178,5 @@ let experiment =
        collateral damage that port blocking inflicts on new \
        applications, and tunneling does not defeat it.";
     run;
+    sweep = None;
   }

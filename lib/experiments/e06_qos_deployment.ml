@@ -48,4 +48,5 @@ let experiment =
        a mechanism whereby the user can exercise choice to select the \
        provider who offered the service (competitive fear).\"";
     run;
+    sweep = None;
   }

@@ -67,4 +67,5 @@ let experiment =
        service; the separated design confines disputes to the brand \
        directory (spillover = 0).";
     run;
+    sweep = None;
   }

@@ -68,4 +68,5 @@ let experiment =
        under both, but only path-vector offers per-neighbour export \
        policy, and it reveals strictly less to every observer.";
     run;
+    sweep = None;
   }

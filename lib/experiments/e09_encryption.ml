@@ -130,4 +130,5 @@ let experiment =
        tried to block encryption.  But a conservative government with a \
        state-run monopoly ISP might.\"";
     run;
+    sweep = None;
   }

@@ -67,4 +67,5 @@ let experiment =
        capturing and acting on tussles that were not anticipated or seen \
        as important by the language designers.\"";
     run;
+    sweep = None;
   }

@@ -99,4 +99,5 @@ let experiment =
        information\" — and §V-D: repeated interaction is what disciplines \
        parties whose interests are different but not adverse.";
     run;
+    sweep = None;
   }

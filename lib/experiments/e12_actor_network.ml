@@ -80,4 +80,5 @@ let experiment =
        Internet.  So we should look for a time when innovation slows, \
        not just as a signal but also as a pre-condition.\"";
     run;
+    sweep = None;
   }

@@ -70,4 +70,5 @@ let experiment =
        less surplus than experts; a trusted rater closes most of the \
        gap.";
     run;
+    sweep = None;
   }

@@ -75,4 +75,5 @@ let experiment =
        fair-queueing bottleneck is a design that does bound the shift \
        (the Savage-style answer for an uncooperative network).";
     run;
+    sweep = None;
   }

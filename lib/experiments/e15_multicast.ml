@@ -94,4 +94,5 @@ let experiment =
        none of that value: without a value-flow mechanism the \
        deployment ledger is negative.";
     run;
+    sweep = None;
   }

@@ -119,4 +119,5 @@ let experiment =
        exchange of value visible in the ledger and bilateral settlement \
        netting the books.";
     run;
+    sweep = None;
   }

@@ -56,4 +56,5 @@ let experiment =
        reconstruct the attack path from enough packets, with no help \
        from the attacker or intermediate sources.";
     run;
+    sweep = None;
   }

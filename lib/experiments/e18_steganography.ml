@@ -68,4 +68,5 @@ let experiment =
        unenforceable and costs the ISP the very inspection value it \
        refused for; when hiding is dear, the refusal bites.";
     run;
+    sweep = None;
   }

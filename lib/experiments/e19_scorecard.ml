@@ -161,4 +161,5 @@ let experiment =
        design it advocates outscores the deployed one on exactly those \
        axes.";
     run;
+    sweep = None;
   }

@@ -109,4 +109,5 @@ let experiment =
        barrier to innovation.  (And the cache must peek: end-to-end \
        encryption forfeits the enhancement, the user's choice from E9.)";
     run;
+    sweep = None;
   }

@@ -100,4 +100,5 @@ let experiment =
        revealing device is localized exactly in one probe; a covert one \
        costs a probe sweep and is only ever bracketed.";
     run;
+    sweep = None;
   }

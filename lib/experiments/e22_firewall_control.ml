@@ -98,4 +98,5 @@ let experiment =
        user-pinhole and covert regimes; authority is bounded (users \
        only rule their own traffic) and visibility is measurable.";
     run;
+    sweep = None;
   }

@@ -91,4 +91,5 @@ let experiment =
        distilled from the text, checked mechanically against declarative \
        application designs, each violation carrying its recommendation.";
     run;
+    sweep = None;
   }

@@ -72,4 +72,5 @@ let experiment =
        a nondiscrimination rule lets integration and innovation coexist \
        at separation-level consumer surplus.";
     run;
+    sweep = None;
   }

@@ -95,4 +95,5 @@ let experiment =
        application, dies at the NAT unless the user hand-configures \
        forwards.";
     run;
+    sweep = None;
   }

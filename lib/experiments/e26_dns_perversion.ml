@@ -73,4 +73,5 @@ let experiment =
        paper's own principle, the choice of which resolver to use \
        (\"users can select what servers they use\").";
     run;
+    sweep = None;
   }

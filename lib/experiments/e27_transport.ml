@@ -87,4 +87,5 @@ let experiment =
        model: two rule-followers share the bottleneck; one endpoint \
        that ignores congestion takes the link.";
     run;
+    sweep = None;
   }

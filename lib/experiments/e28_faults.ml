@@ -238,4 +238,5 @@ let experiment =
        gracefully under injected link faults — measurably lower goodput, \
        but never a hung engine.";
     run;
+    sweep = None;
   }

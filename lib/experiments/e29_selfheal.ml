@@ -290,6 +290,64 @@ let run () =
   in
   (body, ok)
 
+(* ---------- statistical sweep surface ----------
+
+   One replicate draws one random outage on the primary path (same
+   derivation as part B's [draw_items], but from the sweep's per-run
+   seed) and runs the {e same} outage under static tables and under
+   self-healing — so availability metrics are paired per seed.
+   Availability is delivered/offered (the healthy baseline delivers
+   all [packets], asserted by the shape check, so normalizing by the
+   offered count is the same ratio without a third run). *)
+
+let probe ~seed =
+  let path_pairs = adjacent_pairs (primary_path ()) in
+  let rng = Rng.create seed in
+  let u, v = Rng.choice_list rng path_pairs in
+  let from_s = Rng.uniform rng 0.3 0.9 in
+  let until_s = from_s +. Rng.uniform rng 0.8 1.6 in
+  let plan = [ Plan.Link_down { u; v; w = Plan.window from_s until_s } ] in
+  let static_r = run_mode ~seed ~plan ~fault_at:from_s Static in
+  let heal_r = run_mode ~seed ~plan ~fault_at:from_s Heal in
+  let availability r = 100.0 *. float_of_int r.delivered /. float_of_int packets in
+  [
+    ("availability_static", availability static_r);
+    ("availability_heal", availability heal_r);
+    ( "availability_gap",
+      availability heal_r -. availability static_r );
+    (* 0.0 when the control plane never reconverged (cannot happen for
+       outages this long, but the metric must stay finite) *)
+    ("heal_convergence_s", Option.value ~default:0.0 heal_r.convergence_s);
+  ]
+
+let judge sample =
+  let module T = Tussle_prelude.Stats.Test in
+  [
+    {
+      Experiment.claim = "availability(heal) > availability(static)";
+      test = "paired t, greater";
+      result =
+        T.paired ~alternative:T.Greater
+          (sample "availability_heal")
+          (sample "availability_static");
+    };
+    {
+      Experiment.claim = "availability(heal) > availability(static), unpaired";
+      test = "welch t, greater";
+      result =
+        T.two_sample ~alternative:T.Greater
+          (sample "availability_heal")
+          (sample "availability_static");
+    };
+    {
+      Experiment.claim = "mean heal availability > 80% of offered";
+      test = "one-sample t, greater";
+      result =
+        T.one_sample ~alternative:T.Greater ~mean:80.0
+          (sample "availability_heal");
+    };
+  ]
+
 let experiment =
   {
     Experiment.id = "E29";
@@ -304,4 +362,5 @@ let experiment =
        overlays reach the same availability from the edge, without the \
        network's cooperation.";
     run;
+    sweep = Some { Experiment.probe; judge };
   }

@@ -2,11 +2,23 @@ module Metrics = Tussle_obs.Metrics
 module Trace = Tussle_obs.Trace
 module Clock = Tussle_obs.Clock
 
+type verdict = {
+  claim : string;
+  test : string;
+  result : Tussle_prelude.Stats.Test.result;
+}
+
+type sweep = {
+  probe : seed:int -> (string * float) list;
+  judge : (string -> float array) -> verdict list;
+}
+
 type t = {
   id : string;
   title : string;
   paper_claim : string;
   run : unit -> string * bool;
+  sweep : sweep option;
 }
 
 type status = Held | Violated | Failed of string

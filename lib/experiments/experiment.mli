@@ -11,12 +11,40 @@
     the registry execute the battery across domains (see
     {!Tussle_prelude.Pool}). *)
 
+type verdict = {
+  claim : string;
+      (** human-readable hypothesis, e.g. "markup(pb6) > markup(portable)" *)
+  test : string;  (** which test produced it, e.g. "paired t, greater" *)
+  result : Tussle_prelude.Stats.Test.result;
+}
+
+type sweep = {
+  probe : seed:int -> (string * float) list;
+      (** one {e cheap} seeded run returning named scalar metrics — the
+          unit the sweep driver fans across seeds on [Pool.map].  Must
+          be deterministic in [seed] alone (build a fresh [Rng] from
+          it, touch no shared state) and return the same metric names
+          in the same order for every seed. *)
+  judge : (string -> float array) -> verdict list;
+      (** statistical verdicts over the collected samples.  The
+          accessor maps a metric name (as returned by [probe]) to its
+          per-seed samples in run order — paired tests rely on that
+          ordering.  Raises [Not_found] on an unknown name. *)
+}
+(** A statistical sweep surface: how to run one seeded replicate and
+    how to judge the accumulated samples.  Experiments with [sweep =
+    Some _] can be promoted from a one-seed shape check to a
+    "held with p < alpha across N seeds" verdict by [tussle sweep]. *)
+
 type t = {
-  id : string;  (** "E1" ... "E28" *)
+  id : string;  (** "E1" ... "E29" *)
   title : string;
   paper_claim : string;  (** the sentence from the paper being tested *)
   run : unit -> string * bool;
       (** rendered table(s) and whether the expected shape held *)
+  sweep : sweep option;
+      (** statistical sweep surface; [None] for shape-check-only
+          experiments *)
 }
 
 type status =

@@ -49,7 +49,11 @@ let hang_probe =
           Domain.cpu_relax ()
         done;
         ("unreachable", false));
+    sweep = None;
   }
+
+let sweepables () =
+  List.filter (fun e -> e.Experiment.sweep <> None) all
 
 let find id =
   let wanted = String.lowercase_ascii id in

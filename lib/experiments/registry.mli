@@ -16,6 +16,11 @@ val hang_probe : Experiment.t
     [FAILED (timeout)] outcome without killing the battery.  Only run
     it with [?timeout_s] armed. *)
 
+val sweepables : unit -> Experiment.t list
+(** The experiments exposing a statistical {!Experiment.sweep}
+    surface, in registry order — what [tussle sweep] runs by
+    default. *)
+
 val find : string -> Experiment.t option
 (** Lookup by id (case-insensitive, e.g. "e4" or "E4"); also resolves
     the {!hang_probe} ("E99"). *)

@@ -1,0 +1,285 @@
+(* Sweep report: the `tussle.sweep-report/1` artifact emitted by
+   `tussle sweep`.  Same discipline as the battery report (schema tag,
+   atomic write, validator in the [let*]/[require] style) with one
+   deliberate difference: no [generated_at] or any other wall-clock
+   field — the sweep's contract is byte-identical output across
+   --domains and across repeated runs at the same seed, so everything
+   in the artifact must derive from (seed, config) alone. *)
+
+type metric = {
+  name : string;
+  samples : float array;  (* one per run, in run order *)
+  mean : float;
+  stddev : float;  (* sample (n-1) stddev *)
+  ci_lo : float;
+  ci_hi : float;  (* 95% Student-t interval for the mean *)
+}
+
+type verdict = {
+  claim : string;
+  test : string;  (* e.g. "paired t, greater" *)
+  statistic : float;
+  df : float;
+  pvalue : float;
+  alpha : float;
+  pass : bool;
+}
+
+type exp = {
+  id : string;
+  title : string;
+  runs : int;
+  metrics : metric list;
+  verdicts : verdict list;
+}
+
+(* No [domains] (and no [generated_at]): the artifact must be
+   byte-identical however many domains ran the sweep. *)
+type t = {
+  label : string;
+  sweep_seed : int;
+  runs : int;
+  experiments : exp list;
+}
+
+let schema_tag = "tussle.sweep-report/1"
+
+let make ?(label = "sweep") ~sweep_seed ~runs experiments =
+  { label; sweep_seed; runs; experiments }
+
+let count_verdicts t =
+  List.fold_left
+    (fun (total, passed) e ->
+      List.fold_left
+        (fun (total, passed) v -> (total + 1, if v.pass then passed + 1 else passed))
+        (total, passed) e.verdicts)
+    (0, 0) t.experiments
+
+(* Degenerate sweeps can produce an infinite t statistic (zero spread,
+   nonzero difference).  The JSON layer renders non-finite floats as
+   null, which would destroy the value — encode them as tagged
+   strings instead so the artifact round-trips. *)
+let stat_to_json f =
+  if Float.is_finite f then Json.Float f
+  else if Float.is_nan f then Json.Str "nan"
+  else Json.Str (if f > 0.0 then "inf" else "-inf")
+
+let stat_of_json = function
+  | Json.Str "inf" -> Some infinity
+  | Json.Str "-inf" -> Some neg_infinity
+  | Json.Str "nan" -> Some Float.nan
+  | j -> Json.to_float j
+
+let metric_to_json m =
+  Json.Obj
+    [
+      ("name", Json.Str m.name);
+      ("n", Json.Int (Array.length m.samples));
+      ("mean", Json.Float m.mean);
+      ("stddev", Json.Float m.stddev);
+      ("ci_lo", Json.Float m.ci_lo);
+      ("ci_hi", Json.Float m.ci_hi);
+      ( "samples",
+        Json.List (Array.to_list (Array.map (fun x -> Json.Float x) m.samples)) );
+    ]
+
+let verdict_to_json v =
+  Json.Obj
+    [
+      ("claim", Json.Str v.claim);
+      ("test", Json.Str v.test);
+      ("statistic", stat_to_json v.statistic);
+      ("df", Json.Float v.df);
+      ("pvalue", Json.Float v.pvalue);
+      ("alpha", Json.Float v.alpha);
+      ("pass", Json.Bool v.pass);
+    ]
+
+let exp_to_json e =
+  Json.Obj
+    [
+      ("id", Json.Str e.id);
+      ("title", Json.Str e.title);
+      ("runs", Json.Int e.runs);
+      ("metrics", Json.List (List.map metric_to_json e.metrics));
+      ("verdicts", Json.List (List.map verdict_to_json e.verdicts));
+    ]
+
+let to_json t =
+  let total, passed = count_verdicts t in
+  Json.Obj
+    [
+      ("schema", Json.Str schema_tag);
+      ("label", Json.Str t.label);
+      ("sweep_seed", Json.Int t.sweep_seed);
+      ("runs", Json.Int t.runs);
+      ( "summary",
+        Json.Obj
+          [
+            ("experiments", Json.Int (List.length t.experiments));
+            ("verdicts", Json.Int total);
+            ("passed", Json.Int passed);
+          ] );
+      ("experiments", Json.List (List.map exp_to_json t.experiments));
+    ]
+
+let write path t = Json.to_file path (to_json t)
+
+(* ---------- parsing ---------- *)
+
+let ( let* ) r f = Result.bind r f
+
+let require name extract node =
+  match Json.member name node with
+  | None -> Error (Printf.sprintf "missing field %S" name)
+  | Some v -> (
+    match extract v with
+    | Some x -> Ok x
+    | None -> Error (Printf.sprintf "field %S has the wrong type" name))
+
+let map_result f xs =
+  List.fold_left
+    (fun acc x ->
+      let* acc = acc in
+      let* y = f x in
+      Ok (y :: acc))
+    (Ok []) xs
+  |> Result.map List.rev
+
+let metric_of_json j =
+  let* name = require "name" Json.to_str j in
+  let* n = require "n" Json.to_int j in
+  let* mean = require "mean" Json.to_float j in
+  let* stddev = require "stddev" Json.to_float j in
+  let* ci_lo = require "ci_lo" Json.to_float j in
+  let* ci_hi = require "ci_hi" Json.to_float j in
+  let* samples = require "samples" Json.to_list j in
+  let* samples =
+    map_result
+      (fun s ->
+        match Json.to_float s with
+        | Some f -> Ok f
+        | None -> Error (Printf.sprintf "metric %S: non-number sample" name))
+      samples
+  in
+  let samples = Array.of_list samples in
+  if Array.length samples <> n then
+    Error (Printf.sprintf "metric %S: n=%d but %d samples" name n (Array.length samples))
+  else Ok { name; samples; mean; stddev; ci_lo; ci_hi }
+
+let verdict_of_json j =
+  let* claim = require "claim" Json.to_str j in
+  let* test = require "test" Json.to_str j in
+  let* statistic = require "statistic" stat_of_json j in
+  let* df = require "df" Json.to_float j in
+  let* pvalue = require "pvalue" Json.to_float j in
+  let* alpha = require "alpha" Json.to_float j in
+  let* pass =
+    require "pass" (function Json.Bool b -> Some b | _ -> None) j
+  in
+  Ok { claim; test; statistic; df; pvalue; alpha; pass }
+
+let exp_of_json j =
+  let* id = require "id" Json.to_str j in
+  let* title = require "title" Json.to_str j in
+  let* runs = require "runs" Json.to_int j in
+  let* metrics = require "metrics" Json.to_list j in
+  let* metrics = map_result metric_of_json metrics in
+  let* verdicts = require "verdicts" Json.to_list j in
+  let* verdicts = map_result verdict_of_json verdicts in
+  Ok { id; title; runs; metrics; verdicts }
+
+let of_json json =
+  let* schema = require "schema" Json.to_str json in
+  let* () =
+    if schema = schema_tag then Ok ()
+    else Error (Printf.sprintf "unknown schema %S (expected %S)" schema schema_tag)
+  in
+  let* label = require "label" Json.to_str json in
+  let* sweep_seed = require "sweep_seed" Json.to_int json in
+  let* runs = require "runs" Json.to_int json in
+  let* exps = require "experiments" Json.to_list json in
+  let* experiments = map_result exp_of_json exps in
+  Ok { label; sweep_seed; runs; experiments }
+
+(* ---------- validation ---------- *)
+
+let validate json =
+  let* t = of_json json in
+  let* () = if t.runs >= 2 then Ok () else Error "runs must be >= 2" in
+  let* summary = require "summary" Option.some json in
+  let* s_exps = require "experiments" Json.to_int summary in
+  let* s_verdicts = require "verdicts" Json.to_int summary in
+  let* s_passed = require "passed" Json.to_int summary in
+  let* () =
+    if List.length t.experiments = s_exps then Ok ()
+    else
+      Error
+        (Printf.sprintf "summary.experiments=%d but %d listed" s_exps
+           (List.length t.experiments))
+  in
+  let total, passed = count_verdicts t in
+  let* () =
+    if total = s_verdicts && passed = s_passed then Ok ()
+    else Error "summary verdict counts do not match experiment verdicts"
+  in
+  map_result
+    (fun (e : exp) ->
+      let* () =
+        if e.runs = t.runs then Ok ()
+        else
+          Error
+            (Printf.sprintf "experiment %s: runs=%d but sweep runs=%d" e.id
+               e.runs t.runs)
+      in
+      map_result
+        (fun (v : verdict) ->
+          if v.pass = (v.pvalue < v.alpha) then Ok ()
+          else
+            Error
+              (Printf.sprintf
+                 "experiment %s: verdict %S pass flag disagrees with p=%g \
+                  alpha=%g"
+                 e.id v.claim v.pvalue v.alpha))
+        e.verdicts)
+    t.experiments
+  |> Result.map (fun _ -> ())
+
+(* ---------- rendering ---------- *)
+
+let summary t =
+  let buf = Buffer.create 1024 in
+  let total, passed = count_verdicts t in
+  Buffer.add_string buf
+    (Printf.sprintf "## Sweep report: %s (seed %d, %d runs)\n\n" t.label
+       t.sweep_seed t.runs);
+  List.iter
+    (fun e ->
+      Buffer.add_string buf
+        (Printf.sprintf "%s %s  [%d runs]\n" e.id e.title e.runs);
+      List.iter
+        (fun m ->
+          Buffer.add_string buf
+            (Printf.sprintf "  metric %-28s mean %12.6f  sd %10.6f  95%% CI [%12.6f, %12.6f]\n"
+               m.name m.mean m.stddev m.ci_lo m.ci_hi))
+        e.metrics;
+      List.iter
+        (fun v ->
+          Buffer.add_string buf
+            (Printf.sprintf "  %s %s (%s): t=%s df=%.1f p=%s (alpha %g)\n"
+               (if v.pass then "PASS" else "FAIL")
+               v.claim v.test
+               (if Float.is_finite v.statistic then
+                  Printf.sprintf "%.4f" v.statistic
+                else Printf.sprintf "%f" v.statistic)
+               v.df
+               (if v.pvalue < 1e-12 then Printf.sprintf "%.3e" v.pvalue
+                else Printf.sprintf "%.6f" v.pvalue)
+               v.alpha))
+        e.verdicts)
+    t.experiments;
+  Buffer.add_string buf
+    (Printf.sprintf "\n%d verdict%s: %d passed, %d failed\n" total
+       (if total = 1 then "" else "s")
+       passed (total - passed));
+  Buffer.contents buf

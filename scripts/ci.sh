@@ -21,6 +21,11 @@
 #   - tussle trends: history lines round-trip; parse errors exit 2;
 #     the battery-smoke report is appended to the committed
 #     BENCH_history.jsonl with deltas vs BENCH_baseline.json
+#   - sweep smoke: tussle sweep at a small N passes every statistical
+#     verdict, the tussle.sweep-report/1 artifact validates via
+#     tussle report and is byte-identical across --domains 1/2/4 and
+#     across repeats; --sweep-seed / --sweep-runs / --alpha garbage
+#     exits 2 on both entry points
 #   - perf gate: E1/E3 wall clock and GC allocation within 25% of the
 #     committed BENCH_baseline.json (tussle perfgate)
 # Regenerates BENCH_baseline.json and appends one line to
@@ -208,6 +213,59 @@ for flag in "--chaos-seed=nope" "--chaos-seed=1.5" \
   fi
 done
 echo "tussle chaos exits 2 on bad --chaos-seed / --chaos-runs"
+
+echo "== sweep smoke (statistical verdicts, domain-invariant) =="
+sweep_report="$TMP/tussle-sweep-report.json"
+"$CLI" sweep --sweep-seed 42 --sweep-runs 12 --domains 1 \
+  --report "$sweep_report" > "$TMP/tussle-sweep-d1.out"
+"$CLI" sweep --sweep-seed 42 --sweep-runs 12 --domains 2 \
+  --report "$sweep_report.d2" > "$TMP/tussle-sweep-d2.out"
+"$CLI" sweep --sweep-seed 42 --sweep-runs 12 --domains 4 \
+  --report "$sweep_report.d4" > "$TMP/tussle-sweep-d4.out"
+cmp "$sweep_report" "$sweep_report.d2"
+cmp "$sweep_report" "$sweep_report.d4"
+# repeat at the same seed and the same --report path (the path is
+# echoed on stdout): summary and artifact must be byte-identical
+"$CLI" sweep --sweep-seed 42 --sweep-runs 12 --domains 4 \
+  --report "$sweep_report.d4" > "$TMP/tussle-sweep-again.out"
+cmp "$sweep_report" "$sweep_report.d4"
+cmp "$TMP/tussle-sweep-d4.out" "$TMP/tussle-sweep-again.out"
+grep -q 'PASS availability(heal) > availability(static)' "$TMP/tussle-sweep-d1.out"
+grep -q 'PASS markup(pb6) > markup(portable)' "$TMP/tussle-sweep-d1.out"
+if grep -q ' FAIL ' "$TMP/tussle-sweep-d1.out"; then
+  echo "FAIL: sweep smoke has failing verdicts" >&2
+  exit 1
+fi
+"$CLI" report "$sweep_report" | grep -q 'valid tussle.sweep-report/1'
+echo "sweep verdicts pass; artifact schema-valid and byte-identical across --domains 1/2/4"
+
+echo "== sweep flags reject garbage with exit 2 on both entry points =="
+for cmd in "$BENCH" "$CLI sweep"; do
+  for flag in "--sweep-seed=nope" "--sweep-seed=1.5" \
+              "--sweep-runs=nope" "--sweep-runs=1" "--sweep-runs=-3" \
+              "--alpha=nope" "--alpha=0" "--alpha=1" "--alpha=2"; do
+    set +e
+    # shellcheck disable=SC2086
+    $cmd "$flag" >/dev/null 2>&1
+    code=$?
+    set -e
+    if [ "$code" -ne 2 ]; then
+      echo "FAIL: '$cmd $flag' exited $code, expected 2" >&2
+      exit 1
+    fi
+  done
+done
+set +e
+"$CLI" sweep -e E2 >/dev/null 2>&1
+no_surface=$?
+"$CLI" sweep -e EZZ >/dev/null 2>&1
+unknown=$?
+set -e
+if [ "$no_surface" -ne 2 ] || [ "$unknown" -ne 2 ]; then
+  echo "FAIL: sweep -e error paths exited $no_surface/$unknown, expected 2/2" >&2
+  exit 1
+fi
+echo "both entry points exit 2 on bad sweep flags; -e rejects unsweepable ids"
 
 echo "== perf gate: E1/E3 vs committed baseline =="
 # gate the battery-smoke report (same binary, same run) against the

@@ -300,6 +300,7 @@ let quick_experiment =
     title = "watchdog companion (terminates immediately)";
     paper_claim = "none - test fixture";
     run = (fun () -> ("ran fine\n", true));
+    sweep = None;
   }
 
 let output_mentions_timeout o =

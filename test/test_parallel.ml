@@ -72,6 +72,7 @@ let boom =
     title = "deliberately raising (fault-isolation test)";
     paper_claim = "a broken experiment must not abort the battery";
     run = (fun () -> failwith "kaboom");
+    sweep = None;
   }
 
 let fast id =

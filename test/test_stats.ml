@@ -1,0 +1,382 @@
+(* Pinned-value and property tests for Tussle_prelude.Stats.Test, in
+   the style of pareto's tests_test.ml: known t statistics and
+   p-values against reference values (computed with R/scipy and
+   cross-checked against pareto's own pins), the alternatives
+   consistency harness, and the degenerate zero-spread cases.  Plus
+   qcheck properties for the descriptive Stats primitives the sweep
+   layer leans on. *)
+
+module Stats = Tussle_prelude.Stats
+module Test = Tussle_prelude.Stats.Test
+
+let check_close ?(epsilon = 1e-4) msg expected actual =
+  Alcotest.(check (float epsilon)) msg expected actual
+
+let alternative_name = function
+  | Test.TwoSided -> "two-sided"
+  | Test.Less -> "less"
+  | Test.Greater -> "greater"
+
+(* pareto's assert_equal_test_results: one expected (statistic,
+   p-value) pair per alternative, in [TwoSided; Less; Greater]
+   order. *)
+let check_test_results ?(msg = "") f expected =
+  List.iter2
+    (fun (statistic, pvalue) alternative ->
+      let r = f ~alternative in
+      let tag suffix =
+        if msg = "" then Printf.sprintf "%s %s" (alternative_name alternative) suffix
+        else Printf.sprintf "%s, %s %s" msg (alternative_name alternative) suffix
+      in
+      check_close (tag "statistic") statistic r.Test.statistic;
+      check_close (tag "p-value") pvalue r.Test.pvalue)
+    expected
+    [ Test.TwoSided; Test.Less; Test.Greater ]
+
+(* ---------- special functions ---------- *)
+
+let test_log_gamma () =
+  (* lgamma(1) = lgamma(2) = 0, lgamma(5) = log 24, lgamma(0.5) =
+     log sqrt(pi) *)
+  check_close ~epsilon:1e-10 "lgamma 1" 0.0 (Test.log_gamma 1.0);
+  check_close ~epsilon:1e-10 "lgamma 2" 0.0 (Test.log_gamma 2.0);
+  check_close ~epsilon:1e-9 "lgamma 5" (log 24.0) (Test.log_gamma 5.0);
+  check_close ~epsilon:1e-9 "lgamma 0.5"
+    (0.5 *. log Float.pi)
+    (Test.log_gamma 0.5)
+
+let test_incomplete_beta () =
+  (* I_x(1,1) = x; I_x(a,b) endpoints; symmetry I_x(a,b) = 1 - I_(1-x)(b,a) *)
+  check_close ~epsilon:1e-10 "I_x(1,1)=x" 0.37 (Test.incomplete_beta 1.0 1.0 0.37);
+  check_close ~epsilon:1e-10 "x=0" 0.0 (Test.incomplete_beta 2.5 0.5 0.0);
+  check_close ~epsilon:1e-10 "x=1" 1.0 (Test.incomplete_beta 2.5 0.5 1.0);
+  let a = 3.0 and b = 1.7 and x = 0.42 in
+  check_close ~epsilon:1e-10 "symmetry"
+    (1.0 -. Test.incomplete_beta b a (1.0 -. x))
+    (Test.incomplete_beta a b x)
+
+let test_student_cdf () =
+  (* reference values: R pt(t, df) *)
+  check_close ~epsilon:1e-6 "cdf 0" 0.5 (Test.student_cdf ~df:7.0 0.0);
+  check_close "pt(1, 1) = 0.75" 0.75 (Test.student_cdf ~df:1.0 1.0);
+  check_close "pt(2.5, 10)" 0.984277 (Test.student_cdf ~df:10.0 2.5);
+  check_close "pt(-1.8, 4)" 0.073119 (Test.student_cdf ~df:4.0 (-1.8));
+  check_close ~epsilon:1e-6 "+inf" 1.0 (Test.student_cdf ~df:3.0 infinity);
+  check_close ~epsilon:1e-6 "-inf" 0.0 (Test.student_cdf ~df:3.0 neg_infinity)
+
+let test_t_quantile () =
+  (* R qt(0.975, 4) = 2.776445, qt(0.995, 9) = 3.249836 *)
+  check_close "qt(0.975, 4)" 2.776445 (Test.t_quantile ~df:4.0 0.975);
+  check_close "qt(0.995, 9)" 3.249836 (Test.t_quantile ~df:9.0 0.995);
+  check_close "qt(0.025, 4)" (-2.776445) (Test.t_quantile ~df:4.0 0.025);
+  check_close ~epsilon:1e-9 "qt(0.5)" 0.0 (Test.t_quantile ~df:4.0 0.5);
+  (* round-trip through the CDF *)
+  check_close ~epsilon:1e-6 "cdf (qt p) = p" 0.91
+    (Test.student_cdf ~df:6.0 (Test.t_quantile ~df:6.0 0.91))
+
+(* ---------- one-sample ---------- *)
+
+(* the pareto reference vector (R: t.test(vs, mu = 0)) *)
+let vs =
+  [|
+    0.88456; 0.43590; 0.95778; -1.05039; -0.38589; -0.06342; -0.18712;
+    1.58856; 0.86964; 1.22192;
+  |]
+
+let test_one_sample_pinned () =
+  check_test_results
+    (fun ~alternative -> Test.one_sample ~alternative ~mean:0.0 vs)
+    [
+      (1.636803, 0.136096); (1.636803, 0.931951); (1.636803, 0.068048);
+    ]
+
+let test_one_sample_df () =
+  let r = Test.one_sample ~mean:0.0 vs in
+  check_close ~epsilon:1e-9 "df = n - 1" 9.0 r.Test.df
+
+(* ---------- two-sample: Welch and Student ---------- *)
+
+let v1 =
+  [|
+    -0.86349; 0.36688; -0.48266; 0.53237; -0.87635; -1.28357; -1.46325;
+    0.21937; -0.38159; -0.22752;
+  |]
+
+let v2 =
+  [|
+    -0.20951; 1.27388; 0.27331; 1.85599; -1.09702; -0.20033; -0.45065;
+    0.06710; -0.18932; 1.60007;
+  |]
+
+let test_two_sample_welch_pinned () =
+  check_test_results ~msg:"welch"
+    (fun ~alternative ->
+      Test.two_sample ~alternative ~shift:0.42 ~equal_variance:false v1 v2)
+    [
+      (-3.0972, 0.006832); (-3.0972, 0.003416); (-3.0972, 0.996583);
+    ]
+
+let test_two_sample_student_pinned () =
+  check_test_results ~msg:"student"
+    (fun ~alternative ->
+      Test.two_sample ~alternative ~shift:0.24 ~equal_variance:true v1 v2)
+    [
+      (-2.6159, 0.017503); (-2.6159, 0.008751); (-2.6159, 0.991248);
+    ]
+
+let test_two_sample_student_df () =
+  let r = Test.two_sample ~equal_variance:true v1 v2 in
+  check_close ~epsilon:1e-9 "pooled df" 18.0 r.Test.df;
+  (* Welch df for these samples (R reports 16.172) *)
+  let w = Test.two_sample v1 v2 in
+  check_close ~epsilon:1e-2 "welch df" 16.221 w.Test.df
+
+(* ---------- paired ---------- *)
+
+let test_paired_pinned () =
+  (* paired = one-sample on differences: mean diff -0.738333, sample
+     sd 0.647229 (hand-computed), so t = -3.607402 on df 9; p-values
+     cross-checked against the t-table (t_{0.995,9} = 3.2498,
+     t_{0.9975,9} = 3.6897 bracket the statistic). *)
+  check_test_results ~msg:"paired"
+    (fun ~alternative -> Test.paired ~alternative v1 v2)
+    [
+      (-3.607402, 0.005682); (-3.607402, 0.002841); (-3.607402, 0.997159);
+    ];
+  let p = Test.paired v1 v2 in
+  let d = Array.init 10 (fun i -> v1.(i) -. v2.(i)) in
+  let o = Test.one_sample ~mean:0.0 d in
+  check_close ~epsilon:1e-12 "paired = one-sample on diffs"
+    o.Test.statistic p.Test.statistic
+
+(* ---------- alternatives consistency harness ---------- *)
+
+(* For any data: Less + Greater p-values sum to 1, TwoSided =
+   2 * min(Less, Greater), and swapping the samples flips the
+   direction (statistic negates, Less and Greater exchange). *)
+let check_alternatives_consistent msg (f : alternative:Test.alternative -> Test.result) =
+  let two = f ~alternative:Test.TwoSided in
+  let less = f ~alternative:Test.Less in
+  let greater = f ~alternative:Test.Greater in
+  check_close ~epsilon:1e-9 (msg ^ ": same statistic (less)")
+    two.Test.statistic less.Test.statistic;
+  check_close ~epsilon:1e-9 (msg ^ ": same statistic (greater)")
+    two.Test.statistic greater.Test.statistic;
+  check_close ~epsilon:1e-9 (msg ^ ": less + greater = 1") 1.0
+    (less.Test.pvalue +. greater.Test.pvalue);
+  check_close ~epsilon:1e-9 (msg ^ ": two-sided = 2 min(l, g)")
+    (min 1.0 (2.0 *. min less.Test.pvalue greater.Test.pvalue))
+    two.Test.pvalue;
+  (* direction: the one-sided p-value in the statistic's direction is
+     the small one *)
+  if two.Test.statistic > 0.0 then
+    Alcotest.(check bool) (msg ^ ": greater side smaller") true
+      (greater.Test.pvalue <= less.Test.pvalue)
+  else if two.Test.statistic < 0.0 then
+    Alcotest.(check bool) (msg ^ ": less side smaller") true
+      (less.Test.pvalue <= greater.Test.pvalue)
+
+let test_alternatives_one_sample () =
+  check_alternatives_consistent "one-sample" (fun ~alternative ->
+      Test.one_sample ~alternative ~mean:0.1 vs)
+
+let test_alternatives_two_sample () =
+  check_alternatives_consistent "welch" (fun ~alternative ->
+      Test.two_sample ~alternative v1 v2);
+  check_alternatives_consistent "student" (fun ~alternative ->
+      Test.two_sample ~alternative ~equal_variance:true v1 v2);
+  check_alternatives_consistent "paired" (fun ~alternative ->
+      Test.paired ~alternative v1 v2)
+
+let test_sample_swap_flips () =
+  let ab = Test.two_sample ~alternative:Test.Greater v1 v2 in
+  let ba = Test.two_sample ~alternative:Test.Less v2 v1 in
+  check_close ~epsilon:1e-12 "statistic negates" (-.ab.Test.statistic)
+    ba.Test.statistic;
+  check_close ~epsilon:1e-12 "p-value carried by direction"
+    ab.Test.pvalue ba.Test.pvalue;
+  let pab = Test.paired ~alternative:Test.Greater v1 v2 in
+  let pba = Test.paired ~alternative:Test.Less v2 v1 in
+  check_close ~epsilon:1e-12 "paired swap" pab.Test.pvalue pba.Test.pvalue
+
+(* ---------- degenerate inputs ---------- *)
+
+let test_degenerate_all_zeros () =
+  (* pareto returns NaN/NaN here; we promise a usable verdict *)
+  let r = Test.one_sample ~mean:0.0 [| 0.0; 0.0; 0.0; 0.0 |] in
+  Alcotest.(check bool) "statistic not NaN" false (Float.is_nan r.Test.statistic);
+  Alcotest.(check bool) "p-value not NaN" false (Float.is_nan r.Test.pvalue);
+  check_close ~epsilon:1e-12 "no difference, t = 0" 0.0 r.Test.statistic;
+  check_close ~epsilon:1e-12 "no difference, p = 1" 1.0 r.Test.pvalue
+
+let test_degenerate_shifted () =
+  (* constant data away from the hypothesized mean: infinitely
+     significant in its direction, never NaN *)
+  let xs = [| 1.0; 1.0; 1.0 |] in
+  let g = Test.one_sample ~alternative:Test.Greater ~mean:0.0 xs in
+  Alcotest.(check bool) "t = +inf" true (g.Test.statistic = infinity);
+  check_close ~epsilon:1e-12 "greater p = 0" 0.0 g.Test.pvalue;
+  let l = Test.one_sample ~alternative:Test.Less ~mean:0.0 xs in
+  check_close ~epsilon:1e-12 "less p = 1" 1.0 l.Test.pvalue;
+  let t = Test.one_sample ~mean:0.0 xs in
+  check_close ~epsilon:1e-12 "two-sided p = 0" 0.0 t.Test.pvalue;
+  let p = Test.paired [| 2.0; 2.0 |] [| 2.0; 2.0 |] in
+  check_close ~epsilon:1e-12 "degenerate paired p = 1" 1.0 p.Test.pvalue
+
+let test_too_few_points () =
+  Alcotest.check_raises "one-sample n=1"
+    (Invalid_argument "Stats.Test.one_sample: need at least 2 points")
+    (fun () -> ignore (Test.one_sample ~mean:0.0 [| 1.0 |]));
+  Alcotest.check_raises "sample_variance n=1"
+    (Invalid_argument "Stats.sample_variance: need at least 2 points")
+    (fun () -> ignore (Stats.sample_variance [| 1.0 |]))
+
+(* ---------- confidence intervals ---------- *)
+
+let test_mean_ci_pinned () =
+  (* R t.test(c(1,2,3,4,5)): mean 3, 95% CI (1.036757, 4.963243) *)
+  let lo, hi = Test.mean_ci [| 1.0; 2.0; 3.0; 4.0; 5.0 |] in
+  check_close "ci lo" 1.036757 lo;
+  check_close "ci hi" 4.963243 hi
+
+let test_mean_ci_brackets () =
+  let xs = vs in
+  let lo, hi = Test.mean_ci xs in
+  let m = Stats.mean xs in
+  Alcotest.(check bool) "lo <= mean <= hi" true (lo <= m && m <= hi);
+  let lo99, hi99 = Test.mean_ci ~confidence:0.99 xs in
+  Alcotest.(check bool) "wider at 99%" true (lo99 <= lo && hi >= hi && hi99 >= hi)
+
+let test_bootstrap_ci () =
+  let xs = vs in
+  let a = Test.bootstrap_mean_ci ~seed:7 xs in
+  let b = Test.bootstrap_mean_ci ~seed:7 xs in
+  Alcotest.(check (pair (float 0.0) (float 0.0))) "deterministic per seed" a b;
+  let lo, hi = a in
+  let m = Stats.mean xs in
+  Alcotest.(check bool) "brackets the sample mean" true (lo <= m && m <= hi);
+  let t_lo, t_hi = Test.mean_ci xs in
+  (* same ballpark as the t interval on well-behaved data *)
+  Alcotest.(check bool) "comparable to t interval" true
+    (Float.abs (lo -. t_lo) < 0.5 && Float.abs (hi -. t_hi) < 0.5);
+  let c = Test.bootstrap_mean_ci ~seed:8 xs in
+  Alcotest.(check bool) "seed-sensitive" true (a <> c)
+
+(* ---------- qcheck properties for the Stats primitives ---------- *)
+
+let nonempty_floats =
+  QCheck2.Gen.(list_size (int_range 1 60) (float_bound_exclusive 100.0))
+
+let prop_percentile_50_is_median =
+  QCheck2.Test.make ~name:"percentile 50 = median" ~count:300 nonempty_floats
+    (fun l ->
+      let xs = Array.of_list l in
+      Float.abs (Stats.percentile xs 50.0 -. Stats.median xs) < 1e-9)
+
+let prop_summary_ordered =
+  QCheck2.Test.make ~name:"summary fields ordered" ~count:300 nonempty_floats
+    (fun l ->
+      let s = Stats.summarize (Array.of_list l) in
+      s.Stats.min <= s.Stats.p25 +. 1e-9
+      && s.Stats.p25 <= s.Stats.p50 +. 1e-9
+      && s.Stats.p50 <= s.Stats.p75 +. 1e-9
+      && s.Stats.p75 <= s.Stats.max +. 1e-9)
+
+let correlatable =
+  (* at least 2 points and nonzero variance on both coordinates *)
+  QCheck2.Gen.(
+    list_size (int_range 2 40)
+      (pair (float_bound_exclusive 100.0) (float_bound_exclusive 100.0)))
+
+let prop_correlation_symmetric_bounded =
+  QCheck2.Test.make ~name:"correlation symmetric and in [-1,1]" ~count:300
+    correlatable (fun l ->
+      let xs = Array.of_list (List.map fst l)
+      and ys = Array.of_list (List.map snd l) in
+      match Stats.correlation xs ys with
+      | r ->
+        Float.abs r <= 1.0 +. 1e-9
+        && Float.abs (r -. Stats.correlation ys xs) < 1e-9
+      | exception Invalid_argument _ ->
+        (* zero variance draw: nothing to check *)
+        true)
+
+let prop_histogram_counts_sum =
+  QCheck2.Test.make ~name:"histogram counts sum to n" ~count:300
+    QCheck2.Gen.(pair (int_range 1 20) nonempty_floats)
+    (fun (bins, l) ->
+      let xs = Array.of_list l in
+      let h = Stats.histogram ~bins xs in
+      Array.length h = bins
+      && Array.fold_left (fun acc (_, _, c) -> acc + c) 0 h = Array.length xs)
+
+let prop_sample_variance_vs_population =
+  QCheck2.Test.make ~name:"sample variance = n/(n-1) * population" ~count:300
+    QCheck2.Gen.(list_size (int_range 2 50) (float_bound_exclusive 100.0))
+    (fun l ->
+      let xs = Array.of_list l in
+      let n = float_of_int (Array.length xs) in
+      Float.abs
+        (Stats.sample_variance xs -. (Stats.variance xs *. (n /. (n -. 1.0))))
+      < 1e-6)
+
+let prop_t_cdf_monotone =
+  QCheck2.Test.make ~name:"student cdf monotone in t" ~count:200
+    QCheck2.Gen.(
+      triple (int_range 1 60)
+        (float_bound_exclusive 10.0)
+        (float_bound_exclusive 10.0))
+    (fun (df, a, b) ->
+      let df = float_of_int df in
+      let lo = min a b -. 5.0 and hi = max a b in
+      Test.student_cdf ~df lo <= Test.student_cdf ~df hi +. 1e-12)
+
+let qcheck_cases =
+  List.map QCheck_alcotest.to_alcotest
+    [
+      prop_percentile_50_is_median; prop_summary_ordered;
+      prop_correlation_symmetric_bounded; prop_histogram_counts_sum;
+      prop_sample_variance_vs_population; prop_t_cdf_monotone;
+    ]
+
+let () =
+  Alcotest.run "stats"
+    [
+      ( "special functions",
+        [
+          Alcotest.test_case "log gamma" `Quick test_log_gamma;
+          Alcotest.test_case "incomplete beta" `Quick test_incomplete_beta;
+          Alcotest.test_case "student cdf" `Quick test_student_cdf;
+          Alcotest.test_case "t quantile" `Quick test_t_quantile;
+        ] );
+      ( "t-tests (pinned)",
+        [
+          Alcotest.test_case "one-sample" `Quick test_one_sample_pinned;
+          Alcotest.test_case "one-sample df" `Quick test_one_sample_df;
+          Alcotest.test_case "welch" `Quick test_two_sample_welch_pinned;
+          Alcotest.test_case "student pooled" `Quick test_two_sample_student_pinned;
+          Alcotest.test_case "two-sample df" `Quick test_two_sample_student_df;
+          Alcotest.test_case "paired" `Quick test_paired_pinned;
+        ] );
+      ( "alternatives",
+        [
+          Alcotest.test_case "one-sample consistent" `Quick
+            test_alternatives_one_sample;
+          Alcotest.test_case "two-sample consistent" `Quick
+            test_alternatives_two_sample;
+          Alcotest.test_case "sample swap flips" `Quick test_sample_swap_flips;
+        ] );
+      ( "degenerate",
+        [
+          Alcotest.test_case "all zeros" `Quick test_degenerate_all_zeros;
+          Alcotest.test_case "constant shifted" `Quick test_degenerate_shifted;
+          Alcotest.test_case "too few points" `Quick test_too_few_points;
+        ] );
+      ( "confidence intervals",
+        [
+          Alcotest.test_case "t interval pinned" `Quick test_mean_ci_pinned;
+          Alcotest.test_case "t interval brackets" `Quick test_mean_ci_brackets;
+          Alcotest.test_case "bootstrap" `Quick test_bootstrap_ci;
+        ] );
+      ("properties", qcheck_cases);
+    ]
