@@ -21,7 +21,12 @@
              --sweep                 (statistical sweep instead of the battery)
              --sweep-seed <n> | --sweep-runs <n> | --alpha <a>
                                      (sweep parameters; validated even
-                                      without --sweep, exit 2 on garbage) *)
+                                      without --sweep, exit 2 on garbage)
+             --search                (adversarial fault-plan search instead
+                                      of the battery; seeded by --sweep-seed)
+             --backend <name> | --budget <n>
+                                     (search parameters; validated even
+                                      without --search, exit 2 on garbage) *)
 
 module Rng = Tussle_prelude.Rng
 module Graph = Tussle_prelude.Graph
@@ -340,6 +345,31 @@ let () =
            strictly between 0 and 1)\n" s;
         exit 2)
   in
+  (* Search flags: validated whenever present, same convention. *)
+  let search_mode = List.mem "--search" args in
+  let search_backend =
+    match flag_value "--backend" with
+    | None -> "mutate"
+    | Some s ->
+      let b = String.trim s in
+      if List.mem b Tussle_search.Driver.backend_names then b
+      else begin
+        Printf.eprintf "main: --backend: invalid backend %S (expected %s)\n" s
+          (String.concat " or " Tussle_search.Driver.backend_names);
+        exit 2
+      end
+  in
+  let search_budget =
+    match flag_value "--budget" with
+    | None -> 200
+    | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some n when n >= 1 -> n
+      | Some _ | None ->
+        Printf.eprintf
+          "main: --budget: invalid budget %S (expected an integer >= 1)\n" s;
+        exit 2)
+  in
   let trace_file = flag_value "--trace" in
   let report_file = flag_value "--report" in
   let metrics = List.mem "--metrics" args in
@@ -394,6 +424,31 @@ let () =
     let total, passed = Tussle_obs.Sweep_report.count_verdicts report in
     finish
       (if errors <> [] || violations <> [] || passed < total then 1 else 0)
+  end;
+  if search_mode then begin
+    (* adversarial fault-plan search instead of the battery: same
+       driver, summary and gates as `tussle search`, without corpus
+       persistence (bench never writes into the repo) *)
+    match
+      Tussle_search.Driver.run ?domains ~backend:search_backend
+        ~seed:sweep_seed ~budget:search_budget ()
+    with
+    | Error msg ->
+      prerr_endline ("main: --backend: " ^ msg);
+      exit 2
+    | Ok (report, _) ->
+      print_string (Tussle_obs.Search_report.summary report);
+      let violations = Tussle_chaos.Invariant.check_search_report report in
+      List.iter
+        (fun v ->
+          prerr_endline
+            ("main: report invariant violated: "
+            ^ Tussle_chaos.Invariant.violation_string v))
+        violations;
+      finish
+        (if violations <> [] || report.Tussle_obs.Search_report.findings <> []
+         then 1
+         else 0)
   end;
   match single with
   | Some id -> begin

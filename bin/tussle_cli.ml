@@ -4,6 +4,7 @@
      experiments [-e ID]   regenerate the paper's experiments
      chaos                 seeded random fault plans vs. the invariants
      sweep                 statistical verdicts across seeds (t-tests + CIs)
+     search                adversarial search over fault-plan space
      explain PLAN-FILE     replay a reproducer and narrate every drop
      trends REPORT         append to the benchmark history, diff vs baseline
      report FILE           validate and summarize a battery or sweep report
@@ -17,6 +18,7 @@ module Obs_metrics = Tussle_obs.Metrics
 module Obs_trace = Tussle_obs.Trace
 module Obs_report = Tussle_obs.Report
 module Obs_sweep_report = Tussle_obs.Sweep_report
+module Obs_search_report = Tussle_obs.Search_report
 module Obs_json = Tussle_obs.Json
 
 (* ---------- experiments ---------- *)
@@ -242,7 +244,14 @@ let chaos_cmd =
     | Ok seed, Ok runs, Ok domains -> (
       match replay with
       | Some dir -> (
-        let entries = Corpus.load_dir dir in
+        (* reject entries naming a scenario we don't have with a clean
+           LOAD ERROR line instead of letting them raise downstream *)
+        let known =
+          List.map
+            (fun (s : Tussle_chaos.Scenario.t) -> s.Tussle_chaos.Scenario.name)
+            Tussle_chaos.Scenario.all
+        in
+        let entries = Corpus.load_dir ~known dir in
         Printf.printf "chaos replay: %d corpus entr%s under %s\n"
           (List.length entries)
           (if List.length entries = 1 then "y" else "ies")
@@ -625,6 +634,26 @@ let report_cmd =
         Option.bind (Obs_json.member path node) Obs_json.to_int
       in
       match str "schema" with
+      | Some tag when tag = Obs_search_report.schema_tag -> (
+        match Obs_search_report.validate json with
+        | Error msg ->
+          Printf.eprintf "%s: invalid search report: %s\n" file msg;
+          2
+        | Ok () ->
+          Printf.printf "%s: valid %s\n" file tag;
+          (match Obs_json.member "summary" json with
+          | Some s ->
+            Printf.printf
+              "label=%s backend=%s runs=%d frontier=%d violations=%d \
+               corpus_added=%d\n"
+              (Option.value ~default:"?" (str "label"))
+              (Option.value ~default:"?" (str "backend"))
+              (Option.value ~default:0 (intf "runs" s))
+              (Option.value ~default:0 (intf "frontier" s))
+              (Option.value ~default:0 (intf "violations" s))
+              (Option.value ~default:0 (intf "corpus_added" s))
+          | None -> ());
+          0)
       | Some tag when tag = Obs_sweep_report.schema_tag -> (
         match Obs_sweep_report.validate json with
         | Error msg ->
@@ -835,6 +864,134 @@ let sweep_cmd =
   Cmd.v (Cmd.info "sweep" ~doc)
     Term.(const run $ ids $ sweep_seed $ sweep_runs $ alpha $ domains $ seq
           $ timeout_s $ report)
+
+(* ---------- search ---------- *)
+
+let search_cmd =
+  let backend =
+    let doc =
+      "Search backend: $(b,mutate) (coverage-guided mutation seeded from the \
+       corpus) or $(b,exhaust) (bounded-exhaustive enumeration of a small \
+       quantized plan grammar, certifying the box when it completes clean)."
+    in
+    Arg.(value & opt string "mutate" & info [ "backend" ] ~doc ~docv:"NAME")
+  in
+  (* Numeric flags taken as strings so garbage is rejected with our
+     clean one-line error and exit 2 — the --domains convention. *)
+  let budget =
+    let doc = "Total number of fault plans to evaluate (default 200)." in
+    Arg.(value & opt (some string) None & info [ "budget" ] ~doc ~docv:"N")
+  in
+  let sweep_seed =
+    let doc =
+      "Master seed for the search.  Every candidate derives from (seed, \
+       candidate index) alone, so the summary and the report are \
+       byte-identical across repeats and across any --domains count; \
+       default 1031."
+    in
+    Arg.(value & opt (some string) None & info [ "sweep-seed" ] ~doc ~docv:"SEED")
+  in
+  let domains =
+    let doc =
+      "Number of domains for the candidate fan-out (default: the recommended \
+       domain count).  Output is byte-identical for any value."
+    in
+    Arg.(value & opt (some string) None & info [ "domains" ] ~doc ~docv:"N")
+  in
+  let seq =
+    let doc = "Run strictly sequentially (same as --domains 1)." in
+    Arg.(value & flag & info [ "seq" ] ~doc)
+  in
+  let corpus =
+    let doc =
+      "Corpus directory: seeds the mutate backend and receives every new \
+       1-minimal reproducer (default chaos/corpus; pass an empty string to \
+       disable seeding and persistence)."
+    in
+    Arg.(value & opt string "chaos/corpus" & info [ "corpus" ] ~doc ~docv:"DIR")
+  in
+  let report =
+    let doc = "Write the tussle.search-report/1 JSON artifact to $(docv)." in
+    Arg.(value & opt (some string) None & info [ "report" ] ~doc ~docv:"FILE")
+  in
+  let run backend budget sweep_seed domains seq corpus report =
+    let module Driver = Tussle_search.Driver in
+    let fail flag msg =
+      prerr_endline (Printf.sprintf "search: %s: %s" flag msg);
+      2
+    in
+    let backend_result =
+      let b = String.trim backend in
+      if List.mem b Driver.backend_names then Ok b
+      else
+        Error
+          (Printf.sprintf "invalid backend %S (expected %s)" backend
+             (String.concat " or " Driver.backend_names))
+    in
+    let budget_result =
+      match budget with
+      | None -> Ok 200
+      | Some s -> (
+        match int_of_string_opt (String.trim s) with
+        | Some n when n >= 1 -> Ok n
+        | Some _ | None ->
+          Error (Printf.sprintf "invalid budget %S (expected an integer >= 1)" s))
+    in
+    let seed_result =
+      match sweep_seed with
+      | None -> Ok 1031
+      | Some s -> (
+        match int_of_string_opt (String.trim s) with
+        | Some n -> Ok n
+        | None -> Error (Printf.sprintf "invalid seed %S (expected an integer)" s))
+    in
+    let domains_result =
+      if seq then Ok (Some 1)
+      else
+        match domains with
+        | None -> Ok None
+        | Some s -> Result.map Option.some (Tussle_prelude.Pool.domains_of_string s)
+    in
+    match (backend_result, budget_result, seed_result, domains_result) with
+    | Error msg, _, _, _ -> fail "--backend" msg
+    | _, Error msg, _, _ -> fail "--budget" msg
+    | _, _, Error msg, _ -> fail "--sweep-seed" msg
+    | _, _, _, Error msg -> fail "--domains" msg
+    | Ok backend, Ok budget, Ok seed, Ok domains -> (
+      let corpus_dir = if String.trim corpus = "" then None else Some corpus in
+      match Driver.run ?domains ?corpus_dir ~backend ~seed ~budget () with
+      | Error msg -> fail "--backend" msg
+      | Ok (search_report, _outcome) ->
+        print_string (Obs_search_report.summary search_report);
+        let violations =
+          Tussle_chaos.Invariant.check_search_report search_report
+        in
+        List.iter
+          (fun v ->
+            prerr_endline
+              ("search: report invariant violated: "
+              ^ Tussle_chaos.Invariant.violation_string v))
+          violations;
+        (match report with
+        | None -> ()
+        | Some file -> (
+          try
+            Obs_search_report.write file search_report;
+            Printf.printf "\nreport written to %s\n" file
+          with Sys_error msg ->
+            prerr_endline ("search: --report: " ^ msg);
+            exit 2));
+        if violations <> [] || search_report.Obs_search_report.findings <> []
+        then 1
+        else 0)
+  in
+  let doc =
+    "adversarial search over fault-plan space: coverage-guided mutation or \
+     bounded-exhaustive enumeration against the invariant registry"
+  in
+  Cmd.v (Cmd.info "search" ~doc)
+    Term.(const run $ backend $ budget $ sweep_seed $ domains $ seq $ corpus
+          $ report)
 
 (* ---------- perfgate ---------- *)
 
@@ -1151,7 +1308,8 @@ let () =
   let info = Cmd.info "tussle" ~version:"1.0.0" ~doc in
   let group =
     Cmd.group info
-      [ experiments_cmd; chaos_cmd; sweep_cmd; explain_cmd; trends_cmd;
-        report_cmd; perfgate_cmd; scenario_cmd; market_cmd; policy_cmd ]
+      [ experiments_cmd; chaos_cmd; sweep_cmd; search_cmd; explain_cmd;
+        trends_cmd; report_cmd; perfgate_cmd; scenario_cmd; market_cmd;
+        policy_cmd ]
   in
   exit (Cmd.eval' group)

@@ -24,14 +24,6 @@ let to_file_string e =
      %s"
     e.scenario e.seed (Plan.to_string e.plan)
 
-let save ~dir e =
-  mkdirs dir;
-  let path = Filename.concat dir (filename e) in
-  let oc = open_out path in
-  output_string oc (to_file_string e);
-  close_out oc;
-  path
-
 let parse_header ~key line =
   let prefix = key ^ ":" in
   let line = String.trim line in
@@ -44,7 +36,7 @@ let parse_header ~key line =
             (String.length line - String.length prefix)))
   else None
 
-let of_file_string s =
+let of_file_string ?known s =
   let lines = String.split_on_char '\n' s in
   let scenario = ref None and seed = ref None and body = Buffer.create 256 in
   List.iter
@@ -69,20 +61,26 @@ let of_file_string s =
       | Error e -> Error e
       | Ok plan -> (
         match Plan.validate plan with
-        | () -> Ok { scenario; seed; plan }
-        | exception Invalid_argument m -> Error ("invalid plan: " ^ m))))
+        | exception Invalid_argument m -> Error ("invalid plan: " ^ m)
+        | () -> (
+          match known with
+          | Some names when not (List.mem scenario names) ->
+            Error
+              (Printf.sprintf "unknown scenario %S (known: %s)" scenario
+                 (String.concat ", " (List.sort compare names)))
+          | _ -> Ok { scenario; seed; plan }))))
 
-let load path =
+let load ?known path =
   match
     let ic = open_in path in
     Fun.protect
       ~finally:(fun () -> close_in ic)
       (fun () -> really_input_string ic (in_channel_length ic))
   with
-  | s -> of_file_string s
+  | s -> of_file_string ?known s
   | exception Sys_error m -> Error m
 
-let load_dir dir =
+let load_dir ?known dir =
   match Sys.readdir dir with
   | exception Sys_error _ -> []
   | names ->
@@ -93,5 +91,35 @@ let load_dir dir =
     List.map
       (fun n ->
         let path = Filename.concat dir n in
-        (path, load path))
+        (path, load ?known path))
       (List.sort compare plans)
+
+(* Two entries are the same reproducer when scenario and plan text
+   agree, whatever seed each was found with: the plan is what replays
+   the bug, the seed is only the draw that exposed it first. *)
+let find_duplicate ~dir e =
+  let plan = Plan.to_string e.plan in
+  match Sys.readdir dir with
+  | exception Sys_error _ -> None
+  | names ->
+    Array.to_list names
+    |> List.filter (fun n -> Filename.check_suffix n ".plan")
+    |> List.sort compare
+    |> List.find_map (fun n ->
+           let path = Filename.concat dir n in
+           match load path with
+           | Ok e' when e'.scenario = e.scenario && Plan.to_string e'.plan = plan
+             ->
+             Some path
+           | _ -> None)
+
+let save ~dir e =
+  mkdirs dir;
+  match find_duplicate ~dir e with
+  | Some path -> path
+  | None ->
+    let path = Filename.concat dir (filename e) in
+    let oc = open_out path in
+    output_string oc (to_file_string e);
+    close_out oc;
+    path

@@ -4,7 +4,8 @@
     scenario name, injection seed, and the minimal plan in
     {!Tussle_fault.Plan.to_string} format — under [chaos/corpus/].
     CI replays the whole directory on every run, so a bug found once
-    by the random sweep is guarded forever by a deterministic test. *)
+    by the random sweep or the adversarial search is guarded forever
+    by a deterministic test. *)
 
 type entry = {
   scenario : string;  (** {!Scenario.t} name the plan fails against *)
@@ -16,15 +17,28 @@ val filename : entry -> string
 (** [scenario-seed-<hash>.plan]; the hash covers the plan text so
     saving the same reproducer twice is idempotent. *)
 
+val find_duplicate : dir:string -> entry -> string option
+(** Path of an existing corpus file holding the same reproducer —
+    same scenario and identical plan text, {e regardless of seed} —
+    or [None].  [None] as well when [dir] does not exist. *)
+
 val save : dir:string -> entry -> string
 (** Write the entry under [dir] (created if missing, like mkdir -p)
-    and return the file path. *)
+    and return the file path.  Deduplicated by {!find_duplicate}: if
+    the same scenario/plan reproducer is already on disk (even under a
+    different seed), the existing file's path is returned and nothing
+    is written — a re-found violation must not create a second file. *)
 
-val load : string -> (entry, string) result
+val load : ?known:string list -> string -> (entry, string) result
 (** Parse one corpus file.  The plan is validated; [Error] carries a
     human-readable reason (missing header, bad seed, malformed or
-    invalid plan, unreadable file). *)
+    invalid plan, unreadable file).  When [known] is given, an entry
+    whose scenario name is not in the list is rejected with a clean
+    ["unknown scenario ..."] error instead of surviving to raise
+    somewhere downstream. *)
 
-val load_dir : string -> (string * (entry, string) result) list
+val load_dir :
+  ?known:string list -> string -> (string * (entry, string) result) list
 (** All [*.plan] files under a directory in sorted filename order
-    (deterministic replay order); [[]] if the directory is missing. *)
+    (deterministic replay order); [[]] if the directory is missing.
+    [known] is applied to each entry as in {!load}. *)

@@ -17,6 +17,8 @@ type obs = {
   link_fault_drops : int;
   link_corrupted : int;
   transfers : transfer_state list;
+  engine_high_water : int;
+  reconvergences : int;
 }
 
 (* Fold over the distinct physical link objects (an undirected label
@@ -30,7 +32,7 @@ let fold_links links ~init ~f =
         f acc l
       end)
 
-let observe ?(transfers = []) ~clock_start engine net =
+let observe ?(transfers = []) ?(reconvergences = 0) ~clock_start engine net =
   let links = Net.links net in
   {
     injected = Net.injected_count net;
@@ -46,6 +48,8 @@ let observe ?(transfers = []) ~clock_start engine net =
     link_corrupted =
       fold_links links ~init:0 ~f:(fun acc l -> acc + Link.corrupted_count l);
     transfers;
+    engine_high_water = Engine.queue_depth_high_water engine;
+    reconvergences;
   }
 
 type violation = { invariant : string; detail : string }
@@ -218,3 +222,141 @@ let check_report r =
     (fun (invariant, f) ->
       Option.map (fun detail -> { invariant; detail }) (f r))
     report_all
+
+(* ---------- search-report invariants ---------- *)
+
+module Search_report = Tussle_obs.Search_report
+module Plan = Tussle_fault.Plan
+
+(* One finding's corpus bookkeeping: the file name's hash component
+   must match the minimal plan's text, and when the file is on disk it
+   must load back to exactly that reproducer. *)
+let finding_corpus_violation (f : Search_report.finding) =
+  if f.Search_report.corpus_file = "" then None
+  else
+    let scenario = f.Search_report.scenario in
+    let name = Filename.basename f.Search_report.corpus_file in
+    match Filename.chop_suffix_opt ~suffix:".plan" name with
+    | None ->
+      Some (Printf.sprintf "%s: corpus file %S is not a .plan" scenario name)
+    | Some stem -> (
+      match String.rindex_opt stem '-' with
+      | None ->
+        Some
+          (Printf.sprintf "%s: corpus file %S has no hash suffix" scenario name)
+      | Some i -> (
+        let hex = String.sub stem (i + 1) (String.length stem - i - 1) in
+        match Plan.of_string f.Search_report.minimal_plan with
+        | Error e ->
+          Some
+            (Printf.sprintf "%s: minimal plan does not parse: %s" scenario e)
+        | Ok plan -> (
+          let canonical = Plan.to_string plan in
+          let expect =
+            Printf.sprintf "%08x" (Hashtbl.hash canonical land 0xffffffff)
+          in
+          let prefix = scenario ^ "-" in
+          let has_prefix =
+            String.length stem >= String.length prefix
+            && String.sub stem 0 (String.length prefix) = prefix
+          in
+          if hex <> expect then
+            Some
+              (Printf.sprintf
+                 "%s: corpus file hash %s but minimal plan hashes to %s"
+                 scenario hex expect)
+          else if not has_prefix then
+            Some
+              (Printf.sprintf "%s: corpus file %S not named for its scenario"
+                 scenario name)
+          else if not (Sys.file_exists f.Search_report.corpus_file) then None
+          else
+            match Corpus.load f.Search_report.corpus_file with
+            | Error e ->
+              Some
+                (Printf.sprintf "%s: corpus file %S unreadable: %s" scenario
+                   name e)
+            | Ok e' ->
+              if e'.Corpus.scenario <> scenario then
+                Some
+                  (Printf.sprintf
+                     "%s: corpus file %S names scenario %S on disk" scenario
+                     name e'.Corpus.scenario)
+              else if Plan.to_string e'.Corpus.plan <> canonical then
+                Some
+                  (Printf.sprintf
+                     "%s: corpus file %S holds a different plan on disk"
+                     scenario name)
+              else None)))
+
+let search_report_all : (string * (Search_report.t -> string option)) list =
+  [
+    ( "search-budget-accounting",
+      fun r ->
+        let open Search_report in
+        if r.runs < 0 || r.runs > r.budget then
+          Some (Printf.sprintf "%d runs for budget %d" r.runs r.budget)
+        else if r.backend = "mutate" && r.runs <> r.budget then
+          Some
+            (Printf.sprintf
+               "mutate backend must spend its whole budget: %d of %d" r.runs
+               r.budget)
+        else if r.backend = "exhaust" && r.runs <> min r.budget r.space then
+          Some
+            (Printf.sprintf
+               "exhaust backend ran %d plans; expected min(budget %d, space %d)"
+               r.runs r.budget r.space)
+        else if
+          r.certified
+          && (r.backend <> "exhaust" || r.runs <> r.space || r.findings <> [])
+        then Some "certification requires an exhausted box with no findings"
+        else None );
+    ( "search-coverage-monotone",
+      fun r ->
+        let open Search_report in
+        let rec walk prev = function
+          | [] -> None
+          | n :: rest ->
+            if n < prev then
+              Some
+                (Printf.sprintf "coverage frontier shrank: %d -> %d" prev n)
+            else walk n rest
+        in
+        match walk 0 r.frontier with
+        | Some d -> Some d
+        | None ->
+          let final = frontier_size r in
+          if final > r.runs then
+            Some
+              (Printf.sprintf "%d distinct signatures from only %d runs" final
+                 r.runs)
+          else if r.runs > 0 && final = 0 then
+            Some (Printf.sprintf "%d runs grew no coverage at all" r.runs)
+          else None );
+    ( "search-corpus-hashes",
+      fun r ->
+        first_some
+          (List.filter_map finding_corpus_violation r.Search_report.findings)
+    );
+    ( "search-corpus-additions-counted",
+      fun r ->
+        let open Search_report in
+        let persisted =
+          List.length
+            (List.filter (fun f -> f.corpus_file <> "") r.findings)
+        in
+        if r.corpus_added < 0 || r.corpus_added > persisted then
+          Some
+            (Printf.sprintf
+               "corpus_added=%d but %d findings carry a corpus file"
+               r.corpus_added persisted)
+        else None );
+  ]
+
+let search_report_names = List.map fst search_report_all
+
+let check_search_report r =
+  List.filter_map
+    (fun (invariant, f) ->
+      Option.map (fun detail -> { invariant; detail }) (f r))
+    search_report_all

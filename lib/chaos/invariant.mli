@@ -26,17 +26,25 @@ type obs = {
   link_fault_drops : int;  (** summed over distinct physical links *)
   link_corrupted : int;
   transfers : transfer_state list;  (** terminal status of each transport *)
+  engine_high_water : int;  (** [Engine.queue_depth_high_water] *)
+  reconvergences : int;  (** self-healing recomputes; 0 without a control plane *)
 }
-(** Everything the invariants inspect, captured after a run. *)
+(** Everything the invariants inspect, captured after a run.  The last
+    two fields are not checked by any invariant; they feed the
+    {!Signature} behavior fingerprint the adversarial search uses as
+    its coverage signal. *)
 
 val observe :
   ?transfers:transfer_state list ->
+  ?reconvergences:int ->
   clock_start:float ->
   Tussle_netsim.Engine.t ->
   Tussle_netsim.Net.t ->
   obs
 (** Snapshot the ledgers of a finished run.  [transfers] carries the
-    terminal status of any transport connections the scenario drove. *)
+    terminal status of any transport connections the scenario drove;
+    [reconvergences] (default 0) the self-healing control plane's
+    recompute count, if the scenario ran one. *)
 
 type violation = { invariant : string; detail : string }
 
@@ -73,4 +81,29 @@ val report_names : string list
 
 val check_report : Tussle_obs.Sweep_report.t -> violation list
 (** Run every report invariant; [[]] means the artifact is
+    consistent. *)
+
+(** {2 Search-report invariants}
+
+    The same discipline for the [tussle.search-report/1] artifact the
+    adversarial search emits: budget accounting, coverage-frontier
+    monotonicity, and corpus bookkeeping are registry entries here,
+    not bespoke asserts in the search driver. *)
+
+val search_report_all :
+  (string * (Tussle_obs.Search_report.t -> string option)) list
+(** In check order: budget accounting ([runs <= budget]; the mutate
+    backend spends its whole budget; the exhaust backend runs exactly
+    [min budget space]; certification requires an exhausted box with
+    no findings); the coverage frontier is non-negative, non-decreasing
+    and bounded by [runs] (and non-empty coverage for a non-empty run);
+    every persisted finding's corpus file name carries the hash of its
+    minimal plan text and — when present on disk — loads back to
+    exactly that reproducer; [corpus_added] never exceeds the findings
+    that carry a corpus file. *)
+
+val search_report_names : string list
+
+val check_search_report : Tussle_obs.Search_report.t -> violation list
+(** Run every search-report invariant; [[]] means the artifact is
     consistent. *)

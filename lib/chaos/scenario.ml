@@ -71,7 +71,7 @@ let ring_selfheal =
     in
     let engine = Engine.create () in
     let clock_start = Engine.now engine in
-    let _heal : Selfheal.t = Selfheal.attach ~until:12.0 engine net in
+    let heal = Selfheal.attach ~until:12.0 engine net in
     Inject.install ~seed ~plan engine net;
     let gen = Traffic.create (Rng.create (seed + 1)) in
     for k = 0 to 79 do
@@ -83,7 +83,8 @@ let ring_selfheal =
                   ~created:(Engine.now engine) ())))
     done;
     Engine.run ~until:guard_horizon engine;
-    Invariant.observe ~clock_start engine net
+    Invariant.observe ~reconvergences:(Selfheal.reconvergences heal)
+      ~clock_start engine net
   in
   { name = "ring-selfheal";
     links = [ (0, 1); (1, 2); (2, 3); (3, 4); (4, 5); (5, 0) ];

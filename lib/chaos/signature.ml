@@ -1,0 +1,44 @@
+(* A run's behavior signature: a coarse, canonical fingerprint of the
+   invariant obs ledger.  The coverage-guided search keeps a mutant in
+   its live corpus exactly when its signature is new, so "coverage"
+   means "made the simulator do something no earlier plan did" —
+   distinct drop profiles, transfer outcomes, healing activity, or
+   event-queue pressure — rather than "has different bytes". *)
+
+(* log2 buckets, like the obs histograms: 0, 1, 2, 3-4, 5-8, ... —
+   exact counts would make every plan "novel" and dissolve the
+   signal. *)
+let bucket n =
+  if n <= 0 then 0
+  else begin
+    let b = ref 1 and top = ref 1 in
+    while n > !top do
+      incr b;
+      top := !top * 2
+    done;
+    !b
+  end
+
+let transfer_counts transfers =
+  List.fold_left
+    (fun (c, a, v) -> function
+      | Invariant.Completed -> (c + 1, a, v)
+      | Invariant.Abandoned -> (c, a + 1, v)
+      | Invariant.Active -> (c, a, v + 1))
+    (0, 0, 0) transfers
+
+let of_obs (o : Invariant.obs) =
+  let drops =
+    o.Invariant.drops_by_reason
+    |> List.filter (fun (_, n) -> n > 0)
+    |> List.map (fun (reason, n) -> (reason, bucket n))
+    |> List.sort compare
+    |> List.map (fun (reason, b) -> Printf.sprintf "%s:%d" reason b)
+    |> String.concat ","
+  in
+  let completed, abandoned, active = transfer_counts o.Invariant.transfers in
+  Printf.sprintf "drops[%s] xfer[%d/%d/%d] heal:%d hw:%d inflight:%d" drops
+    completed abandoned active
+    (bucket o.Invariant.reconvergences)
+    (bucket o.Invariant.engine_high_water)
+    (bucket o.Invariant.in_flight)

@@ -1,0 +1,18 @@
+(** Behavior signatures: the coverage signal for adversarial search.
+
+    A signature is a coarse canonical fingerprint of one run's
+    {!Invariant.obs} ledger — per-reason drop profile (log2-bucketed),
+    transfer terminal-state counts, self-healing reconvergence count,
+    engine queue high-water, and leaked in-flight packets.  The
+    coverage-guided mutator admits a mutant into its live corpus
+    exactly when its signature is unseen, so the search spends its
+    budget on plans that make the simulator {e behave} differently,
+    not on plans that merely {e look} different. *)
+
+val bucket : int -> int
+(** log2 bucket index: 0 for 0, 1 for 1, 2 for 2, 3 for 3-4,
+    4 for 5-8, ... *)
+
+val of_obs : Invariant.obs -> string
+(** Canonical signature; equal ledgers yield equal strings, whatever
+    order [drops_by_reason] arrived in. *)

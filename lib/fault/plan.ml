@@ -49,21 +49,130 @@ let validate plan =
       | Node_crash { w; _ } | Middlebox_break { w; _ } -> check_window w)
     plan
 
+let draw_episode rng ~links ~horizon =
+  let u, v = Rng.choice rng links in
+  let from_s = Rng.uniform rng 0.0 (0.6 *. horizon) in
+  let until_s = from_s +. Rng.uniform rng (0.1 *. horizon) (0.4 *. horizon) in
+  let w = { from_s; until_s } in
+  match Rng.int rng 4 with
+  | 0 -> Link_down { u; v; w }
+  | 1 -> Link_loss { u; v; w; prob = Rng.uniform rng 0.05 0.3 }
+  | 2 -> Link_corrupt { u; v; w; prob = Rng.uniform rng 0.02 0.15 }
+  | _ -> Latency_spike { u; v; w; extra_s = Rng.uniform rng 0.005 0.05 }
+
 let random rng ~links ~horizon ~episodes =
   if links = [] then invalid_arg "Plan.random: no links";
   if not (horizon > 0.0) then invalid_arg "Plan.random: non-positive horizon";
   if episodes < 0 then invalid_arg "Plan.random: negative episode count";
   let links = Array.of_list links in
-  List.init episodes (fun _ ->
-      let u, v = Rng.choice rng links in
-      let from_s = Rng.uniform rng 0.0 (0.6 *. horizon) in
-      let until_s = from_s +. Rng.uniform rng (0.1 *. horizon) (0.4 *. horizon) in
-      let w = { from_s; until_s } in
-      match Rng.int rng 4 with
-      | 0 -> Link_down { u; v; w }
-      | 1 -> Link_loss { u; v; w; prob = Rng.uniform rng 0.05 0.3 }
-      | 2 -> Link_corrupt { u; v; w; prob = Rng.uniform rng 0.02 0.15 }
-      | _ -> Latency_spike { u; v; w; extra_s = Rng.uniform rng 0.005 0.05 })
+  List.init episodes (fun _ -> draw_episode rng ~links ~horizon)
+
+(* ---------- mutation operators (adversarial search) ---------- *)
+
+(* Mutated windows may outlive the scenario's nominal horizon — a
+   restore event scheduled after the run's end is a classic wedge that
+   [random]'s in-horizon windows can never produce — but are capped at
+   [mutation_horizon_factor * horizon] so compounding widens across
+   generations cannot creep toward the chaos guard horizon and turn
+   every mutant into a trivial "still faulted at guard time" finding. *)
+let mutation_horizon_factor = 4.0
+
+let spec_window = function
+  | Link_down { w; _ }
+  | Link_loss { w; _ }
+  | Link_corrupt { w; _ }
+  | Latency_spike { w; _ }
+  | Node_crash { w; _ }
+  | Middlebox_break { w; _ } ->
+    w
+
+let with_window spec w =
+  match spec with
+  | Link_down { u; v; w = _ } -> Link_down { u; v; w }
+  | Link_loss { u; v; prob; w = _ } -> Link_loss { u; v; w; prob }
+  | Link_corrupt { u; v; prob; w = _ } -> Link_corrupt { u; v; w; prob }
+  | Latency_spike { u; v; extra_s; w = _ } -> Latency_spike { u; v; w; extra_s }
+  | Node_crash { node; w = _ } -> Node_crash { node; w }
+  | Middlebox_break { node; covert; w = _ } -> Middlebox_break { node; w; covert }
+
+let clamp lo hi x = Float.max lo (Float.min hi x)
+
+let widen_spec rng ~cap spec =
+  let w = spec_window spec in
+  let until_s =
+    if Float.is_finite w.until_s then
+      Float.min cap
+        (w.from_s +. ((w.until_s -. w.from_s) *. Rng.uniform rng 1.25 2.5))
+    else cap
+  in
+  if until_s > w.from_s then with_window spec { w with until_s } else spec
+
+let shift_spec rng ~horizon ~cap spec =
+  let w = spec_window spec in
+  let dur = w.until_s -. w.from_s in
+  let delta = Rng.uniform rng (-0.25 *. horizon) (0.25 *. horizon) in
+  if Float.is_finite dur then begin
+    let hi = Float.max 0.0 (cap -. dur) in
+    let from_s = clamp 0.0 hi (w.from_s +. delta) in
+    let until_s = from_s +. dur in
+    if until_s > from_s then with_window spec { from_s; until_s } else spec
+  end
+  else with_window spec { w with from_s = Float.max 0.0 (w.from_s +. delta) }
+
+let perturb_spec rng ~cap spec =
+  let scale = Rng.uniform rng 0.5 1.6 in
+  match spec with
+  | Link_loss { u; v; w; prob } ->
+    Link_loss { u; v; w; prob = clamp 0.0 1.0 (prob *. scale) }
+  | Link_corrupt { u; v; w; prob } ->
+    Link_corrupt { u; v; w; prob = clamp 0.0 1.0 (prob *. scale) }
+  | Latency_spike { u; v; w; extra_s } ->
+    Latency_spike { u; v; w; extra_s = extra_s *. scale }
+  | (Link_down _ | Node_crash _ | Middlebox_break _) as s ->
+    (* no probability to perturb; widen the window instead *)
+    widen_spec rng ~cap s
+
+let retarget_spec rng ~links spec =
+  let u, v = Rng.choice rng links in
+  match spec with
+  | Link_down { w; _ } -> Link_down { u; v; w }
+  | Link_loss { w; prob; _ } -> Link_loss { u; v; w; prob }
+  | Link_corrupt { w; prob; _ } -> Link_corrupt { u; v; w; prob }
+  | Latency_spike { w; extra_s; _ } -> Latency_spike { u; v; w; extra_s }
+  | Node_crash { w; _ } -> Node_crash { node = u; w }
+  | Middlebox_break { w; covert; _ } -> Middlebox_break { node = u; w; covert }
+
+let mutate rng ~links ~horizon plan =
+  if links = [] then invalid_arg "Plan.mutate: no links";
+  if not (horizon > 0.0) then invalid_arg "Plan.mutate: non-positive horizon";
+  let links = Array.of_list links in
+  let cap = mutation_horizon_factor *. horizon in
+  let n = List.length plan in
+  let add () =
+    let at = Rng.int rng (n + 1) in
+    let ep = draw_episode rng ~links ~horizon in
+    List.concat
+      [
+        List.filteri (fun i _ -> i < at) plan;
+        [ ep ];
+        List.filteri (fun i _ -> i >= at) plan;
+      ]
+  in
+  let mutate_nth f =
+    let at = Rng.int rng n in
+    List.mapi (fun i s -> if i = at then f s else s) plan
+  in
+  if n = 0 then add ()
+  else
+    match Rng.int rng 6 with
+    | 0 -> add ()
+    | 1 ->
+      let at = Rng.int rng n in
+      List.filteri (fun i _ -> i <> at) plan
+    | 2 -> mutate_nth (widen_spec rng ~cap)
+    | 3 -> mutate_nth (shift_spec rng ~horizon ~cap)
+    | 4 -> mutate_nth (perturb_spec rng ~cap)
+    | _ -> mutate_nth (retarget_spec rng ~links)
 
 (* Shortest decimal that parses back to exactly the same float, so
    [to_string] is both human-readable and a lossless serialization

@@ -57,6 +57,25 @@ val random :
     states yield equal plans.  Raises [Invalid_argument] on an empty
     [links] list, non-positive [horizon] or negative [episodes]. *)
 
+val mutation_horizon_factor : float
+(** Mutated windows are capped at [mutation_horizon_factor * horizon]
+    (4.0).  Past the scenario's nominal horizon — so a mutant can leave
+    a fault open across the run's end, a shape {!random} never draws —
+    but bounded, so compounding widens across search generations cannot
+    creep toward the chaos guard horizon. *)
+
+val mutate :
+  Tussle_prelude.Rng.t -> links:(int * int) list -> horizon:float -> t -> t
+(** [mutate rng ~links ~horizon plan] applies one structural mutation:
+    add a fresh random episode, remove one, widen or shift an episode's
+    window (clamped to [\[0, mutation_horizon_factor * horizon\]]),
+    perturb a probability / latency magnitude, or retarget an episode
+    to another link.  The result always passes {!validate}.  Equal rng
+    states and inputs yield equal mutants — the adversarial search
+    derives every mutation purely from [(seed, index)].  Raises
+    [Invalid_argument] on an empty [links] list or non-positive
+    [horizon]. *)
+
 val spec_string : spec -> string
 (** One episode rendered in the [to_string] line format, e.g.
     ["link 1-2 down [0.2, 0.9)"].  Used by the flight recorder's

@@ -1,0 +1,273 @@
+(* Search report: the `tussle.search-report/1` artifact emitted by
+   `tussle search`.  Same discipline as the sweep report: schema tag,
+   atomic write, validator in the [let*]/[require] style, and no
+   wall-clock or domain-count field anywhere — the search's contract
+   is byte-identical output across --domains and across repeated runs
+   at the same seed, so everything derives from (seed, config) alone. *)
+
+type finding = {
+  scenario : string;
+  seed : int;  (* injection seed the violation reproduces with *)
+  found_episodes : int;  (* plan size as found, before shrinking *)
+  minimal_plan : string;  (* 1-minimal reproducer, Plan.to_string *)
+  invariants : string list;  (* names of the violated invariants *)
+  corpus_file : string;  (* persisted path; "" when not persisted *)
+}
+
+type t = {
+  label : string;
+  backend : string;
+  search_seed : int;
+  budget : int;
+  runs : int;  (* plans actually evaluated *)
+  seeded : int;  (* corpus + fresh-draw candidates that primed the search *)
+  space : int;  (* bounded-exhaustive box size; 0 for open-ended backends *)
+  certified : bool;  (* whole box enumerated and came back clean *)
+  frontier : int list;  (* cumulative distinct behavior signatures, per batch *)
+  corpus_added : int;  (* findings persisted as NEW corpus files *)
+  corpus_dir : string;  (* "" when persistence was disabled *)
+  findings : finding list;
+}
+
+let schema_tag = "tussle.search-report/1"
+
+let make ?(label = "search") ?(corpus_dir = "") ~backend ~search_seed ~budget
+    ~runs ~seeded ~space ~certified ~frontier ~corpus_added findings =
+  {
+    label;
+    backend;
+    search_seed;
+    budget;
+    runs;
+    seeded;
+    space;
+    certified;
+    frontier;
+    corpus_added;
+    corpus_dir;
+    findings;
+  }
+
+let frontier_size t =
+  match List.rev t.frontier with [] -> 0 | last :: _ -> last
+
+let finding_to_json f =
+  Json.Obj
+    [
+      ("scenario", Json.Str f.scenario);
+      ("seed", Json.Int f.seed);
+      ("found_episodes", Json.Int f.found_episodes);
+      ("minimal_plan", Json.Str f.minimal_plan);
+      ("invariants", Json.List (List.map (fun n -> Json.Str n) f.invariants));
+      ("corpus_file", Json.Str f.corpus_file);
+    ]
+
+let to_json t =
+  Json.Obj
+    [
+      ("schema", Json.Str schema_tag);
+      ("label", Json.Str t.label);
+      ("backend", Json.Str t.backend);
+      ("search_seed", Json.Int t.search_seed);
+      ("budget", Json.Int t.budget);
+      ("runs", Json.Int t.runs);
+      ("seeded", Json.Int t.seeded);
+      ("space", Json.Int t.space);
+      ("certified", Json.Bool t.certified);
+      ("frontier", Json.List (List.map (fun n -> Json.Int n) t.frontier));
+      ("corpus_dir", Json.Str t.corpus_dir);
+      ( "summary",
+        Json.Obj
+          [
+            ("runs", Json.Int t.runs);
+            ("frontier", Json.Int (frontier_size t));
+            ("violations", Json.Int (List.length t.findings));
+            ("corpus_added", Json.Int t.corpus_added);
+          ] );
+      ("findings", Json.List (List.map finding_to_json t.findings));
+    ]
+
+let write path t = Json.to_file path (to_json t)
+
+(* ---------- parsing ---------- *)
+
+let ( let* ) r f = Result.bind r f
+
+let require name extract node =
+  match Json.member name node with
+  | None -> Error (Printf.sprintf "missing field %S" name)
+  | Some v -> (
+    match extract v with
+    | Some x -> Ok x
+    | None -> Error (Printf.sprintf "field %S has the wrong type" name))
+
+let map_result f xs =
+  List.fold_left
+    (fun acc x ->
+      let* acc = acc in
+      let* y = f x in
+      Ok (y :: acc))
+    (Ok []) xs
+  |> Result.map List.rev
+
+let finding_of_json j =
+  let* scenario = require "scenario" Json.to_str j in
+  let* seed = require "seed" Json.to_int j in
+  let* found_episodes = require "found_episodes" Json.to_int j in
+  let* minimal_plan = require "minimal_plan" Json.to_str j in
+  let* invariants = require "invariants" Json.to_list j in
+  let* invariants =
+    map_result
+      (fun n ->
+        match Json.to_str n with
+        | Some s -> Ok s
+        | None -> Error "finding: non-string invariant name")
+      invariants
+  in
+  let* corpus_file = require "corpus_file" Json.to_str j in
+  Ok { scenario; seed; found_episodes; minimal_plan; invariants; corpus_file }
+
+let of_json json =
+  let* schema = require "schema" Json.to_str json in
+  let* () =
+    if schema = schema_tag then Ok ()
+    else
+      Error (Printf.sprintf "unknown schema %S (expected %S)" schema schema_tag)
+  in
+  let* label = require "label" Json.to_str json in
+  let* backend = require "backend" Json.to_str json in
+  let* search_seed = require "search_seed" Json.to_int json in
+  let* budget = require "budget" Json.to_int json in
+  let* runs = require "runs" Json.to_int json in
+  let* seeded = require "seeded" Json.to_int json in
+  let* space = require "space" Json.to_int json in
+  let* certified =
+    require "certified" (function Json.Bool b -> Some b | _ -> None) json
+  in
+  let* frontier = require "frontier" Json.to_list json in
+  let* frontier =
+    map_result
+      (fun n ->
+        match Json.to_int n with
+        | Some i -> Ok i
+        | None -> Error "frontier: non-integer entry")
+      frontier
+  in
+  let* corpus_dir = require "corpus_dir" Json.to_str json in
+  let* findings = require "findings" Json.to_list json in
+  let* findings = map_result finding_of_json findings in
+  let* summary = require "summary" Option.some json in
+  let* corpus_added = require "corpus_added" Json.to_int summary in
+  Ok
+    {
+      label;
+      backend;
+      search_seed;
+      budget;
+      runs;
+      seeded;
+      space;
+      certified;
+      frontier;
+      corpus_added;
+      corpus_dir;
+      findings;
+    }
+
+(* ---------- validation ---------- *)
+
+let validate json =
+  let* t = of_json json in
+  let* summary = require "summary" Option.some json in
+  let* s_runs = require "runs" Json.to_int summary in
+  let* s_frontier = require "frontier" Json.to_int summary in
+  let* s_violations = require "violations" Json.to_int summary in
+  let* s_added = require "corpus_added" Json.to_int summary in
+  let* () =
+    if t.budget >= 1 then Ok ()
+    else Error (Printf.sprintf "budget must be >= 1 (got %d)" t.budget)
+  in
+  let* () =
+    if t.runs >= 0 then Ok ()
+    else Error (Printf.sprintf "runs must be >= 0 (got %d)" t.runs)
+  in
+  let* () =
+    if s_runs = t.runs then Ok ()
+    else Error (Printf.sprintf "summary.runs=%d but runs=%d" s_runs t.runs)
+  in
+  let* () =
+    if s_frontier = frontier_size t then Ok ()
+    else
+      Error
+        (Printf.sprintf "summary.frontier=%d but frontier ends at %d" s_frontier
+           (frontier_size t))
+  in
+  let* () =
+    if s_violations = List.length t.findings then Ok ()
+    else
+      Error
+        (Printf.sprintf "summary.violations=%d but %d findings listed"
+           s_violations (List.length t.findings))
+  in
+  let* () =
+    if s_added >= 0 && s_added <= List.length t.findings then Ok ()
+    else
+      Error
+        (Printf.sprintf "summary.corpus_added=%d vs %d findings" s_added
+           (List.length t.findings))
+  in
+  let* () =
+    if t.certified && t.findings <> [] then
+      Error "certified search cannot carry findings"
+    else Ok ()
+  in
+  map_result
+    (fun (f : finding) ->
+      if f.scenario = "" then Error "finding with empty scenario name"
+      else if f.minimal_plan = "" then
+        Error
+          (Printf.sprintf "finding %s: empty minimal plan (nothing to replay)"
+             f.scenario)
+      else if f.invariants = [] then
+        Error
+          (Printf.sprintf "finding %s: no violated invariant named" f.scenario)
+      else Ok ())
+    t.findings
+  |> Result.map (fun _ -> ())
+
+(* ---------- rendering ---------- *)
+
+let summary t =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    (Printf.sprintf "## Search report: %s [%s] (seed %d, budget %d)\n\n" t.label
+       t.backend t.search_seed t.budget);
+  Buffer.add_string buf
+    (Printf.sprintf "%d plans evaluated (%d seeded), %d behavior signatures\n"
+       t.runs t.seeded (frontier_size t));
+  if t.space > 0 then
+    Buffer.add_string buf
+      (Printf.sprintf "box: %d plans; %s\n" t.space
+         (if t.certified then "CERTIFIED clean (whole box enumerated)"
+          else "box not exhausted within budget"));
+  List.iter
+    (fun f ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "\nVIOLATION %s seed=%d (found with %d episode%s)\n  invariants: %s\n"
+           f.scenario f.seed f.found_episodes
+           (if f.found_episodes = 1 then "" else "s")
+           (String.concat ", " f.invariants));
+      String.split_on_char '\n' f.minimal_plan
+      |> List.iter (fun line ->
+             Buffer.add_string buf (Printf.sprintf "  | %s\n" line));
+      if f.corpus_file <> "" then
+        Buffer.add_string buf (Printf.sprintf "  corpus: %s\n" f.corpus_file))
+    t.findings;
+  Buffer.add_string buf
+    (Printf.sprintf "\n%d violation%s, %d new corpus entr%s\n"
+       (List.length t.findings)
+       (if List.length t.findings = 1 then "" else "s")
+       t.corpus_added
+       (if t.corpus_added = 1 then "y" else "ies"));
+  Buffer.contents buf

@@ -26,6 +26,11 @@
 #     tussle report and is byte-identical across --domains 1/2/4 and
 #     across repeats; --sweep-seed / --sweep-runs / --alpha garbage
 #     exits 2 on both entry points
+#   - search smoke: tussle search (mutate + exhaust backends) is clean
+#     on the real scenarios, with stdout and the
+#     tussle.search-report/1 artifact byte-identical across
+#     --domains 1/2/4; garbage search flags exit 2 on both entry
+#     points
 #   - perf gate: E1/E3 wall clock and GC allocation within 25% of the
 #     committed BENCH_baseline.json (tussle perfgate)
 # Regenerates BENCH_baseline.json and appends one line to
@@ -232,6 +237,7 @@ cmp "$sweep_report" "$sweep_report.d4"
 cmp "$TMP/tussle-sweep-d4.out" "$TMP/tussle-sweep-again.out"
 grep -q 'PASS availability(heal) > availability(static)' "$TMP/tussle-sweep-d1.out"
 grep -q 'PASS markup(pb6) > markup(portable)' "$TMP/tussle-sweep-d1.out"
+grep -q 'PASS price(duo) > price(open8)' "$TMP/tussle-sweep-d1.out"
 if grep -q ' FAIL ' "$TMP/tussle-sweep-d1.out"; then
   echo "FAIL: sweep smoke has failing verdicts" >&2
   exit 1
@@ -266,6 +272,58 @@ if [ "$no_surface" -ne 2 ] || [ "$unknown" -ne 2 ]; then
   exit 1
 fi
 echo "both entry points exit 2 on bad sweep flags; -e rejects unsweepable ids"
+
+echo "== search smoke (both backends, domain-invariant) =="
+# the corpus replay step above already re-runs every committed
+# reproducer, including any the adversarial search persisted; here the
+# search itself must be clean on the real scenarios and byte-identical
+# (stdout AND artifact) across --domains 1/2/4 and across repeats
+search_report="$TMP/tussle-search-report.json"
+for backend in mutate exhaust; do
+  "$CLI" search --backend "$backend" --budget 48 --sweep-seed 42 \
+    --domains 1 --report "$search_report" > "$TMP/tussle-search-d1.out"
+  cp "$search_report" "$search_report.d1"
+  for d in 2 4; do
+    "$CLI" search --backend "$backend" --budget 48 --sweep-seed 42 \
+      --domains "$d" --report "$search_report" > "$TMP/tussle-search-d$d.out"
+    cmp "$TMP/tussle-search-d1.out" "$TMP/tussle-search-d$d.out"
+    cmp "$search_report.d1" "$search_report"
+  done
+  if grep -q 'VIOLATION' "$TMP/tussle-search-d1.out"; then
+    echo "FAIL: $backend search found violations in the real scenarios" >&2
+    exit 1
+  fi
+  "$CLI" report "$search_report" | grep -q 'valid tussle.search-report/1'
+  echo "search[$backend] clean; artifact schema-valid and byte-identical across --domains 1/2/4"
+done
+"$BENCH" --search --backend exhaust --budget 48 --sweep-seed 42 --seq \
+  > "$TMP/tussle-bench-search.out"
+grep -q 'Search report' "$TMP/tussle-bench-search.out"
+echo "bench --search runs the same engine"
+
+echo "== search flags reject garbage with exit 2 on both entry points =="
+for flag in "--backend=bogus" "--budget=nope" "--budget=0" "--budget=-3" \
+            "--sweep-seed=nope" "--sweep-seed=1.5" "--domains=0"; do
+  set +e
+  "$CLI" search "$flag" >/dev/null 2>&1
+  code=$?
+  set -e
+  if [ "$code" -ne 2 ]; then
+    echo "FAIL: 'tussle search $flag' exited $code, expected 2" >&2
+    exit 1
+  fi
+done
+for flag in "--backend=bogus" "--budget=nope" "--budget=0"; do
+  set +e
+  "$BENCH" --search "$flag" >/dev/null 2>&1
+  code=$?
+  set -e
+  if [ "$code" -ne 2 ]; then
+    echo "FAIL: 'bench --search $flag' exited $code, expected 2" >&2
+    exit 1
+  fi
+done
+echo "both entry points exit 2 on bad search flags"
 
 echo "== perf gate: E1/E3 vs committed baseline =="
 # gate the battery-smoke report (same binary, same run) against the

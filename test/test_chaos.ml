@@ -36,6 +36,8 @@ let clean_obs =
     link_fault_drops = 2;
     link_corrupted = 0;
     transfers = [ Invariant.Completed; Invariant.Abandoned ];
+    engine_high_water = 4;
+    reconvergences = 1;
   }
 
 let violated_names obs =

@@ -1,0 +1,417 @@
+(* Tests for tussle.search: mutation-operator validity (qcheck), the
+   planted violation that a same-budget random sweep misses but the
+   coverage-guided mutator finds (and shrinks, and persists), the
+   bounded-exhaustive backend's completeness + certification on a toy
+   grammar, byte-determinism across --domains and repeats, the
+   search-report JSON round-trip with tamper detection, and corpus
+   hygiene (dedup on persist, unknown-scenario rejection). *)
+
+module Rng = Tussle_prelude.Rng
+module Engine = Tussle_netsim.Engine
+module Net = Tussle_netsim.Net
+module Topology = Tussle_netsim.Topology
+module Plan = Tussle_fault.Plan
+module Inject = Tussle_fault.Inject
+module Invariant = Tussle_chaos.Invariant
+module Scenario = Tussle_chaos.Scenario
+module Sweep = Tussle_chaos.Sweep
+module Corpus = Tussle_chaos.Corpus
+module Signature = Tussle_chaos.Signature
+module Backend = Tussle_search.Backend
+module Mutate = Tussle_search.Mutate
+module Exhaust = Tussle_search.Exhaust
+module Driver = Tussle_search.Driver
+module Search_report = Tussle_obs.Search_report
+module Json = Tussle_obs.Json
+
+let contains haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub haystack i nn = needle || go (i + 1)) in
+  go 0
+
+let fresh_corpus_dir () =
+  let stamp = Filename.temp_file "tussle-search" "" in
+  Sys.remove stamp;
+  stamp ^ ".corpus"
+
+(* ---------- mutation-operator validity (property) ---------- *)
+
+let links = [ (0, 1); (1, 2); (2, 3) ]
+let horizon = 10.0
+
+let mutation_gen =
+  QCheck2.Gen.(
+    let* seed = int_range 0 100_000 in
+    let* episodes = int_range 0 12 in
+    let* mutations = int_range 1 10 in
+    return (seed, episodes, mutations))
+
+let prop_mutants_valid =
+  QCheck2.Test.make ~name:"every mutant passes Plan.validate" ~count:200
+    mutation_gen (fun (seed, episodes, mutations) ->
+      let rng = Rng.create seed in
+      let plan = ref (Plan.random rng ~links ~horizon ~episodes) in
+      let cap = Plan.mutation_horizon_factor *. horizon in
+      for _ = 1 to mutations do
+        plan := Plan.mutate rng ~links ~horizon !plan;
+        (* must never raise, however many operators compound *)
+        Plan.validate !plan
+      done;
+      (* windows never creep past the mutation cap, so searches cannot
+         drift toward the chaos guard horizon *)
+      List.for_all
+        (fun spec ->
+          match spec with
+          | Plan.Link_down { w; _ }
+          | Plan.Link_loss { w; _ }
+          | Plan.Link_corrupt { w; _ }
+          | Plan.Latency_spike { w; _ }
+          | Plan.Node_crash { w; _ }
+          | Plan.Middlebox_break { w; _ } ->
+            w.Plan.from_s >= 0.0 && w.Plan.until_s <= cap)
+        !plan)
+
+let prop_mutate_deterministic =
+  QCheck2.Test.make ~name:"mutation is a pure function of the rng" ~count:100
+    QCheck2.Gen.(int_range 0 100_000)
+    (fun seed ->
+      let mutate_once s =
+        let rng = Rng.create s in
+        let plan = Plan.random rng ~links ~horizon ~episodes:3 in
+        Plan.to_string (Plan.mutate rng ~links ~horizon plan)
+      in
+      mutate_once seed = mutate_once seed)
+
+(* ---------- the planted violation ---------- *)
+
+(* A deliberately buggy scenario: the engine stops exactly at the
+   nominal horizon.  [Plan.random] windows always close strictly
+   before the horizon, so every random plan drains cleanly — but a
+   mutated window widened or shifted past the horizon leaves its
+   restore event queued, a genuine engine-drained violation that only
+   the adversarial search can reach. *)
+let planted : Scenario.t =
+  let run ~seed ~plan =
+    let net =
+      Net.create
+        (Topology.to_links (Topology.line 2))
+        (fun ~node:_ ~target:_ _ -> None)
+    in
+    let engine = Engine.create () in
+    let clock_start = Engine.now engine in
+    Inject.install ~seed ~plan engine net;
+    Engine.run ~until:4.0 engine;
+    Invariant.observe ~clock_start engine net
+  in
+  { Scenario.name = "planted-horizon-stop"; links = [ (0, 1) ];
+    horizon = 4.0; run }
+
+(* Same scenario, but the engine runs far past every window the
+   exhaust grammar (or the mutation cap) can produce: nothing in the
+   box violates, so the box is certifiable. *)
+let planted_clean : Scenario.t =
+  let run ~seed ~plan =
+    let net =
+      Net.create
+        (Topology.to_links (Topology.line 2))
+        (fun ~node:_ ~target:_ _ -> None)
+    in
+    let engine = Engine.create () in
+    let clock_start = Engine.now engine in
+    Inject.install ~seed ~plan engine net;
+    Engine.run ~until:24.0 engine;
+    Invariant.observe ~clock_start engine net
+  in
+  { Scenario.name = "planted-clean"; links = [ (0, 1) ]; horizon = 4.0; run }
+
+let test_random_sweep_misses_planted () =
+  (* a 200-plan random sweep, derived exactly like the chaos sweep
+     derives its candidates, never trips the planted bug *)
+  for i = 0 to 199 do
+    let rng = Rng.create (42 + (7919 * (i + 1))) in
+    let episodes = 1 + Rng.int rng 4 in
+    let plan =
+      Plan.random rng ~links:planted.Scenario.links
+        ~horizon:planted.Scenario.horizon ~episodes
+    in
+    let seed = Rng.int rng 1_000_000 in
+    let violations = Invariant.check (planted.Scenario.run ~seed ~plan) in
+    if violations <> [] then
+      Alcotest.failf "random plan %d tripped the planted bug: %s" i
+        (String.concat "; " (List.map Invariant.violation_string violations))
+  done
+
+let test_mutate_finds_planted () =
+  let dir = fresh_corpus_dir () in
+  let o =
+    Mutate.search ~corpus_dir:dir ~scenarios:[ planted ] ~seed:42 ~budget:200 ()
+  in
+  Alcotest.(check string) "backend name" "mutate" o.Backend.backend;
+  Alcotest.(check int) "whole budget spent" 200 o.Backend.runs;
+  Alcotest.(check bool) "found the planted violation" true
+    (o.Backend.found <> []);
+  Alcotest.(check bool) "open-ended searches never certify" false
+    o.Backend.certified;
+  List.iter
+    (fun (f : Backend.found) ->
+      let fails = Sweep.still_fails planted ~seed:f.Backend.seed in
+      Alcotest.(check bool) "minimal reproducer still fails" true
+        (fails f.Backend.minimal);
+      (* 1-minimal: dropping any single episode makes it pass *)
+      List.iteri
+        (fun i _ ->
+          let without =
+            List.filteri (fun j _ -> j <> i) f.Backend.minimal
+          in
+          Alcotest.(check bool) "dropping any episode passes" false
+            (fails without))
+        f.Backend.minimal;
+      match f.Backend.file with
+      | None -> Alcotest.fail "finding was not persisted"
+      | Some path -> (
+        Alcotest.(check bool) "corpus file exists" true (Sys.file_exists path);
+        match Corpus.load path with
+        | Error e -> Alcotest.fail e
+        | Ok e ->
+          Alcotest.(check string) "corpus names the scenario"
+            planted.Scenario.name e.Corpus.scenario;
+          Alcotest.(check bool) "corpus holds the minimal plan" true
+            (Plan.to_string e.Corpus.plan = Plan.to_string f.Backend.minimal)))
+    o.Backend.found;
+  (* the corpus-bookkeeping invariants hold on the assembled report *)
+  let report =
+    Search_report.make ~label:"planted" ~corpus_dir:dir
+      ~backend:o.Backend.backend ~search_seed:42 ~budget:200
+      ~runs:o.Backend.runs ~seeded:o.Backend.seeded ~space:o.Backend.space
+      ~certified:o.Backend.certified ~frontier:o.Backend.frontier
+      ~corpus_added:
+        (List.length (List.filter (fun f -> f.Backend.fresh) o.Backend.found))
+      (List.map Driver.finding_of_found o.Backend.found)
+  in
+  Alcotest.(check (list string)) "report invariants clean" []
+    (List.map Invariant.violation_string
+       (Invariant.check_search_report report))
+
+(* ---------- bounded-exhaustive completeness ---------- *)
+
+let test_exhaust_complete_on_toy_box () =
+  (* 1 link x {down, loss} x 4 windows = 8 atoms; plans = empty +
+     singles + unordered pairs = 1 + 8 + 36 = 45 *)
+  let o = Exhaust.search ~scenarios:[ planted ] ~seed:5 ~budget:100 () in
+  Alcotest.(check int) "box fully enumerated" 45 o.Backend.runs;
+  Alcotest.(check int) "space matches" 45 o.Backend.space;
+  Alcotest.(check bool) "violations forbid certification" false
+    o.Backend.certified;
+  (* exactly the two atoms whose window [h/2, 1.5h) outlives the run:
+     Link_down and Link_loss over [2, 6) *)
+  let minimals =
+    List.sort_uniq compare
+      (List.map (fun f -> Plan.to_string f.Backend.minimal) o.Backend.found)
+  in
+  Alcotest.(check (list string)) "exactly the two planted reproducers"
+    [ "link 0-1 down [2, 6)"; "link 0-1 loss p=0.2 [2, 6)" ]
+    minimals
+
+let test_exhaust_certifies_clean_box () =
+  let o = Exhaust.search ~scenarios:[ planted_clean ] ~seed:5 ~budget:100 () in
+  Alcotest.(check int) "box fully enumerated" 45 o.Backend.runs;
+  Alcotest.(check bool) "no findings" true (o.Backend.found = []);
+  Alcotest.(check bool) "clean exhausted box certifies" true
+    o.Backend.certified;
+  (* an under-budget enumeration must not certify *)
+  let partial =
+    Exhaust.search ~scenarios:[ planted_clean ] ~seed:5 ~budget:10 ()
+  in
+  Alcotest.(check int) "budget caps the enumeration" 10 partial.Backend.runs;
+  Alcotest.(check bool) "partial box never certifies" false
+    partial.Backend.certified
+
+(* ---------- byte-determinism across --domains and repeats ---------- *)
+
+let report_string (r : Search_report.t) =
+  Json.to_string (Search_report.to_json r) ^ "\n" ^ Search_report.summary r
+
+let run_driver ?domains backend =
+  match Driver.run ?domains ~backend ~seed:11 ~budget:48 () with
+  | Error e -> Alcotest.fail e
+  | Ok (report, _) -> report
+
+let test_search_deterministic () =
+  List.iter
+    (fun backend ->
+      let base = report_string (run_driver ~domains:1 backend) in
+      List.iter
+        (fun domains ->
+          Alcotest.(check string)
+            (Printf.sprintf "%s identical at --domains %d" backend domains)
+            base
+            (report_string (run_driver ~domains backend)))
+        [ 2; 4 ];
+      Alcotest.(check string)
+        (Printf.sprintf "%s identical on repeat" backend)
+        base
+        (report_string (run_driver ~domains:1 backend));
+      (* the real scenarios run to a guard horizon far past the
+         mutation cap, so neither backend finds violations in them *)
+      let r = run_driver ~domains:2 backend in
+      Alcotest.(check int)
+        (Printf.sprintf "%s clean on real scenarios" backend)
+        0
+        (List.length r.Search_report.findings);
+      (match Search_report.validate (Search_report.to_json r) with
+      | Ok () -> ()
+      | Error e -> Alcotest.failf "%s report invalid: %s" backend e);
+      Alcotest.(check (list string))
+        (Printf.sprintf "%s report invariants clean" backend)
+        []
+        (List.map Invariant.violation_string
+           (Invariant.check_search_report r)))
+    Driver.backend_names;
+  match Driver.run ~backend:"bogus" ~seed:11 ~budget:48 () with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "unknown backend must be an error"
+
+(* ---------- report round-trip + tampering ---------- *)
+
+let violated report =
+  List.map
+    (fun v -> v.Invariant.invariant)
+    (Invariant.check_search_report report)
+
+let test_report_roundtrip_and_tampering () =
+  let r = run_driver "mutate" in
+  (match Search_report.of_json (Search_report.to_json r) with
+  | Error e -> Alcotest.failf "round-trip failed: %s" e
+  | Ok r' ->
+    Alcotest.(check bool) "of_json (to_json r) = r" true (r = r'));
+  (* structural tampering is caught by validate *)
+  let tamper name value =
+    match Search_report.to_json r with
+    | Json.Obj fields ->
+      Json.Obj
+        (List.map (fun (k, v) -> if k = name then (k, value) else (k, v)) fields)
+    | _ -> Alcotest.fail "report must serialize as an object"
+  in
+  (match Search_report.validate (tamper "schema" (Json.Str "bogus/9")) with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "wrong schema tag must not validate");
+  (match Search_report.validate (tamper "runs" (Json.Str "many")) with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "mistyped field must not validate");
+  (match Search_report.validate (tamper "summary" (Json.Obj [])) with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "gutted summary must not validate");
+  (* semantic tampering is caught by the search-report invariants *)
+  Alcotest.(check (list string)) "honest report passes" [] (violated r);
+  Alcotest.(check bool) "short-changed budget flagged" true
+    (List.mem "search-budget-accounting"
+       (violated { r with Search_report.runs = r.Search_report.runs - 1 }));
+  Alcotest.(check bool) "shrinking frontier flagged" true
+    (List.mem "search-coverage-monotone"
+       (violated { r with Search_report.frontier = [ 5; 3 ] }));
+  Alcotest.(check bool) "phantom corpus additions flagged" true
+    (List.mem "search-corpus-additions-counted"
+       (violated
+          { r with Search_report.corpus_added = r.Search_report.corpus_added + 1 }));
+  (* a finding whose corpus file does not match its plan is flagged *)
+  let forged =
+    {
+      Search_report.scenario = planted.Scenario.name;
+      seed = 7;
+      found_episodes = 3;
+      minimal_plan = "link 0-1 down [2, 6)";
+      invariants = [ "engine-drained" ];
+      corpus_file = "chaos/corpus/planted-horizon-stop-7-00000000.plan";
+    }
+  in
+  Alcotest.(check bool) "forged corpus hash flagged" true
+    (List.mem "search-corpus-hashes"
+       (violated { r with Search_report.findings = [ forged ] }))
+
+(* ---------- corpus hygiene ---------- *)
+
+let test_corpus_dedupe () =
+  let dir = fresh_corpus_dir () in
+  let plan = [ Plan.Link_down { u = 0; v = 1; w = Plan.window 0.2 2.5 } ] in
+  let entry = { Corpus.scenario = "planted-horizon-stop"; seed = 7; plan } in
+  let path = Corpus.save ~dir entry in
+  Alcotest.(check (option string)) "duplicate detected" (Some path)
+    (Corpus.find_duplicate ~dir entry);
+  (* same plan under a different seed is still the same reproducer *)
+  let path2 = Corpus.save ~dir { entry with Corpus.seed = 99 } in
+  Alcotest.(check string) "seed does not defeat dedup" path path2;
+  Alcotest.(check int) "still one file" 1 (List.length (Corpus.load_dir dir));
+  (* a genuinely different plan gets its own file *)
+  let other =
+    { entry with Corpus.plan = [ Plan.Link_down { u = 0; v = 1; w = Plan.window 0.1 1.0 } ] }
+  in
+  Alcotest.(check (option string)) "distinct plan is no duplicate" None
+    (Corpus.find_duplicate ~dir other);
+  let path3 = Corpus.save ~dir other in
+  Alcotest.(check bool) "distinct plan, distinct file" true (path3 <> path);
+  Alcotest.(check int) "two files" 2 (List.length (Corpus.load_dir dir))
+
+let test_corpus_unknown_scenario_rejected () =
+  let dir = fresh_corpus_dir () in
+  let entry =
+    {
+      Corpus.scenario = "no-such-scenario";
+      seed = 3;
+      plan = [ Plan.Link_down { u = 0; v = 1; w = Plan.window 0.1 1.0 } ];
+    }
+  in
+  let path = Corpus.save ~dir entry in
+  (* permissive by default: tests persist plans for private scenarios *)
+  (match Corpus.load path with
+  | Ok _ -> ()
+  | Error e -> Alcotest.fail e);
+  (* with a known-scenario registry the entry is cleanly rejected *)
+  let known = List.map (fun s -> s.Scenario.name) Scenario.all in
+  (match Corpus.load ~known path with
+  | Error e ->
+    Alcotest.(check bool) "error names the bad scenario" true
+      (contains e "no-such-scenario")
+  | Ok _ -> Alcotest.fail "unknown scenario must be rejected");
+  match Corpus.load_dir ~known dir with
+  | [ (_, Error _) ] -> ()
+  | _ -> Alcotest.fail "load_dir must surface the rejection"
+
+let () =
+  Alcotest.run "search"
+    [
+      ( "mutation-operators",
+        [
+          QCheck_alcotest.to_alcotest prop_mutants_valid;
+          QCheck_alcotest.to_alcotest prop_mutate_deterministic;
+        ] );
+      ( "planted-violation",
+        [
+          Alcotest.test_case "random sweep misses it" `Quick
+            test_random_sweep_misses_planted;
+          Alcotest.test_case "mutate backend finds + shrinks + persists"
+            `Quick test_mutate_finds_planted;
+        ] );
+      ( "bounded-exhaustive",
+        [
+          Alcotest.test_case "complete on the toy box" `Quick
+            test_exhaust_complete_on_toy_box;
+          Alcotest.test_case "certifies a clean box" `Quick
+            test_exhaust_certifies_clean_box;
+        ] );
+      ( "determinism",
+        [
+          Alcotest.test_case "byte-identical across domains + repeats" `Slow
+            test_search_deterministic;
+        ] );
+      ( "report",
+        [
+          Alcotest.test_case "round-trip + tampering" `Quick
+            test_report_roundtrip_and_tampering;
+        ] );
+      ( "corpus-hygiene",
+        [
+          Alcotest.test_case "dedup on persist" `Quick test_corpus_dedupe;
+          Alcotest.test_case "unknown scenario rejected" `Quick
+            test_corpus_unknown_scenario_rejected;
+        ] );
+    ]
