@@ -25,7 +25,7 @@ module Obs_json = Tussle_obs.Json
 
 let experiments_cmd =
   let id =
-    let doc = "Run a single experiment (E1..E29)." in
+    let doc = "Run a single experiment (E1..E30)." in
     Arg.(value & opt (some string) None & info [ "e"; "experiment" ] ~doc)
   in
   let domains =
@@ -159,7 +159,7 @@ let experiments_cmd =
           2
       end)
   in
-  let doc = "regenerate the paper's experiments (E1..E29)" in
+  let doc = "regenerate the paper's experiments (E1..E30)" in
   Cmd.v (Cmd.info "experiments" ~doc)
     Term.(const run $ id $ domains $ seq $ metrics $ trace $ report
           $ timeout_s $ fault_seed)
@@ -700,7 +700,7 @@ let sweep_cmd =
   let ids =
     let doc =
       "Comma-separated experiment ids to sweep (default: every experiment \
-       exposing a sweep surface, currently E1 and E29)."
+       exposing a sweep surface, currently E1, E29 and E30)."
     in
     Arg.(value & opt (some string) None & info [ "e"; "experiments" ] ~doc ~docv:"IDS")
   in

@@ -61,6 +61,26 @@ let episode_explains (e : Flight.event) (spec : Plan.spec) =
     in_window w t
     && e.Flight.detail = "filtered:" ^ Plan.broken_device_name
     && e.Flight.node = node
+  | Plan.Gray_loss { u; v; w; _ } ->
+    e.Flight.detail = "gray-loss" && in_window w t
+    && edge_eq u v e.Flight.node e.Flight.peer
+  | Plan.Unidirectional_down { u; v; w } ->
+    (* drops carry the sending direction (node -> peer), so only the
+       faulted direction matches — the healthy reverse path never
+       gets blamed *)
+    in_window w t
+    && ((e.Flight.detail = "link-down"
+        && e.Flight.node = u && e.Flight.peer = v)
+       || indirect)
+  | Plan.Link_flap { u; v; w; _ } ->
+    (* a "link-down" drop on this edge inside the window can only have
+       happened during a down phase, so no phase arithmetic is needed *)
+    in_window w t
+    && ((e.Flight.detail = "link-down" && edge_eq u v e.Flight.node e.Flight.peer)
+       || indirect)
+  | Plan.Blackhole { node; w } ->
+    in_window w t
+    && ((e.Flight.detail = "blackholed" && e.Flight.node = node) || indirect)
 
 let attribution plan (e : Flight.event) =
   let hits =

@@ -16,9 +16,12 @@ type obs = {
   drops_by_reason : (string * int) list;
   link_fault_drops : int;
   link_corrupted : int;
+  link_gray_drops : int;
   transfers : transfer_state list;
   engine_high_water : int;
   reconvergences : int;
+  covert_budget : int option;
+  fault_transitions : int option;
 }
 
 (* Fold over the distinct physical link objects (an undirected label
@@ -32,7 +35,8 @@ let fold_links links ~init ~f =
         f acc l
       end)
 
-let observe ?(transfers = []) ?(reconvergences = 0) ~clock_start engine net =
+let observe ?(transfers = []) ?(reconvergences = 0) ?covert_budget
+    ?fault_transitions ~clock_start engine net =
   let links = Net.links net in
   {
     injected = Net.injected_count net;
@@ -47,9 +51,13 @@ let observe ?(transfers = []) ?(reconvergences = 0) ~clock_start engine net =
       fold_links links ~init:0 ~f:(fun acc l -> acc + Link.fault_drops l);
     link_corrupted =
       fold_links links ~init:0 ~f:(fun acc l -> acc + Link.corrupted_count l);
+    link_gray_drops =
+      fold_links links ~init:0 ~f:(fun acc l -> acc + Link.gray_drops l);
     transfers;
     engine_high_water = Engine.queue_depth_high_water engine;
     reconvergences;
+    covert_budget;
+    fault_transitions;
   }
 
 type violation = { invariant : string; detail : string }
@@ -114,6 +122,63 @@ let all : (string * (obs -> string option)) list =
           Some
             (Printf.sprintf "%d transfer(s) neither completed nor abandoned"
                (List.length stuck)) );
+    (* Covert drops must never be silently lost: every gray drop the
+       links counted has to surface as an attributed "gray-loss"
+       outcome, and — when the scenario stakes a claim — the total
+       covert damage (gray + Byzantine discard) must stay within its
+       declared budget.  A hello-only control plane that routes a flow
+       into a gray link for a whole run busts any finite budget; a
+       data-plane-verified one detects and reroutes. *)
+    ( "no-silent-blackhole",
+      fun o ->
+        let gray = reason_count o "gray-loss" in
+        if o.link_gray_drops <> gray then
+          Some
+            (Printf.sprintf "links counted %d gray drops, net attributed %d"
+               o.link_gray_drops gray)
+        else
+          match o.covert_budget with
+          | None -> None
+          | Some budget ->
+            let blackholed = reason_count o "blackholed" in
+            if gray + blackholed > budget then
+              Some
+                (Printf.sprintf
+                   "%d covert drops (gray %d + blackholed %d) exceed the \
+                    declared budget %d"
+                   (gray + blackholed) gray blackholed budget)
+            else None );
+    (* Static shortest-path tables are loop-free by construction, so a
+       ttl-exceeded drop without a single reconvergence means the
+       forwarding plane itself looped.  Transient micro-loops during
+       reconvergence are expected and exempt. *)
+    ( "no-forwarding-loop",
+      fun o ->
+        let ttl = reason_count o "ttl-exceeded" in
+        if ttl > 0 && o.reconvergences = 0 then
+          Some
+            (Printf.sprintf
+               "%d ttl-exceeded drop(s) with zero reconvergences: static \
+                tables forwarded a loop"
+               ttl)
+        else None );
+    (* Reconvergence churn must stay proportional to the churn the
+       plan actually drove: each control-observable fault transition
+       may trigger a detection and a restoration (and a damped control
+       plane far fewer).  The generous 4t+4 bound still catches a
+       control plane recomputing in a storm of its own making. *)
+    ( "damping-bounds-reconvergence",
+      fun o ->
+        match o.fault_transitions with
+        | None -> None
+        | Some t ->
+          let bound = (4 * t) + 4 in
+          if o.reconvergences > bound then
+            Some
+              (Printf.sprintf
+                 "%d reconvergences for %d fault transition(s) (bound %d)"
+                 o.reconvergences t bound)
+          else None );
   ]
 
 let names = List.map fst all

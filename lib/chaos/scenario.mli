@@ -30,6 +30,12 @@ val ring_selfheal : t
     with a {!Tussle_routing.Selfheal} control plane attached —
     exercises failure detection, re-convergence and flapping. *)
 
+val ring_verified : t
+(** [ring-verified]: the same ring and traffic healed by
+    {!Tussle_routing.Selfheal.verified_config} — data-plane adjacency
+    probing, transit probes with quarantine, and flap damping, under
+    the full extended fault grammar. *)
+
 val grid_static : t
 (** [grid-static]: two crossing open-loop flows on a 3x3 grid with
     static link-state tables — exercises drop attribution when the

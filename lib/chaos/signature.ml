@@ -37,8 +37,14 @@ let of_obs (o : Invariant.obs) =
     |> String.concat ","
   in
   let completed, abandoned, active = transfer_counts o.Invariant.transfers in
-  Printf.sprintf "drops[%s] xfer[%d/%d/%d] heal:%d hw:%d inflight:%d" drops
-    completed abandoned active
+  let covert =
+    o.Invariant.link_gray_drops
+    + Option.value ~default:0
+        (List.assoc_opt "blackholed" o.Invariant.drops_by_reason)
+  in
+  Printf.sprintf "drops[%s] xfer[%d/%d/%d] heal:%d covert:%d hw:%d inflight:%d"
+    drops completed abandoned active
     (bucket o.Invariant.reconvergences)
+    (bucket covert)
     (bucket o.Invariant.engine_high_water)
     (bucket o.Invariant.in_flight)

@@ -29,6 +29,7 @@ let all =
     E27_transport.experiment;
     E28_faults.experiment;
     E29_selfheal.experiment;
+    E30_verified_heal.experiment;
   ]
 
 (* Deliberately-hung toy experiment (outside [all]): spins forever at a

@@ -20,6 +20,19 @@ let links_between g u v =
       (Printf.sprintf "Inject.install: no link between %d and %d" u v);
   List.rev !acc
 
+(* Only the links carrying u->v traffic: the directed subset of
+   [links_between].  With per-direction link objects (Topology.to_links)
+   this isolates one direction; a shared undirected label is returned
+   once and — unavoidably — faults both directions. *)
+let links_from g u v =
+  let acc = ref [] in
+  Graph.iter_edges g (fun a b l ->
+      if a = u && b = v && not (List.memq l !acc) then acc := l :: !acc);
+  if !acc = [] then
+    invalid_arg
+      (Printf.sprintf "Inject.install: no link from %d to %d" u v);
+  List.rev !acc
+
 let links_incident g node =
   let acc = ref [] in
   Graph.iter_edges g (fun a b l ->
@@ -45,9 +58,14 @@ let located = function
   | Plan.Link_down { u; v; _ }
   | Plan.Link_loss { u; v; _ }
   | Plan.Link_corrupt { u; v; _ }
-  | Plan.Latency_spike { u; v; _ } ->
+  | Plan.Latency_spike { u; v; _ }
+  | Plan.Gray_loss { u; v; _ }
+  | Plan.Unidirectional_down { u; v; _ }
+  | Plan.Link_flap { u; v; _ } ->
     (u, v)
-  | Plan.Node_crash { node; _ } | Plan.Middlebox_break { node; _ } ->
+  | Plan.Node_crash { node; _ }
+  | Plan.Middlebox_break { node; _ }
+  | Plan.Blackhole { node; _ } ->
     (node, -1)
 
 let install ~seed ~plan engine net =
@@ -114,6 +132,57 @@ let install ~seed ~plan engine net =
         windowed w
           ~on_open:(fun () -> List.iter (fun l -> Link.set_up l false) ls)
           ~on_close:(fun () -> List.iter (fun l -> Link.set_up l true) ls)
+      | Plan.Gray_loss { u; v; w; prob } ->
+        let ls = links_between g u v in
+        let episode_rng = Rng.split rng in
+        windowed w
+          ~on_open:(fun () ->
+            List.iter
+              (fun l ->
+                Link.set_fault_rng l episode_rng;
+                Link.set_gray_loss_prob l prob)
+              ls)
+          ~on_close:(fun () ->
+            List.iter (fun l -> Link.set_gray_loss_prob l 0.0) ls)
+      | Plan.Unidirectional_down { u; v; w } ->
+        let ls = links_from g u v in
+        windowed w
+          ~on_open:(fun () -> List.iter (fun l -> Link.set_up l false) ls)
+          ~on_close:(fun () -> List.iter (fun l -> Link.set_up l true) ls)
+      | Plan.Link_flap { u; v; w; period_s; duty } ->
+        (* Deterministic toggle schedule, compiled up front: down at
+           [from + k*period], up [duty*period] later when that lands
+           inside the window, and an unconditional restore at window
+           close.  Each toggle is its own flight event, so a narrative
+           can count the flaps a damped control plane absorbed. *)
+        let ls = links_between g u v in
+        if w.Plan.from_s < Engine.now engine then
+          invalid_arg "Inject.install: window opens in the engine's past";
+        let toggle up_state kind t =
+          ignore
+            (Engine.schedule engine t (fun _ ->
+                 record kind ();
+                 List.iter (fun l -> Link.set_up l up_state) ls))
+        in
+        let k = ref 0 in
+        let continue = ref true in
+        while !continue do
+          let down = w.Plan.from_s +. (period_s *. float_of_int !k) in
+          if down < w.Plan.until_s then begin
+            toggle false "fault-open" down;
+            let up = down +. (duty *. period_s) in
+            if up < w.Plan.until_s then toggle true "fault-close" up;
+            incr k
+          end
+          else continue := false
+        done;
+        toggle true "fault-close" w.Plan.until_s
+      | Plan.Blackhole { node; w } ->
+        if node < 0 || node >= Graph.node_count g then
+          invalid_arg "Inject.install: blackhole node out of range";
+        windowed w
+          ~on_open:(fun () -> Net.set_blackhole net node true)
+          ~on_close:(fun () -> Net.set_blackhole net node false)
       | Plan.Middlebox_break { node; w; covert } ->
         if node < 0 || node >= Graph.node_count g then
           invalid_arg "Inject.install: middlebox node out of range";

@@ -10,9 +10,19 @@
 
     Link episodes apply to {e every} link between the two endpoints in
     both directions (deduplicated by physical identity, so a shared
-    undirected label is set once).  Episodes targeting the same link
-    should not overlap in time: each window restores the link's
-    baseline when it closes, so the last writer wins.
+    undirected label is set once) — except [Unidirectional_down], which
+    touches only the links carrying u->v traffic.  Episodes targeting
+    the same link should not overlap in time: each window restores the
+    link's baseline when it closes, so the last writer wins.
+
+    [Link_flap] compiles to a deterministic toggle schedule (down at
+    [from + k*period], up [duty*period] later, unconditional restore at
+    window close); every toggle lands in the flight recorder as its own
+    fault-open/fault-close event.  [Gray_loss] draws per-packet from
+    its own split stream, like [Link_loss] — but drops while the link's
+    control-plane view stays up.  [Blackhole] flips the net's Byzantine
+    bit for the node: hellos keep flowing, transit traffic silently
+    dies, attributed as ["blackholed"].
 
     [Middlebox_break] attaches a device named
     {!Plan.broken_device_name} at the node immediately (it forwards

@@ -9,6 +9,16 @@ type spec =
   | Latency_spike of { u : int; v : int; w : window; extra_s : float }
   | Node_crash of { node : int; w : window }
   | Middlebox_break of { node : int; w : window; covert : bool }
+  | Gray_loss of { u : int; v : int; w : window; prob : float }
+  | Unidirectional_down of { u : int; v : int; w : window }
+  | Link_flap of {
+      u : int;
+      v : int;
+      w : window;
+      period_s : float;
+      duty : float;
+    }
+  | Blackhole of { node : int; w : window }
 
 type t = spec list
 
@@ -46,26 +56,90 @@ let validate plan =
         check_window w;
         if not (extra_s >= 0.0) then
           invalid_arg "Fault plan: negative latency spike"
-      | Node_crash { w; _ } | Middlebox_break { w; _ } -> check_window w)
+      | Node_crash { w; _ } | Middlebox_break { w; _ } | Blackhole { w; _ } ->
+        check_window w
+      | Gray_loss { u; v; w; prob } ->
+        check_endpoints u v;
+        check_window w;
+        check_prob prob
+      | Unidirectional_down { u; v; w } ->
+        check_endpoints u v;
+        check_window w
+      | Link_flap { u; v; w; period_s; duty } ->
+        check_endpoints u v;
+        check_window w;
+        if not (Float.is_finite w.until_s) then
+          invalid_arg "Fault plan: flap window must be finite";
+        if not (Float.is_finite period_s && period_s > 0.0) then
+          invalid_arg "Fault plan: flap period must be finite and positive";
+        if not (duty > 0.0 && duty < 1.0) then
+          invalid_arg "Fault plan: flap duty outside (0,1)")
     plan
 
-let draw_episode rng ~links ~horizon =
+(* How many control-observable state flips an episode drives: a finite
+   window opens and closes (2), an infinite one only opens (1), and a
+   flap toggles every down/up edge plus the final restore at window
+   close.  The damping-bounds-reconvergence invariant normalizes a
+   run's reconvergence count by this. *)
+let spec_transitions = function
+  | Link_flap { w; period_s; duty; _ } ->
+    let n = ref 1 (* the restore at window close *) in
+    let k = ref 0 in
+    let continue = ref true in
+    while !continue do
+      let down = w.from_s +. (period_s *. float_of_int !k) in
+      if down < w.until_s then begin
+        incr n;
+        if down +. (duty *. period_s) < w.until_s then incr n;
+        incr k
+      end
+      else continue := false
+    done;
+    !n
+  | Link_down { w; _ }
+  | Link_loss { w; _ }
+  | Link_corrupt { w; _ }
+  | Latency_spike { w; _ }
+  | Node_crash { w; _ }
+  | Middlebox_break { w; _ }
+  | Gray_loss { w; _ }
+  | Unidirectional_down { w; _ }
+  | Blackhole { w; _ } ->
+    if Float.is_finite w.until_s then 2 else 1
+
+let transitions plan =
+  List.fold_left (fun acc spec -> acc + spec_transitions spec) 0 plan
+
+let draw_episode ?(extended = true) rng ~links ~horizon =
   let u, v = Rng.choice rng links in
   let from_s = Rng.uniform rng 0.0 (0.6 *. horizon) in
   let until_s = from_s +. Rng.uniform rng (0.1 *. horizon) (0.4 *. horizon) in
   let w = { from_s; until_s } in
-  match Rng.int rng 4 with
+  match Rng.int rng (if extended then 9 else 4) with
   | 0 -> Link_down { u; v; w }
   | 1 -> Link_loss { u; v; w; prob = Rng.uniform rng 0.05 0.3 }
   | 2 -> Link_corrupt { u; v; w; prob = Rng.uniform rng 0.02 0.15 }
-  | _ -> Latency_spike { u; v; w; extra_s = Rng.uniform rng 0.005 0.05 }
+  | 3 -> Latency_spike { u; v; w; extra_s = Rng.uniform rng 0.005 0.05 }
+  | 4 -> Node_crash { node = u; w }
+  | 5 -> Gray_loss { u; v; w; prob = Rng.uniform rng 0.3 0.9 }
+  | 6 -> Unidirectional_down { u; v; w }
+  | 7 ->
+    Link_flap
+      {
+        u;
+        v;
+        w;
+        period_s = Rng.uniform rng (0.05 *. horizon) (0.25 *. horizon);
+        duty = Rng.uniform rng 0.2 0.8;
+      }
+  | _ -> Blackhole { node = v; w }
 
-let random rng ~links ~horizon ~episodes =
+let random ?(extended = true) rng ~links ~horizon ~episodes =
   if links = [] then invalid_arg "Plan.random: no links";
   if not (horizon > 0.0) then invalid_arg "Plan.random: non-positive horizon";
   if episodes < 0 then invalid_arg "Plan.random: negative episode count";
   let links = Array.of_list links in
-  List.init episodes (fun _ -> draw_episode rng ~links ~horizon)
+  List.init episodes (fun _ -> draw_episode ~extended rng ~links ~horizon)
 
 (* ---------- mutation operators (adversarial search) ---------- *)
 
@@ -83,7 +157,11 @@ let spec_window = function
   | Link_corrupt { w; _ }
   | Latency_spike { w; _ }
   | Node_crash { w; _ }
-  | Middlebox_break { w; _ } ->
+  | Middlebox_break { w; _ }
+  | Gray_loss { w; _ }
+  | Unidirectional_down { w; _ }
+  | Link_flap { w; _ }
+  | Blackhole { w; _ } ->
     w
 
 let with_window spec w =
@@ -94,6 +172,11 @@ let with_window spec w =
   | Latency_spike { u; v; extra_s; w = _ } -> Latency_spike { u; v; w; extra_s }
   | Node_crash { node; w = _ } -> Node_crash { node; w }
   | Middlebox_break { node; covert; w = _ } -> Middlebox_break { node; w; covert }
+  | Gray_loss { u; v; prob; w = _ } -> Gray_loss { u; v; w; prob }
+  | Unidirectional_down { u; v; w = _ } -> Unidirectional_down { u; v; w }
+  | Link_flap { u; v; period_s; duty; w = _ } ->
+    Link_flap { u; v; w; period_s; duty }
+  | Blackhole { node; w = _ } -> Blackhole { node; w }
 
 let clamp lo hi x = Float.max lo (Float.min hi x)
 
@@ -128,7 +211,21 @@ let perturb_spec rng ~cap spec =
     Link_corrupt { u; v; w; prob = clamp 0.0 1.0 (prob *. scale) }
   | Latency_spike { u; v; w; extra_s } ->
     Latency_spike { u; v; w; extra_s = extra_s *. scale }
-  | (Link_down _ | Node_crash _ | Middlebox_break _) as s ->
+  | Gray_loss { u; v; w; prob } ->
+    Gray_loss { u; v; w; prob = clamp 0.0 1.0 (prob *. scale) }
+  | Link_flap { u; v; w; period_s; duty } ->
+    (* the period floor keeps compounding perturbations from driving
+       the toggle count toward infinity *)
+    Link_flap
+      {
+        u;
+        v;
+        w;
+        period_s = clamp 0.01 cap (period_s *. scale);
+        duty = clamp 0.05 0.95 (duty *. scale);
+      }
+  | (Link_down _ | Node_crash _ | Middlebox_break _ | Unidirectional_down _
+    | Blackhole _) as s ->
     (* no probability to perturb; widen the window instead *)
     widen_spec rng ~cap s
 
@@ -141,6 +238,10 @@ let retarget_spec rng ~links spec =
   | Latency_spike { w; extra_s; _ } -> Latency_spike { u; v; w; extra_s }
   | Node_crash { w; _ } -> Node_crash { node = u; w }
   | Middlebox_break { w; covert; _ } -> Middlebox_break { node = u; w; covert }
+  | Gray_loss { w; prob; _ } -> Gray_loss { u; v; w; prob }
+  | Unidirectional_down { w; _ } -> Unidirectional_down { u; v; w }
+  | Link_flap { w; period_s; duty; _ } -> Link_flap { u; v; w; period_s; duty }
+  | Blackhole { w; _ } -> Blackhole { node = u; w }
 
 let mutate rng ~links ~horizon plan =
   if links = [] then invalid_arg "Plan.mutate: no links";
@@ -204,6 +305,16 @@ let spec_string = function
     Printf.sprintf "middlebox %d %s %s" node
       (if covert then "covert" else "revealing")
       (window_string w)
+  | Gray_loss { u; v; w; prob } ->
+    Printf.sprintf "link %d-%d gray p=%s %s" u v (float_repr prob)
+      (window_string w)
+  | Unidirectional_down { u; v; w } ->
+    Printf.sprintf "link %d->%d down %s" u v (window_string w)
+  | Link_flap { u; v; w; period_s; duty } ->
+    Printf.sprintf "link %d-%d flap period=%ss duty=%s %s" u v
+      (float_repr period_s) (float_repr duty) (window_string w)
+  | Blackhole { node; w } ->
+    Printf.sprintf "node %d blackhole %s" node (window_string w)
 
 let to_string plan = String.concat "\n" (List.map spec_string plan)
 
@@ -241,6 +352,18 @@ let parse_pair tok =
   end
   | _ -> Error (Printf.sprintf "bad link endpoints %S" tok)
 
+(* "u->v": the directed endpoint form Unidirectional_down renders. *)
+let parse_directed_pair tok =
+  match String.index_opt tok '>' with
+  | Some i when i > 0 && tok.[i - 1] = '-' -> begin
+    let a = String.sub tok 0 (i - 1) in
+    let b = String.sub tok (i + 1) (String.length tok - i - 1) in
+    match (int_of_string_opt a, int_of_string_opt b) with
+    | Some u, Some v -> Some (u, v)
+    | _ -> None
+  end
+  | _ -> None
+
 let parse_int what tok =
   match int_of_string_opt tok with
   | Some n -> Ok n
@@ -252,10 +375,16 @@ let parse_spec line =
     List.filter (fun t -> t <> "") (String.split_on_char ' ' line)
   in
   match tokens with
-  | [ "link"; uv; "down"; ta; tb ] ->
-    let* u, v = parse_pair uv in
-    let* w = parse_window ta tb in
-    Ok (Link_down { u; v; w })
+  | [ "link"; uv; "down"; ta; tb ] -> begin
+    match parse_directed_pair uv with
+    | Some (u, v) ->
+      let* w = parse_window ta tb in
+      Ok (Unidirectional_down { u; v; w })
+    | None ->
+      let* u, v = parse_pair uv in
+      let* w = parse_window ta tb in
+      Ok (Link_down { u; v; w })
+  end
   | [ "link"; uv; "loss"; p; ta; tb ] ->
     let* u, v = parse_pair uv in
     let* ps = strip_affix ~prefix:"p=" ~suffix:"" "loss probability" p in
@@ -274,6 +403,24 @@ let parse_spec line =
     let* extra_s = parse_float "latency spike" xs in
     let* w = parse_window ta tb in
     Ok (Latency_spike { u; v; w; extra_s })
+  | [ "link"; uv; "gray"; p; ta; tb ] ->
+    let* u, v = parse_pair uv in
+    let* ps = strip_affix ~prefix:"p=" ~suffix:"" "gray probability" p in
+    let* prob = parse_float "gray probability" ps in
+    let* w = parse_window ta tb in
+    Ok (Gray_loss { u; v; w; prob })
+  | [ "link"; uv; "flap"; per; duty; ta; tb ] ->
+    let* u, v = parse_pair uv in
+    let* pers = strip_affix ~prefix:"period=" ~suffix:"s" "flap period" per in
+    let* period_s = parse_float "flap period" pers in
+    let* dutys = strip_affix ~prefix:"duty=" ~suffix:"" "flap duty" duty in
+    let* duty = parse_float "flap duty" dutys in
+    let* w = parse_window ta tb in
+    Ok (Link_flap { u; v; w; period_s; duty })
+  | [ "node"; n; "blackhole"; ta; tb ] ->
+    let* node = parse_int "node" n in
+    let* w = parse_window ta tb in
+    Ok (Blackhole { node; w })
   | [ "node"; n; "crash"; ta; tb ] ->
     let* node = parse_int "node" n in
     let* w = parse_window ta tb in

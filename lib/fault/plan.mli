@@ -27,6 +27,28 @@ type spec =
           transit traffic; a {e covert} failure gives no error
           information while a revealing one names itself to probes —
           the §VI-A distinction diagnosis tools must survive *)
+  | Gray_loss of { u : int; v : int; w : window; prob : float }
+      (** a gray failure: data packets crossing (u, v) drop with
+          probability [prob] while control-plane liveness probes keep
+          passing — structurally invisible to hello-based detection *)
+  | Unidirectional_down of { u : int; v : int; w : window }
+      (** only the u->v direction of the adjacency drops traffic; the
+          v->u direction stays healthy *)
+  | Link_flap of {
+      u : int;
+      v : int;
+      w : window;
+      period_s : float;
+      duty : float;
+    }
+      (** periodic up/down inside the window: each [period_s] the link
+          goes down for [duty * period_s], then back up; restored at
+          window close.  The window must be finite, the period positive
+          and the duty in (0,1). *)
+  | Blackhole of { node : int; w : window }
+      (** a Byzantine node: answers control-plane hellos and accepts
+          traffic addressed to itself, but silently discards every
+          packet it would have forwarded for others *)
 
 type t = spec list
 
@@ -39,23 +61,37 @@ val always : window
 val validate : t -> unit
 (** Raises [Invalid_argument] on a malformed plan: negative or
     non-finite [from_s], [until_s <= from_s], probability outside
-    [0,1], negative latency spike, or [u = v]. *)
+    [0,1], negative latency spike, [u = v], an infinite flap window,
+    a non-positive flap period, or a flap duty outside (0,1). *)
+
+val transitions : t -> int
+(** Total control-observable fault transitions the plan drives: each
+    finite-window episode counts its open and close (2), an infinite
+    one only its open (1), and a flap every down/up toggle plus the
+    final restore.  The damping-bounds-reconvergence invariant uses
+    this as the normalizer for a run's reconvergence count. *)
 
 val broken_device_name : string
 (** Middlebox name installed by [Middlebox_break] episodes
     (["broken-device"]); what a revealing failure confesses as. *)
 
 val random :
+  ?extended:bool ->
   Tussle_prelude.Rng.t ->
   links:(int * int) list ->
   horizon:float ->
   episodes:int ->
   t
-(** [random rng ~links ~horizon ~episodes] draws [episodes] link-level
-    episodes (down / loss / corrupt / latency-spike, uniformly) over
-    the given links, with windows inside [\[0, horizon)].  Equal rng
-    states yield equal plans.  Raises [Invalid_argument] on an empty
-    [links] list, non-positive [horizon] or negative [episodes]. *)
+(** [random rng ~links ~horizon ~episodes] draws [episodes] episodes
+    uniformly over the full grammar — down / loss / corrupt /
+    latency-spike / node-crash / gray-loss / unidirectional-down /
+    flap / blackhole — over the given links (node-scoped episodes
+    target link endpoints), with windows inside [\[0, horizon)].
+    [~extended:false] restricts the draw to the four legacy link-level
+    kinds (down / loss / corrupt / latency-spike), the pre-gray
+    grammar tests use as a contrast.  Equal rng states yield equal
+    plans.  Raises [Invalid_argument] on an empty [links] list,
+    non-positive [horizon] or negative [episodes]. *)
 
 val mutation_horizon_factor : float
 (** Mutated windows are capped at [mutation_horizon_factor * horizon]

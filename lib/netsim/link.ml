@@ -1,6 +1,6 @@
 module Rng = Tussle_prelude.Rng
 
-type fault = Down | Loss | Corrupt
+type fault = Down | Loss | Corrupt | Gray
 
 type t = {
   latency : float;
@@ -18,9 +18,14 @@ type t = {
   mutable up : bool;
   mutable loss_prob : float;
   mutable corrupt_prob : float;
+  (* gray failure: drops data while [is_up] — the control-plane view —
+     keeps reporting healthy.  Counted separately from [fault_drops] so
+     the chaos ledger can prove no covert drop went unattributed. *)
+  mutable gray_loss_prob : float;
   mutable extra_latency : float;
   mutable fault_rng : Rng.t option;
   mutable fault_drops : int;
+  mutable gray_drops : int;
   mutable corrupted : int;
 }
 
@@ -41,9 +46,11 @@ let make ?(queue_capacity = 64) ~latency ~bandwidth_bps () =
     up = true;
     loss_prob = 0.0;
     corrupt_prob = 0.0;
+    gray_loss_prob = 0.0;
     extra_latency = 0.0;
     fault_rng = None;
     fault_drops = 0;
+    gray_drops = 0;
     corrupted = 0;
   }
 
@@ -91,6 +98,13 @@ let set_corrupt_prob l p =
   require_rng l ~what:"set_corrupt_prob" p;
   l.corrupt_prob <- p
 
+let set_gray_loss_prob l p =
+  check_prob ~what:"set_gray_loss_prob" p;
+  require_rng l ~what:"set_gray_loss_prob" p;
+  l.gray_loss_prob <- p
+
+let gray_loss_prob l = l.gray_loss_prob
+
 let set_extra_latency l x =
   if not (x >= 0.0) then invalid_arg "Link.set_extra_latency: negative";
   l.extra_latency <- x
@@ -100,6 +114,17 @@ let extra_latency l = l.extra_latency
 let draw l p =
   p > 0.0
   && (match l.fault_rng with Some rng -> Rng.bernoulli rng p | None -> false)
+
+(* A virtual data-plane probe: would a packet offered now survive the
+   link's injected faults?  Draws from the caller's rng, not the fault
+   stream, and touches no counters or queue state — so probing never
+   perturbs the simulation's ledgers or the episode's own loss draws.
+   Deliberately blind to queue occupancy: it tests the fault plane
+   (down, wire loss, gray loss), not congestion. *)
+let probe l rng =
+  l.up
+  && (not (l.loss_prob > 0.0 && Rng.bernoulli rng l.loss_prob))
+  && not (l.gray_loss_prob > 0.0 && Rng.bernoulli rng l.gray_loss_prob)
 
 (* ---------- the transmission path ---------- *)
 
@@ -116,6 +141,10 @@ let try_enqueue l ~now bytes =
   else if draw l l.loss_prob then begin
     l.fault_drops <- l.fault_drops + 1;
     `Faulted Loss
+  end
+  else if draw l l.gray_loss_prob then begin
+    l.gray_drops <- l.gray_drops + 1;
+    `Faulted Gray
   end
   else if List.length l.departures >= l.queue_capacity then begin
     l.dropped <- l.dropped + 1;
@@ -146,6 +175,8 @@ let packets_dropped l = l.dropped
 
 let fault_drops l = l.fault_drops
 
+let gray_drops l = l.gray_drops
+
 let corrupted_count l = l.corrupted
 
 let reset_counters l =
@@ -153,4 +184,5 @@ let reset_counters l =
   l.dropped <- 0;
   l.busy_time <- 0.0;
   l.fault_drops <- 0;
+  l.gray_drops <- 0;
   l.corrupted <- 0

@@ -16,6 +16,10 @@ type fault =
   | Down  (** the link is administratively/physically down *)
   | Loss  (** dropped on the wire by an injected loss episode *)
   | Corrupt  (** transmitted but damaged; discarded on arrival *)
+  | Gray
+      (** dropped by a gray-failure episode: the data plane eats the
+          packet while {!is_up} — what control-plane hellos sample —
+          keeps reporting healthy *)
 
 val make :
   ?queue_capacity:int -> latency:float -> bandwidth_bps:float -> unit -> t
@@ -73,6 +77,9 @@ val reset_counters : t -> unit
     with no extra latency. *)
 
 val is_up : t -> bool
+(** The {e control-plane} view of the link: what hello sampling sees.
+    A gray-loss episode leaves this [true] while the data plane drops
+    — use {!probe} for data-plane evidence. *)
 
 val set_up : t -> bool -> unit
 (** Take the link down (every offered packet becomes [`Faulted Down])
@@ -93,6 +100,14 @@ val set_corrupt_prob : t -> float -> unit
 (** Per-packet corruption probability in [0,1], drawn only for packets
     that were actually transmitted. *)
 
+val set_gray_loss_prob : t -> float -> unit
+(** Per-packet gray-loss probability in [0,1]: the data plane drops
+    with this probability while {!is_up} stays [true], so hello-based
+    detection cannot see the fault.  Same preconditions as
+    {!set_loss_prob}. *)
+
+val gray_loss_prob : t -> float
+
 val set_extra_latency : t -> float -> unit
 (** Additive propagation latency (a latency-spike episode); >= 0. *)
 
@@ -101,5 +116,19 @@ val extra_latency : t -> float
 val fault_drops : t -> int
 (** Packets killed by [Down] or [Loss]. *)
 
+val gray_drops : t -> int
+(** Packets killed by [Gray] — counted apart from {!fault_drops} so
+    the chaos ledger can check covert drops are never silently lost. *)
+
 val corrupted_count : t -> int
 (** Packets killed by [Corrupt]. *)
+
+val probe : t -> Tussle_prelude.Rng.t -> bool
+(** [probe l rng] offers a {e virtual} data-plane probe: [true] iff a
+    packet offered right now would survive the link's injected faults
+    (up, not wire-lost, not gray-dropped).  Randomness comes from the
+    caller's [rng], never the link's fault stream, and no counter or
+    queue state is touched — a data-plane health detector can probe on
+    its own schedule without perturbing traffic outcomes or the
+    fault-accounting ledger.  Blind to queue occupancy by design: it
+    tests the fault plane, not congestion. *)

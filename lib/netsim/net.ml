@@ -10,6 +10,8 @@ type drop_reason =
   | Link_down of int * int
   | Fault_loss of int * int
   | Corrupted of int * int
+  | Gray_loss of int * int
+  | Blackholed of int
 
 type outcome =
   | Delivered of { latency : float; degraded : bool; tapped : bool }
@@ -29,6 +31,9 @@ type t = {
      routing swaps in fresh tables while packets are in flight) *)
   mutable forwarding : forwarding;
   middleboxes : (int, Middlebox.t list) Hashtbl.t;
+  (* Byzantine nodes: answer hellos and accept traffic addressed to
+     themselves, silently discard everything they'd forward for others *)
+  blackholes : (int, unit) Hashtbl.t;
   transits : (int, transit) Hashtbl.t;
   mutable injected : int;
   mutable outcomes : (Packet.t * outcome) list; (* reversed *)
@@ -42,6 +47,7 @@ let create ?(ttl = 64) links forwarding =
     links;
     forwarding;
     middleboxes = Hashtbl.create 16;
+    blackholes = Hashtbl.create 4;
     transits = Hashtbl.create 64;
     injected = 0;
     outcomes = [];
@@ -58,6 +64,12 @@ let add_middlebox t node mb =
 let middleboxes_at t node =
   Option.value ~default:[] (Hashtbl.find_opt t.middleboxes node)
 
+let set_blackhole t node on =
+  if on then Hashtbl.replace t.blackholes node ()
+  else Hashtbl.remove t.blackholes node
+
+let is_blackhole t node = Hashtbl.mem t.blackholes node
+
 (* Per-reason drop attribution (handles interned once; each incr is an
    atomic load and a branch while telemetry is disabled). *)
 let m_drop_no_route = Metrics.counter "net.drops.no_route"
@@ -67,6 +79,8 @@ let m_drop_ttl = Metrics.counter "net.drops.ttl_exceeded"
 let m_drop_link_down = Metrics.counter "net.drops.link_down"
 let m_drop_fault_loss = Metrics.counter "net.drops.fault_loss"
 let m_drop_corrupted = Metrics.counter "net.drops.corrupted"
+let m_drop_gray_loss = Metrics.counter "net.drops.gray_loss"
+let m_drop_blackholed = Metrics.counter "net.drops.blackholed"
 let m_delivered = Metrics.counter "net.delivered"
 
 let drop_reason_label = function
@@ -77,6 +91,8 @@ let drop_reason_label = function
   | Link_down _ -> "link-down"
   | Fault_loss _ -> "fault-loss"
   | Corrupted _ -> "corrupted"
+  | Gray_loss _ -> "gray-loss"
+  | Blackholed _ -> "blackholed"
 
 let count_outcome = function
   | Delivered _ -> Metrics.incr m_delivered
@@ -87,6 +103,8 @@ let count_outcome = function
   | Lost (Link_down _) -> Metrics.incr m_drop_link_down
   | Lost (Fault_loss _) -> Metrics.incr m_drop_fault_loss
   | Lost (Corrupted _) -> Metrics.incr m_drop_corrupted
+  | Lost (Gray_loss _) -> Metrics.incr m_drop_gray_loss
+  | Lost (Blackholed _) -> Metrics.incr m_drop_blackholed
 
 (* Flight-recorder terminus: one event per completed transit, located
    at the node (or link) where the packet's fate was decided. *)
@@ -106,9 +124,9 @@ let record_finish ~now ~at p outcome =
       match reason with
       | No_route | Ttl_exceeded -> (at, -1)
       | Queue_full (u, v) | Link_down (u, v) | Fault_loss (u, v)
-      | Corrupted (u, v) ->
+      | Corrupted (u, v) | Gray_loss (u, v) ->
         (u, v)
-      | Filtered (_, n) -> (n, -1)
+      | Filtered (_, n) | Blackholed n -> (n, -1)
     in
     Flight.emit ~sim_t:now ~flow:p.Packet.id ~node ~peer
       ~detail:(drop_reason_label reason) ~value:0.0 "drop"
@@ -156,6 +174,14 @@ let rec arrive t engine p node =
   match run_middleboxes t ~now node p state with
   | Some reason -> finish t ~now ~at:node p (Lost reason)
   | None ->
+    (* a Byzantine node silently discards transit traffic — anything
+       it would forward for others — while traffic it originates or
+       terminates (hellos, packets addressed to it) flows normally *)
+    if
+      Hashtbl.mem t.blackholes node
+      && node <> p.Packet.src && node <> p.Packet.dst
+    then finish t ~now ~at:node p (Lost (Blackholed node))
+    else begin
     (* consume a reached waypoint *)
     (match state.waypoints with
     | w :: rest when w = node -> state.waypoints <- rest
@@ -184,6 +210,8 @@ let rec arrive t engine p node =
             finish t ~now ~at:node p (Lost (Fault_loss (node, next)))
           | `Faulted Link.Corrupt ->
             finish t ~now ~at:node p (Lost (Corrupted (node, next)))
+          | `Faulted Link.Gray ->
+            finish t ~now ~at:node p (Lost (Gray_loss (node, next)))
           | `Sent arrival_time ->
             if Flight.enabled () then
               Flight.emit ~sim_t:now ~flow:p.Packet.id ~node ~peer:next
@@ -194,6 +222,7 @@ let rec arrive t engine p node =
                    arrive t engine p next))
         end
       end
+    end
 
 let inject t engine p =
   if Hashtbl.mem t.transits p.Packet.id then

@@ -18,6 +18,14 @@ type drop_reason =
   | Link_down of int * int  (** injected fault: link (u, v) was down *)
   | Fault_loss of int * int  (** injected fault: lost on the wire (u, v) *)
   | Corrupted of int * int  (** injected fault: damaged crossing (u, v) *)
+  | Gray_loss of int * int
+      (** injected gray failure: dropped on (u, v) while the link kept
+          answering liveness probes *)
+  | Blackholed of int
+      (** Byzantine discard: the node silently ate transit traffic
+          while answering hellos — distinct from [Filtered] so covert
+          middlebox failure and Byzantine forwarding are separable in
+          {!losses_by_reason} *)
 
 type outcome =
   | Delivered of { latency : float; degraded : bool; tapped : bool }
@@ -43,6 +51,15 @@ val add_middlebox : t -> int -> Middlebox.t -> unit
     order. *)
 
 val middleboxes_at : t -> int -> Middlebox.t list
+
+val set_blackhole : t -> int -> bool -> unit
+(** Mark (or unmark) a node as Byzantine: it keeps accepting traffic
+    addressed to itself — and keeps answering control-plane hellos,
+    which never transit it — but silently discards every packet it
+    would forward for others (source-route waypoints included, which
+    is exactly how transit probes unmask it). *)
+
+val is_blackhole : t -> int -> bool
 
 val inject : t -> Engine.t -> Packet.t -> unit
 (** Offer a packet to the network at the engine's current time.  The
@@ -79,13 +96,15 @@ val mean_latency : t -> float option
 
 val losses_by_reason : t -> (string * int) list
 (** Aggregated loss counts keyed by a stable reason label.  Fault
-    reasons use the labels ["link-down"], ["fault-loss"] and
-    ["corrupted"].  When {!Tussle_obs.Metrics} is enabled every
-    completion also bumps a per-reason counter
+    reasons use the labels ["link-down"], ["fault-loss"],
+    ["corrupted"], ["gray-loss"] and ["blackholed"].  When
+    {!Tussle_obs.Metrics} is enabled every completion also bumps a
+    per-reason counter
     ([net.delivered], [net.drops.no_route], [net.drops.queue_full],
     [net.drops.filtered], [net.drops.ttl_exceeded],
     [net.drops.link_down], [net.drops.fault_loss],
-    [net.drops.corrupted]), attributing drops to their fault. *)
+    [net.drops.corrupted], [net.drops.gray_loss],
+    [net.drops.blackholed]), attributing drops to their fault. *)
 
 val clear_outcomes : t -> unit
 

@@ -1,29 +1,105 @@
 module Graph = Tussle_prelude.Graph
+module Rng = Tussle_prelude.Rng
 module Flight = Tussle_obs.Flight
 module Engine = Tussle_netsim.Engine
 module Net = Tussle_netsim.Net
 module Link = Tussle_netsim.Link
+module Packet = Tussle_netsim.Packet
+
+type data_plane = {
+  probe_interval : float;
+  probes_per_sample : int;
+  window : int;
+  down_ratio : float;
+  up_ratio : float;
+  transit_probes : bool;
+  probe_timeout : float;
+  quarantine_s : float;
+  probe_seed : int;
+}
+
+type damping = {
+  penalty : float;
+  half_life : float;
+  suppress : float;
+  reuse : float;
+}
 
 type config = {
   hello_interval : float;
   hellos_missed : int;
   recompute_delay : float;
   metric : [ `Latency | `Hops ];
+  data_plane : data_plane option;
+  damping : damping option;
 }
 
 let default_config =
   { hello_interval = 0.05; hellos_missed = 2; recompute_delay = 0.1;
-    metric = `Latency }
+    metric = `Latency; data_plane = None; damping = None }
+
+let default_data_plane =
+  {
+    probe_interval = 0.05;
+    probes_per_sample = 4;
+    window = 4;
+    down_ratio = 0.5;
+    up_ratio = 0.9;
+    transit_probes = true;
+    probe_timeout = 0.3;
+    quarantine_s = 2.0;
+    probe_seed = 0x5EED;
+  }
+
+let default_damping =
+  { penalty = 1.0; half_life = 1.0; suppress = 2.5; reuse = 0.5 }
+
+let verified_config =
+  { default_config with
+    data_plane = Some default_data_plane;
+    damping = Some default_damping }
+
+(* Transit probes are real packets; their ids live in a reserved range
+   so observers (and tests) can tell them from scenario traffic. *)
+let probe_id_base = 900_000_000
 
 (* One adjacency under watch: every physical link object carrying
    traffic between u and v (both directions; deduplicated in case an
-   undirected label is shared). *)
+   undirected label is shared), plus the per-direction subsets the
+   data-plane detector probes separately — a unidirectional fault
+   shows up in exactly one of them. *)
 type watch = {
   u : int;
   v : int;
   links : Link.t list;
+  uv_links : Link.t list;
+  vu_links : Link.t list;
   mutable missed : int;
-  mutable declared_down : bool;
+  mutable declared_down : bool;  (* the hello detector's verdict *)
+  mutable dp_down : bool;  (* the data-plane detector's verdict *)
+  (* sliding windows of (delivered, offered) probe samples, newest
+     first, one per direction *)
+  mutable uv_samples : (int * int) list;
+  mutable vu_samples : (int * int) list;
+  (* flap damping: an exponentially decaying penalty, charged per
+     believed-state flip; the adjacency is suppressed (held down)
+     while the penalty sits above the suppress threshold *)
+  mutable penalty : float;
+  mutable penalty_time : float;
+  mutable suppressed : bool;
+  (* when a detector flag (declared_down / dp_down / suppressed) last
+     cleared: lets the transit-probe judge discount a loss on a leg
+     that was believed faulty at any point while the probe was in
+     flight, not just at its deadline *)
+  mutable flag_cleared_at : float;
+}
+
+(* Byzantine-node bookkeeping for the transit prober. *)
+type quarantine = {
+  mutable active : bool;
+  mutable q_until : float;
+  mutable strikes : int;  (* escalates the hold time on re-detection *)
+  mutable fails : int;  (* consecutive failed transit probes *)
 }
 
 type t = {
@@ -38,6 +114,17 @@ type t = {
   mutable reconvergence_times : float list; (* reversed *)
   mutable detections : ((int * int) * [ `Down | `Up ] * float) list;
     (* reversed *)
+  mutable suppressions : int;
+  (* data-plane state (unused when cfg.data_plane = None) *)
+  probe_rng : Rng.t;
+  quarantines : (int, quarantine) Hashtbl.t;
+  (* outstanding transit probes: probe id -> transit node *)
+  outstanding : (int, int) Hashtbl.t;
+  (* completed transit probes: probe id -> judgment *)
+  completed : (int, [ `Pass | `Fail | `Inconclusive ]) Hashtbl.t;
+  mutable next_probe_id : int;
+  mutable probes_sent : int;
+  mutable probes_failed : int;
 }
 
 let build_watches links =
@@ -45,20 +132,50 @@ let build_watches links =
   let order = ref [] in
   Graph.iter_edges links (fun a b l ->
       let key = if a <= b then (a, b) else (b, a) in
-      match Hashtbl.find_opt tbl key with
+      (match Hashtbl.find_opt tbl key with
       | None ->
         Hashtbl.replace tbl key [ l ];
         order := key :: !order
-      | Some ls -> if not (List.memq l ls) then Hashtbl.replace tbl key (l :: ls));
+      | Some ls -> if not (List.memq l ls) then Hashtbl.replace tbl key (l :: ls)));
+  let directed u v =
+    let acc = ref [] in
+    Graph.iter_edges links (fun a b l ->
+        if a = u && b = v && not (List.memq l !acc) then acc := l :: !acc);
+    List.rev !acc
+  in
   List.rev_map
     (fun ((u, v) as key) ->
-      { u; v; links = List.rev (Hashtbl.find tbl key); missed = 0;
-        declared_down = false })
+      {
+        u;
+        v;
+        links = List.rev (Hashtbl.find tbl key);
+        uv_links = directed u v;
+        vu_links = directed v u;
+        missed = 0;
+        declared_down = false;
+        dp_down = false;
+        uv_samples = [];
+        vu_samples = [];
+        penalty = 0.0;
+        penalty_time = 0.0;
+        suppressed = false;
+        flag_cleared_at = neg_infinity;
+      })
     !order
+
+let node_quarantined t node =
+  match Hashtbl.find_opt t.quarantines node with
+  | Some q -> q.active
+  | None -> false
 
 let believed_down t =
   List.filter_map
-    (fun w -> if w.declared_down then Some (w.u, w.v) else None)
+    (fun w ->
+      if
+        w.declared_down || w.dp_down || w.suppressed
+        || node_quarantined t w.u || node_quarantined t w.v
+      then Some (w.u, w.v)
+      else None)
     t.watches
 
 let install t engine =
@@ -86,6 +203,70 @@ let request_recompute t engine =
            install t engine))
   end
 
+(* ---------- flap damping ---------- *)
+
+let decay_penalty (d : damping) w now =
+  if w.penalty > 0.0 then begin
+    let dt = now -. w.penalty_time in
+    if dt > 0.0 then
+      w.penalty <- w.penalty *. (0.5 ** (dt /. d.half_life))
+  end;
+  w.penalty_time <- now
+
+(* Every believed-state flip of an adjacency routes through here.  With
+   damping off it is just a recompute request; with damping on each
+   flip charges the penalty, and a watch whose penalty crosses the
+   suppress threshold is held down — further flips are absorbed without
+   touching the tables until the penalty decays below reuse. *)
+let note_flip t w engine =
+  match t.cfg.damping with
+  | None -> request_recompute t engine
+  | Some d ->
+    let now = Engine.now engine in
+    decay_penalty d w now;
+    w.penalty <- w.penalty +. d.penalty;
+    if w.suppressed then ()
+    else if w.penalty >= d.suppress then begin
+      w.suppressed <- true;
+      t.suppressions <- t.suppressions + 1;
+      if Flight.enabled () then
+        Flight.emit ~sim_t:now ~flow:Flight.control_flow ~node:w.u ~peer:w.v
+          ~detail:"suppress" ~value:w.penalty "heal-damp";
+      request_recompute t engine
+    end
+    else request_recompute t engine
+
+(* Called from the hello tick (the one timer that always runs): let a
+   suppressed watch out of hold-down once its penalty has decayed. *)
+let damping_release t engine =
+  match t.cfg.damping with
+  | None -> ()
+  | Some d ->
+    let now = Engine.now engine in
+    List.iter
+      (fun w ->
+        if w.suppressed then begin
+          decay_penalty d w now;
+          if w.penalty <= d.reuse then begin
+            w.suppressed <- false;
+            w.flag_cleared_at <- now;
+            if Flight.enabled () then
+              Flight.emit ~sim_t:now ~flow:Flight.control_flow ~node:w.u
+                ~peer:w.v ~detail:"reuse" ~value:w.penalty "heal-damp";
+            request_recompute t engine
+          end
+        end)
+      t.watches
+
+(* ---------- the hello (control-plane) detector ---------- *)
+
+let declare t w engine verdict ~detail =
+  t.detections <- ((w.u, w.v), verdict, Engine.now engine) :: t.detections;
+  if Flight.enabled () then
+    Flight.emit ~sim_t:(Engine.now engine) ~flow:Flight.control_flow
+      ~node:w.u ~peer:w.v ~detail ~value:0.0 "heal-detect";
+  note_flip t w engine
+
 let rec tick t engine =
   List.iter
     (fun w ->
@@ -94,42 +275,251 @@ let rec tick t engine =
         w.missed <- 0;
         if w.declared_down then begin
           w.declared_down <- false;
-          t.detections <- ((w.u, w.v), `Up, Engine.now engine) :: t.detections;
-          if Flight.enabled () then
-            Flight.emit ~sim_t:(Engine.now engine)
-              ~flow:Flight.control_flow ~node:w.u ~peer:w.v ~detail:"up"
-              ~value:0.0 "heal-detect";
-          request_recompute t engine
+          w.flag_cleared_at <- Engine.now engine;
+          declare t w engine `Up ~detail:"up"
         end
       end
       else begin
         w.missed <- w.missed + 1;
         if (not w.declared_down) && w.missed >= t.cfg.hellos_missed then begin
           w.declared_down <- true;
-          t.detections <-
-            ((w.u, w.v), `Down, Engine.now engine) :: t.detections;
-          if Flight.enabled () then
-            Flight.emit ~sim_t:(Engine.now engine)
-              ~flow:Flight.control_flow ~node:w.u ~peer:w.v ~detail:"down"
-              ~value:0.0 "heal-detect";
-          request_recompute t engine
+          declare t w engine `Down ~detail:"down"
         end
       end)
     t.watches;
+  damping_release t engine;
   let next = Engine.now engine +. t.cfg.hello_interval in
   if next <= t.until then ignore (Engine.schedule engine next (tick t))
 
-let attach ?(config = default_config) ~until engine net =
+(* ---------- the data-plane detector ---------- *)
+
+(* One probe of a direction passes iff every link object carrying that
+   direction would deliver — [Link.probe] is virtual, so sampling
+   perturbs neither the traffic ledgers nor the episode fault
+   streams. *)
+let sample_direction t links n =
+  match links with
+  | [] -> (n, n)  (* a direction with no links can't drop: vacuously healthy *)
+  | _ ->
+    let ok = ref 0 in
+    for _ = 1 to n do
+      if List.for_all (fun l -> Link.probe l t.probe_rng) links then incr ok
+    done;
+    (!ok, n)
+
+let push_sample window samples s =
+  List.filteri (fun i _ -> i < window - 1) samples |> List.cons s
+
+let ratio samples =
+  let delivered, offered =
+    List.fold_left
+      (fun (d, o) (s, n) -> (d + s, o + n))
+      (0, 0) samples
+  in
+  if offered = 0 then 1.0 else float_of_int delivered /. float_of_int offered
+
+(* Windowed delivered/offered accounting with hysteresis: down on
+   data-plane evidence even when every hello passes (gray failure,
+   unidirectional fault); back up only once the windowed ratio has
+   genuinely recovered. *)
+let dp_sample_adjacencies t (dp : data_plane) engine =
+  List.iter
+    (fun w ->
+      let uv = sample_direction t w.uv_links dp.probes_per_sample in
+      let vu = sample_direction t w.vu_links dp.probes_per_sample in
+      w.uv_samples <- push_sample dp.window w.uv_samples uv;
+      w.vu_samples <- push_sample dp.window w.vu_samples vu;
+      let worst = Float.min (ratio w.uv_samples) (ratio w.vu_samples) in
+      if (not w.dp_down) && worst <= dp.down_ratio then begin
+        w.dp_down <- true;
+        declare t w engine `Down ~detail:"down:data-plane"
+      end
+      else if w.dp_down && worst >= dp.up_ratio then begin
+        w.dp_down <- false;
+        w.flag_cleared_at <- Engine.now engine;
+        declare t w engine `Up ~detail:"up:data-plane"
+      end)
+    t.watches
+
+(* ---------- transit probes (Byzantine-node detection) ---------- *)
+
+let neighbors g node =
+  let acc = ref [] in
+  Graph.iter_edges g (fun a b _ ->
+      if a = node && not (List.mem b !acc) then acc := b :: !acc;
+      if b = node && not (List.mem a !acc) then acc := a :: !acc);
+  List.sort compare !acc
+
+let quarantine_for t node =
+  match Hashtbl.find_opt t.quarantines node with
+  | Some q -> q
+  | None ->
+    let q = { active = false; q_until = 0.0; strikes = 0; fails = 0 } in
+    Hashtbl.replace t.quarantines node q;
+    q
+
+let quarantine t (dp : data_plane) engine node =
+  let q = quarantine_for t node in
+  let now = Engine.now engine in
+  let hold = dp.quarantine_s *. (2.0 ** float_of_int q.strikes) in
+  q.active <- true;
+  q.q_until <- now +. hold;
+  q.strikes <- q.strikes + 1;
+  q.fails <- 0;
+  if Flight.enabled () then
+    Flight.emit ~sim_t:now ~flow:Flight.control_flow ~node ~peer:(-1)
+      ~detail:"quarantine" ~value:hold "heal-quarantine";
+  request_recompute t engine;
+  ignore
+    (Engine.schedule engine q.q_until (fun engine ->
+         if q.active && Engine.now engine >= q.q_until then begin
+           q.active <- false;
+           if Flight.enabled () then
+             Flight.emit ~sim_t:(Engine.now engine) ~flow:Flight.control_flow
+               ~node ~peer:(-1) ~detail:"probation" ~value:0.0
+               "heal-quarantine";
+           request_recompute t engine
+         end))
+
+(* Was the (a, b) adjacency flagged by any detector at some point since
+   [since]?  Used to avoid blaming a transit node for a loss a link
+   fault explains.  Current flags count, and so does a flag that
+   cleared after the probe left — a probe can die on a faulty leg and
+   only be judged after the detectors have moved on. *)
+let leg_faulted t ~since a b =
+  List.exists
+    (fun w ->
+      ((w.u = a && w.v = b) || (w.u = b && w.v = a))
+      && (w.declared_down || w.dp_down || w.suppressed
+         || w.flag_cleared_at >= since))
+    t.watches
+
+(* Judge an outstanding probe at its deadline.  A probe the prober can
+   itself explain — no route toward the transit node (e.g. quarantine),
+   or a leg of the probe path the link detectors flagged as faulty at
+   any point since the probe was sent — is inconclusive, not evidence;
+   only a loss with both legs believed healthy throughout reads as a
+   silent discard by the transit node. *)
+let judge_probe t (dp : data_plane) engine ~probe_id ~sent ~via ~u ~v =
+  match Hashtbl.find_opt t.completed probe_id with
+  | Some `Pass ->
+    Hashtbl.remove t.completed probe_id;
+    (quarantine_for t via).fails <- 0
+  | Some `Inconclusive -> Hashtbl.remove t.completed probe_id
+  | Some `Fail | None ->
+    Hashtbl.remove t.completed probe_id;
+    if not (leg_faulted t ~since:sent u via || leg_faulted t ~since:sent via v)
+    then begin
+      (* lost without explanation, or still unaccounted for at the
+         deadline: a strike against the transit node *)
+      t.probes_failed <- t.probes_failed + 1;
+      let q = quarantine_for t via in
+      q.fails <- q.fails + 1;
+      if (not q.active) && q.fails >= 2 then quarantine t dp engine via
+    end
+
+let dp_send_transit_probes t (dp : data_plane) engine =
+  let g = Net.links t.net in
+  let n = Graph.node_count g in
+  let now = Engine.now engine in
+  for via = 0 to n - 1 do
+    if not (node_quarantined t via) then begin
+      match neighbors g via with
+      | u :: rest when rest <> [] ->
+        let v = List.nth rest (Rng.int t.probe_rng (List.length rest)) in
+        let probe_id = t.next_probe_id in
+        t.next_probe_id <- t.next_probe_id + 1;
+        t.probes_sent <- t.probes_sent + 1;
+        Hashtbl.replace t.outstanding probe_id via;
+        let p =
+          Packet.make ~id:probe_id ~src:u ~dst:v ~created:now
+            ~source_route:[ via ] ~size_bytes:64 ()
+        in
+        Net.inject t.net engine p;
+        ignore
+          (Engine.schedule engine (now +. dp.probe_timeout) (fun engine ->
+               if Hashtbl.mem t.outstanding probe_id then begin
+                 Hashtbl.remove t.outstanding probe_id;
+                 judge_probe t dp engine ~probe_id ~sent:now ~via ~u ~v
+               end))
+      | _ -> ()
+    end
+  done
+
+let rec dp_tick t (dp : data_plane) engine =
+  dp_sample_adjacencies t dp engine;
+  if dp.transit_probes then dp_send_transit_probes t dp engine;
+  let next = Engine.now engine +. dp.probe_interval in
+  (* stop early enough that every probe deadline fires before [until]:
+     after that the control plane must go quiet so the engine drains *)
+  if next +. dp.probe_timeout <= t.until then
+    ignore (Engine.schedule engine next (dp_tick t dp))
+
+(* Completion observer: records the judgment the deadline event reads.
+   Runs for every packet; filters by the reserved probe-id range. *)
+let observe_probe t p outcome =
+  if
+    p.Packet.id >= probe_id_base
+    && Hashtbl.mem t.outstanding p.Packet.id
+  then begin
+    let judgment =
+      match (outcome : Net.outcome) with
+      | Net.Delivered _ -> `Pass
+      | Net.Lost Net.No_route ->
+        (* the prober's own tables couldn't reach the waypoint (it may
+           have withdrawn it itself); says nothing about the node *)
+        `Inconclusive
+      | Net.Lost _ -> `Fail
+    in
+    Hashtbl.replace t.completed p.Packet.id judgment
+  end
+
+(* ---------- attach ---------- *)
+
+let validate_config config =
   if not (config.hello_interval > 0.0) then
     invalid_arg "Selfheal.attach: non-positive hello interval";
   if config.hellos_missed < 1 then
     invalid_arg "Selfheal.attach: hellos_missed < 1";
   if not (config.recompute_delay >= 0.0) then
     invalid_arg "Selfheal.attach: negative recompute delay";
+  (match config.data_plane with
+  | None -> ()
+  | Some dp ->
+    if not (dp.probe_interval > 0.0) then
+      invalid_arg "Selfheal.attach: non-positive probe interval";
+    if dp.probes_per_sample < 1 then
+      invalid_arg "Selfheal.attach: probes_per_sample < 1";
+    if dp.window < 1 then invalid_arg "Selfheal.attach: window < 1";
+    if not (dp.down_ratio >= 0.0 && dp.down_ratio < 1.0) then
+      invalid_arg "Selfheal.attach: down_ratio outside [0,1)";
+    if not (dp.up_ratio > dp.down_ratio && dp.up_ratio <= 1.0) then
+      invalid_arg "Selfheal.attach: up_ratio must be in (down_ratio,1]";
+    if not (dp.probe_timeout > 0.0) then
+      invalid_arg "Selfheal.attach: non-positive probe timeout";
+    if not (dp.quarantine_s > 0.0) then
+      invalid_arg "Selfheal.attach: non-positive quarantine");
+  match config.damping with
+  | None -> ()
+  | Some d ->
+    if not (d.penalty > 0.0) then
+      invalid_arg "Selfheal.attach: non-positive damping penalty";
+    if not (d.half_life > 0.0) then
+      invalid_arg "Selfheal.attach: non-positive damping half-life";
+    if not (d.suppress > 0.0) then
+      invalid_arg "Selfheal.attach: non-positive suppress threshold";
+    if not (d.reuse >= 0.0 && d.reuse < d.suppress) then
+      invalid_arg "Selfheal.attach: reuse must be in [0,suppress)"
+
+let attach ?(config = default_config) ~until engine net =
+  validate_config config;
   if not (Float.is_finite until) || until < Engine.now engine then
     invalid_arg "Selfheal.attach: until must be finite and >= now";
   let table = Linkstate.compute_live (Net.links net) ~metric:config.metric in
   Net.set_forwarding net (Linkstate.forwarding table);
+  let seed =
+    match config.data_plane with Some dp -> dp.probe_seed | None -> 0
+  in
   let t =
     {
       cfg = config;
@@ -142,10 +532,25 @@ let attach ?(config = default_config) ~until engine net =
       reconvergences = 0;
       reconvergence_times = [];
       detections = [];
+      suppressions = 0;
+      probe_rng = Rng.create seed;
+      quarantines = Hashtbl.create 8;
+      outstanding = Hashtbl.create 32;
+      completed = Hashtbl.create 32;
+      next_probe_id = probe_id_base;
+      probes_sent = 0;
+      probes_failed = 0;
     }
   in
   let first = Engine.now engine +. config.hello_interval in
   if first <= until then ignore (Engine.schedule engine first (tick t));
+  (match config.data_plane with
+  | None -> ()
+  | Some dp ->
+    Net.on_complete net (observe_probe t);
+    let first = Engine.now engine +. dp.probe_interval in
+    if first +. dp.probe_timeout <= until then
+      ignore (Engine.schedule engine first (dp_tick t dp)));
   t
 
 let table t = t.table
@@ -155,3 +560,14 @@ let reconvergences t = t.reconvergences
 let reconvergence_times t = List.rev t.reconvergence_times
 
 let detections t = List.rev t.detections
+
+let suppressions t = t.suppressions
+
+let quarantined t =
+  Hashtbl.fold (fun node q acc -> if q.active then node :: acc else acc)
+    t.quarantines []
+  |> List.sort compare
+
+let probes_sent t = t.probes_sent
+
+let probes_failed t = t.probes_failed

@@ -1,7 +1,9 @@
 (* The bounded-exhaustive backend.
 
-   A deliberately small plan grammar — per scenario link: Link_down or
-   Link_loss p=0.2, over four quantized windows (from in {0, h/2},
+   A deliberately small plan grammar — per scenario link: Link_down,
+   Link_loss p=0.2, Gray_loss p=0.5, Link_flap (period h/4, duty 0.5)
+   and each Unidirectional_down direction; per scenario node: a
+   Blackhole — all over four quantized windows (from in {0, h/2},
    duration in {h/2, h}) — closed under plans of at most two episodes
    (unordered pairs, so [a;b] and [b;a] are not enumerated twice).
    Enumerating the whole box and finding nothing is a *certificate*:
@@ -31,13 +33,32 @@ let atoms (s : Scenario.t) =
       Plan.window (0.5 *. h) (1.5 *. h);
     ]
   in
-  List.concat_map
-    (fun (u, v) ->
-      List.concat_map
-        (fun w ->
-          [ Plan.Link_down { u; v; w }; Plan.Link_loss { u; v; w; prob = 0.2 } ])
-        windows)
-    s.Scenario.links
+  let link_atoms =
+    List.concat_map
+      (fun (u, v) ->
+        List.concat_map
+          (fun w ->
+            [
+              Plan.Link_down { u; v; w };
+              Plan.Link_loss { u; v; w; prob = 0.2 };
+              Plan.Gray_loss { u; v; w; prob = 0.5 };
+              Plan.Link_flap { u; v; w; period_s = 0.25 *. h; duty = 0.5 };
+              Plan.Unidirectional_down { u; v; w };
+              Plan.Unidirectional_down { u = v; v = u; w };
+            ])
+          windows)
+      s.Scenario.links
+  in
+  let nodes =
+    List.sort_uniq compare
+      (List.concat_map (fun (u, v) -> [ u; v ]) s.Scenario.links)
+  in
+  let node_atoms =
+    List.concat_map
+      (fun node -> List.map (fun w -> Plan.Blackhole { node; w }) windows)
+      nodes
+  in
+  link_atoms @ node_atoms
 
 let plans s =
   let atoms = Array.of_list (atoms s) in

@@ -9,8 +9,10 @@
 #     differs across seeds
 #   - watchdog: a hung experiment becomes FAILED (timeout), exit 1
 #   - tussle report on a missing/unreadable file exits 2 cleanly
-#   - chaos smoke: a fixed-seed sweep is clean and byte-identical
-#     across --domains 1/2/4; the committed corpus replays clean;
+#   - chaos smoke: a fixed-seed sweep over the extended fault grammar
+#     (gray loss, unidirectional, flap, blackhole included) is clean
+#     and byte-identical across --domains 1/2/4; the committed corpus
+#     (including the covert-fault reproducers) replays clean;
 #     --chaos-seed / --chaos-runs garbage exits 2
 #   - flight recorder off (the default): battery stdout byte-identical
 #     across --domains 1/2/4
@@ -236,6 +238,8 @@ cmp "$sweep_report" "$sweep_report.d4"
 cmp "$sweep_report" "$sweep_report.d4"
 cmp "$TMP/tussle-sweep-d4.out" "$TMP/tussle-sweep-again.out"
 grep -q 'PASS availability(heal) > availability(static)' "$TMP/tussle-sweep-d1.out"
+grep -q 'PASS availability(verified) > availability(hello-only)' "$TMP/tussle-sweep-d1.out"
+grep -q 'PASS covert drops shrink under verification' "$TMP/tussle-sweep-d1.out"
 grep -q 'PASS markup(pb6) > markup(portable)' "$TMP/tussle-sweep-d1.out"
 grep -q 'PASS price(duo) > price(open8)' "$TMP/tussle-sweep-d1.out"
 if grep -q ' FAIL ' "$TMP/tussle-sweep-d1.out"; then
@@ -292,6 +296,12 @@ for backend in mutate exhaust; do
   if grep -q 'VIOLATION' "$TMP/tussle-search-d1.out"; then
     echo "FAIL: $backend search found violations in the real scenarios" >&2
     exit 1
+  fi
+  # the exhaustive box must enumerate the extended grammar (gray loss,
+  # unidirectional, flap, blackhole) — pin the space size so a grammar
+  # regression is caught here, not in a missed bug later
+  if [ "$backend" = exhaust ]; then
+    grep -q 'box: 85710 plans' "$TMP/tussle-search-d1.out"
   fi
   "$CLI" report "$search_report" | grep -q 'valid tussle.search-report/1'
   echo "search[$backend] clean; artifact schema-valid and byte-identical across --domains 1/2/4"

@@ -8,6 +8,8 @@ module Rng = Tussle_prelude.Rng
 module Engine = Tussle_netsim.Engine
 module Net = Tussle_netsim.Net
 module Topology = Tussle_netsim.Topology
+module Traffic = Tussle_netsim.Traffic
+module Selfheal = Tussle_routing.Selfheal
 module Plan = Tussle_fault.Plan
 module Inject = Tussle_fault.Inject
 module Invariant = Tussle_chaos.Invariant
@@ -36,8 +38,11 @@ let clean_obs =
     link_fault_drops = 2;
     link_corrupted = 0;
     transfers = [ Invariant.Completed; Invariant.Abandoned ];
+    link_gray_drops = 0;
     engine_high_water = 4;
     reconvergences = 1;
+    covert_budget = None;
+    fault_transitions = None;
   }
 
 let violated_names obs =
@@ -56,7 +61,51 @@ let test_invariants_on_ledgers () =
   Alcotest.(check (list string)) "hung transfer" [ "no-hung-transfer" ]
     (violated_names
        { clean_obs with Invariant.transfers = [ Invariant.Active ] });
-  Alcotest.(check int) "registry has five invariants" 5
+  (* the covert-drop ledger: link-counted gray drops must surface as
+     attributed gray-loss outcomes ... *)
+  Alcotest.(check (list string)) "unattributed gray drop"
+    [ "no-silent-blackhole" ]
+    (violated_names { clean_obs with Invariant.link_gray_drops = 2 });
+  (* ... and a declared covert budget caps gray + blackholed damage *)
+  let covert_obs =
+    { clean_obs with
+      Invariant.drops_by_reason = [ ("gray-loss", 2); ("blackholed", 1) ];
+      link_gray_drops = 2;
+      link_fault_drops = 0;
+      covert_budget = Some 2 }
+  in
+  Alcotest.(check (list string)) "covert budget busted"
+    [ "no-silent-blackhole" ]
+    (violated_names covert_obs);
+  Alcotest.(check (list string)) "covert budget honored" []
+    (violated_names { covert_obs with Invariant.covert_budget = Some 3 });
+  Alcotest.(check (list string)) "no claim, no check" []
+    (violated_names { covert_obs with Invariant.covert_budget = None });
+  (* a ttl death without any reconvergence means static tables looped *)
+  let loop_obs =
+    { clean_obs with
+      Invariant.drops_by_reason = [ ("ttl-exceeded", 3) ];
+      link_fault_drops = 0;
+      reconvergences = 0 }
+  in
+  Alcotest.(check (list string)) "static forwarding loop"
+    [ "no-forwarding-loop" ]
+    (violated_names loop_obs);
+  Alcotest.(check (list string)) "transient loop during healing is fine" []
+    (violated_names { loop_obs with Invariant.reconvergences = 1 });
+  (* reconvergence churn is bounded by the plan's transition count *)
+  Alcotest.(check (list string)) "reconvergence churn"
+    [ "damping-bounds-reconvergence" ]
+    (violated_names
+       { clean_obs with
+         Invariant.reconvergences = 9;
+         fault_transitions = Some 1 });
+  Alcotest.(check (list string)) "churn within bound" []
+    (violated_names
+       { clean_obs with
+         Invariant.reconvergences = 8;
+         fault_transitions = Some 1 });
+  Alcotest.(check int) "registry has eight invariants" 8
     (List.length Invariant.names)
 
 let test_invariants_on_real_run () =
@@ -219,6 +268,82 @@ let test_corpus_load_errors () =
       | Error _ -> ())
     results
 
+(* ---------- planted gray failure: legacy grammar is blind ---------- *)
+
+(* A ring healed by hello-only detection, with a covert-drop budget
+   declared.  Every legacy-grammar fault is overt — down / loss /
+   corrupt / latency all announce themselves to the control plane or
+   the ledgers — so 200 random legacy plans sail through.  One
+   Gray_loss episode on the primary path violates the budget: hellos
+   keep passing, the route never moves, and the link silently eats the
+   flow.  The data-plane-verified config on the identical run reroutes
+   within the budget.  This is the registry catching a failure class
+   the old grammar could not even express. *)
+let gray_blind config : Scenario.t =
+  let edge = { Topology.latency = 0.005; bandwidth_bps = 1e7 } in
+  let run ~seed ~plan =
+    let net =
+      Net.create
+        (Topology.to_links (Topology.ring ~edge 6))
+        (fun ~node:_ ~target:_ _ -> None)
+    in
+    let engine = Engine.create () in
+    let clock_start = Engine.now engine in
+    let heal = Selfheal.attach ~config ~until:12.0 engine net in
+    Inject.install ~seed ~plan engine net;
+    let gen = Traffic.create (Rng.create (seed + 1)) in
+    for k = 0 to 79 do
+      let at = 0.2 +. (0.1 *. float_of_int k) in
+      ignore
+        (Engine.schedule engine at (fun engine ->
+             Net.inject net engine
+               (Traffic.next_packet gen ~src:0 ~dst:2
+                  ~created:(Engine.now engine) ())))
+    done;
+    Engine.run ~until:600.0 engine;
+    Invariant.observe ~reconvergences:(Selfheal.reconvergences heal)
+      ~covert_budget:16
+      ~fault_transitions:(Plan.transitions plan) ~clock_start engine net
+  in
+  { Scenario.name = "gray-blind";
+    links = [ (0, 1); (1, 2); (2, 3); (3, 4); (4, 5); (5, 0) ];
+    horizon = 10.0; run }
+
+let gray_culprit_plan =
+  [ Plan.Gray_loss { u = 1; v = 2; w = Plan.window 0.5 9.5; prob = 0.95 } ]
+
+let test_planted_gray_failure () =
+  let hello_only = gray_blind Selfheal.default_config in
+  (* the pre-gray grammar cannot trip the covert budget: 200 random
+     legacy plans, all clean *)
+  for seed = 1 to 200 do
+    let rng = Rng.create seed in
+    let plan =
+      Plan.random ~extended:false rng ~links:hello_only.Scenario.links
+        ~horizon:hello_only.Scenario.horizon ~episodes:3
+    in
+    let vs = Invariant.check (hello_only.Scenario.run ~seed ~plan) in
+    if vs <> [] then
+      Alcotest.failf "legacy plan (seed %d) violated: %s" seed
+        (String.concat "; " (List.map Invariant.violation_string vs))
+  done;
+  (* one gray episode on the primary path busts it under hello-only
+     healing... *)
+  let vs =
+    Invariant.check (hello_only.Scenario.run ~seed:3 ~plan:gray_culprit_plan)
+  in
+  Alcotest.(check (list string)) "gray plan busts hello-only healing"
+    [ "no-silent-blackhole" ]
+    (List.map (fun v -> v.Invariant.invariant) vs);
+  (* ... and the data-plane-verified control plane heals the same run
+     back inside the budget *)
+  let verified = gray_blind Selfheal.verified_config in
+  let obs = verified.Scenario.run ~seed:3 ~plan:gray_culprit_plan in
+  Alcotest.(check (list string)) "verified healing stays in budget" []
+    (List.map (fun v -> v.Invariant.invariant) (Invariant.check obs));
+  Alcotest.(check bool) "the detector actually rerouted" true
+    (obs.Invariant.reconvergences > 0)
+
 (* ---------- no enumeration path reaches the hang probe ---------- *)
 
 let test_hang_probe_not_swept () =
@@ -361,6 +486,8 @@ let () =
             test_shrink_planted_violation;
           Alcotest.test_case "corpus round-trip + replay" `Quick
             test_corpus_roundtrip_and_replay;
+          Alcotest.test_case "planted gray failure" `Slow
+            test_planted_gray_failure;
           Alcotest.test_case "corpus load errors" `Quick
             test_corpus_load_errors;
         ] );

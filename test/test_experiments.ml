@@ -6,12 +6,12 @@ module Experiment = Tussle_experiments.Experiment
 module Registry = Tussle_experiments.Registry
 
 let test_registry_complete () =
-  Alcotest.(check int) "twenty-nine experiments" 29 (List.length Registry.all);
+  Alcotest.(check int) "thirty experiments" 30 (List.length Registry.all);
   let ids = List.map (fun e -> e.Experiment.id) Registry.all in
   Alcotest.(check (list string)) "ids in order"
     [ "E1"; "E2"; "E3"; "E4"; "E5"; "E6"; "E7"; "E8"; "E9"; "E10"; "E11";
       "E12"; "E13"; "E14"; "E15"; "E16"; "E17"; "E18"; "E19"; "E20"; "E21";
-      "E22"; "E23"; "E24"; "E25"; "E26"; "E27"; "E28"; "E29" ]
+      "E22"; "E23"; "E24"; "E25"; "E26"; "E27"; "E28"; "E29"; "E30" ]
     ids
 
 let test_registry_find () =
@@ -47,7 +47,7 @@ let shape_test id () =
 
 let fast_ids =
   [ "E4"; "E6"; "E7"; "E8"; "E11"; "E14"; "E15"; "E16"; "E18"; "E19"; "E20";
-    "E21"; "E22"; "E23"; "E24"; "E25"; "E26"; "E27"; "E28"; "E29" ]
+    "E21"; "E22"; "E23"; "E24"; "E25"; "E26"; "E27"; "E28"; "E29"; "E30" ]
 
 let test_render_wraps () =
   match Registry.find "E6" with

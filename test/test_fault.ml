@@ -43,7 +43,35 @@ let test_plan_validation () =
       Plan.validate
         [ Plan.Latency_spike { u = 0; v = 1; w; extra_s = -0.1 } ]);
   (* an infinite window is legal: the fault never clears *)
-  Plan.validate [ Plan.Node_crash { node = 2; w = Plan.always } ]
+  Plan.validate [ Plan.Node_crash { node = 2; w = Plan.always } ];
+  (* the extended grammar validates too, with its own guards *)
+  Plan.validate
+    [
+      Plan.Gray_loss { u = 0; v = 1; w; prob = 0.5 };
+      Plan.Unidirectional_down { u = 1; v = 0; w };
+      Plan.Link_flap { u = 0; v = 1; w; period_s = 0.25; duty = 0.5 };
+      Plan.Blackhole { node = 2; w = Plan.always };
+    ];
+  Alcotest.check_raises "gray probability out of range"
+    (Invalid_argument "Fault plan: probability outside [0,1]") (fun () ->
+      Plan.validate [ Plan.Gray_loss { u = 0; v = 1; w; prob = -0.1 } ]);
+  Alcotest.check_raises "uni self loop"
+    (Invalid_argument "Fault plan: link endpoints must differ") (fun () ->
+      Plan.validate [ Plan.Unidirectional_down { u = 2; v = 2; w } ]);
+  Alcotest.check_raises "flap must have a finite window"
+    (Invalid_argument "Fault plan: flap window must be finite") (fun () ->
+      Plan.validate
+        [ Plan.Link_flap
+            { u = 0; v = 1; w = Plan.always; period_s = 0.25; duty = 0.5 } ]);
+  Alcotest.check_raises "flap period must be positive"
+    (Invalid_argument "Fault plan: flap period must be finite and positive")
+    (fun () ->
+      Plan.validate
+        [ Plan.Link_flap { u = 0; v = 1; w; period_s = 0.0; duty = 0.5 } ]);
+  Alcotest.check_raises "flap duty must be interior"
+    (Invalid_argument "Fault plan: flap duty outside (0,1)") (fun () ->
+      Plan.validate
+        [ Plan.Link_flap { u = 0; v = 1; w; period_s = 0.25; duty = 1.0 } ])
 
 let test_plan_random_deterministic () =
   let links = [ (0, 1); (1, 2) ] in
@@ -73,6 +101,11 @@ let every_constructor_plan =
     Plan.Middlebox_break { node = 5; w = Plan.window 2.0 infinity; covert = true };
     Plan.Middlebox_break
       { node = 6; w = Plan.window 0.25 0.75; covert = false };
+    Plan.Gray_loss { u = 1; v = 2; w = Plan.window 0.5 2.5; prob = 0.75 };
+    Plan.Unidirectional_down { u = 2; v = 1; w = Plan.window 0.0 4.0 };
+    Plan.Link_flap
+      { u = 0; v = 1; w = Plan.window 1.0 3.0; period_s = 0.5; duty = 0.25 };
+    Plan.Blackhole { node = 3; w = Plan.window 0.5 infinity };
   ]
 
 let test_plan_string_roundtrip_by_hand () =
@@ -243,6 +276,136 @@ let test_inject_unknown_link () =
         ~plan:[ Plan.Link_down { u = 0; v = 5; w = Plan.always } ]
         engine net)
 
+let test_inject_gray_window () =
+  (* gray loss: the link stays administratively up — hellos and the
+     routing layer see nothing — while data in the window dies *)
+  let net = two_node_net () in
+  let engine = Engine.create () in
+  Inject.install ~seed:4
+    ~plan:
+      [ Plan.Gray_loss { u = 0; v = 1; w = Plan.window 1.0 2.0; prob = 1.0 } ]
+    engine net;
+  send_at net engine ~id:0 ~dst:1 0.5;
+  send_at net engine ~id:1 ~dst:1 1.5;
+  send_at net engine ~id:2 ~dst:1 2.5;
+  Engine.run engine;
+  (match outcome_of net 0 with
+  | Some (Net.Delivered _) -> ()
+  | _ -> Alcotest.fail "before the window: delivered");
+  (match outcome_of net 1 with
+  | Some (Net.Lost (Net.Gray_loss (0, 1))) -> ()
+  | _ -> Alcotest.fail "inside the window: grayed out");
+  (match outcome_of net 2 with
+  | Some (Net.Delivered _) -> ()
+  | _ -> Alcotest.fail "after the window: delivered");
+  Alcotest.(check (list (pair string int))) "attributed as gray-loss"
+    [ ("gray-loss", 1) ]
+    (Net.losses_by_reason net);
+  (* the links' own covert counter agrees with the attribution, and
+     the link never went down: liveness looks clean throughout *)
+  let distinct_links =
+    let seen = ref [] in
+    Graph.iter_edges (Net.links net) (fun _ _ l ->
+        if not (List.memq l !seen) then seen := l :: !seen);
+    !seen
+  in
+  Alcotest.(check int) "link counted the gray drop" 1
+    (List.fold_left (fun acc l -> acc + Link.gray_drops l) 0 distinct_links);
+  Alcotest.(check bool) "link stayed up" true
+    (List.for_all Link.is_up distinct_links)
+
+let send_from net engine ~id ~src ~dst at =
+  ignore
+    (Engine.schedule engine at (fun engine ->
+         Net.inject net engine (Packet.make ~id ~src ~dst ~created:at ())))
+
+let test_inject_unidirectional () =
+  let net = two_node_net () in
+  let engine = Engine.create () in
+  Inject.install ~seed:1
+    ~plan:[ Plan.Unidirectional_down { u = 0; v = 1; w = Plan.window 1.0 2.0 } ]
+    engine net;
+  send_from net engine ~id:0 ~src:0 ~dst:1 1.5;
+  send_from net engine ~id:1 ~src:1 ~dst:0 1.5;
+  send_from net engine ~id:2 ~src:0 ~dst:1 2.5;
+  Engine.run engine;
+  (match outcome_of net 0 with
+  | Some (Net.Lost (Net.Link_down (0, 1))) -> ()
+  | _ -> Alcotest.fail "faulted direction: lost");
+  (match outcome_of net 1 with
+  | Some (Net.Delivered _) -> ()
+  | _ -> Alcotest.fail "reverse direction: delivered");
+  match outcome_of net 2 with
+  | Some (Net.Delivered _) -> ()
+  | _ -> Alcotest.fail "after the window: delivered"
+
+let test_inject_flap () =
+  (* period 1s, duty 0.5 over [0, 2): down [0,0.5) up [0.5,1) down
+     [1,1.5) up [1.5,2), restored at 2 *)
+  let flap =
+    Plan.Link_flap
+      { u = 0; v = 1; w = Plan.window 0.0 2.0; period_s = 1.0; duty = 0.5 }
+  in
+  Alcotest.(check int) "transitions counts every toggle + restore" 5
+    (Plan.transitions [ flap ]);
+  let net = two_node_net () in
+  let engine = Engine.create () in
+  Inject.install ~seed:1 ~plan:[ flap ] engine net;
+  List.iteri
+    (fun id at -> send_at net engine ~id ~dst:1 at)
+    [ 0.25; 0.75; 1.25; 1.75; 2.25 ];
+  Engine.run engine;
+  let fate id =
+    match outcome_of net id with
+    | Some (Net.Delivered _) -> "ok"
+    | Some (Net.Lost _) -> "lost"
+    | None -> "?"
+  in
+  Alcotest.(check (list string)) "fates follow the duty cycle"
+    [ "lost"; "ok"; "lost"; "ok"; "ok" ]
+    (List.map fate [ 0; 1; 2; 3; 4 ])
+
+let test_inject_blackhole_vs_middlebox () =
+  (* satellite: a Byzantine blackhole and a broken middlebox are
+     different failures and must stay distinguishable in the ledger *)
+  let line4 () =
+    Net.create (Topology.to_links (Topology.line 4)) line_forwarding
+  in
+  let blackhole = line4 () in
+  let engine = Engine.create () in
+  Inject.install ~seed:2
+    ~plan:[ Plan.Blackhole { node = 2; w = Plan.window 0.0 3.0 } ]
+    engine blackhole;
+  send_at blackhole engine ~id:0 ~dst:3 0.5;
+  (* traffic *addressed to* the blackhole is answered: it only eats
+     transit — that is what makes it covert to hello-style liveness *)
+  send_at blackhole engine ~id:1 ~dst:2 0.5;
+  send_at blackhole engine ~id:2 ~dst:3 3.5;
+  Engine.run engine;
+  (match outcome_of blackhole 0 with
+  | Some (Net.Lost (Net.Blackholed 2)) -> ()
+  | _ -> Alcotest.fail "transit traffic: silently discarded");
+  (match outcome_of blackhole 1 with
+  | Some (Net.Delivered _) -> ()
+  | _ -> Alcotest.fail "traffic to the blackhole: answered");
+  (match outcome_of blackhole 2 with
+  | Some (Net.Delivered _) -> ()
+  | _ -> Alcotest.fail "after the window: delivered");
+  Alcotest.(check (list (pair string int))) "attributed as blackholed"
+    [ ("blackholed", 1) ]
+    (Net.losses_by_reason blackhole);
+  let filtered = line4 () in
+  let engine = Engine.create () in
+  Inject.install ~seed:2
+    ~plan:[ Plan.Middlebox_break { node = 2; w = Plan.always; covert = true } ]
+    engine filtered;
+  send_at filtered engine ~id:0 ~dst:3 0.5;
+  Engine.run engine;
+  Alcotest.(check (list (pair string int)))
+    "a broken device confesses differently"
+    [ ("filtered:" ^ Plan.broken_device_name, 1) ]
+    (Net.losses_by_reason filtered)
+
 let test_net_probe_against_covert_injection () =
   (* E28's substrate: Diagnosis.net_probe must bracket a covert
      injected middlebox failure and localize a revealing one exactly *)
@@ -372,6 +535,12 @@ let () =
             test_inject_loss_deterministic;
           Alcotest.test_case "latency spike" `Quick test_inject_latency_spike;
           Alcotest.test_case "unknown link" `Quick test_inject_unknown_link;
+          Alcotest.test_case "gray window" `Quick test_inject_gray_window;
+          Alcotest.test_case "unidirectional down" `Quick
+            test_inject_unidirectional;
+          Alcotest.test_case "flap duty cycle" `Quick test_inject_flap;
+          Alcotest.test_case "blackhole vs broken middlebox" `Quick
+            test_inject_blackhole_vs_middlebox;
           Alcotest.test_case "net_probe vs covert injection" `Quick
             test_net_probe_against_covert_injection;
         ] );

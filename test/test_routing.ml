@@ -466,6 +466,66 @@ let test_selfheal_flap_within_detection_window_coalesces () =
     (Net.delivered_count net + Net.lost_count net);
   Alcotest.(check int) "engine drained" 0 (Engine.pending engine)
 
+let test_selfheal_damping_suppresses_flap_churn () =
+  (* a fast flap (0.2 s phases, well above the detection threshold)
+     flips the believed state on every phase edge.  Undamped, each flip
+     recomputes; with damping the penalty crosses the suppress
+     threshold after a few flips and the adjacency is held down until
+     the flapping stops and the penalty decays *)
+  let flap =
+    Plan.Link_flap
+      { u = 0; v = 1; w = Plan.window 0.5 4.5; period_s = 0.4; duty = 0.5 }
+  in
+  let run config =
+    let links = Topology.to_links (Topology.ring 6) in
+    let net = Net.create links no_forwarding in
+    let engine = Engine.create () in
+    let heal = Selfheal.attach ~config ~until:12.0 engine net in
+    Inject.install ~seed:5 ~plan:[ flap ] engine net;
+    Engine.run ~until:600.0 engine;
+    Alcotest.(check int) "engine drained" 0 (Engine.pending engine);
+    heal
+  in
+  let damped = run Selfheal.verified_config in
+  let undamped =
+    run { Selfheal.verified_config with Selfheal.damping = None }
+  in
+  Alcotest.(check bool) "hold-down engaged" true
+    (Selfheal.suppressions damped >= 1);
+  Alcotest.(check bool) "damping cuts the recompute churn" true
+    (Selfheal.reconvergences damped < Selfheal.reconvergences undamped);
+  Alcotest.(check (list (pair int int)))
+    "released once the flapping stopped" []
+    (Selfheal.believed_down damped)
+
+let test_selfheal_slow_flap_still_reconverges () =
+  (* phase edges 4 s apart: the penalty decays well below the suppress
+     threshold between flips, so damping never engages and the table
+     keeps tracking the link through every phase *)
+  let links = Topology.to_links (Topology.ring 6) in
+  let net = Net.create links no_forwarding in
+  let engine = Engine.create () in
+  let heal =
+    Selfheal.attach ~config:Selfheal.verified_config ~until:14.0 engine net
+  in
+  Inject.install ~seed:5
+    ~plan:
+      [ Plan.Link_flap
+          { u = 0; v = 1; w = Plan.window 0.5 12.5; period_s = 8.0; duty = 0.5 } ]
+    engine net;
+  let gen = Traffic.create (Rng.create 6) in
+  schedule_flow engine net gen ~src:0 ~dst:3 ~start:0.2 ~interval:0.1 ~count:60;
+  Engine.run ~until:600.0 engine;
+  Alcotest.(check int) "damping never engaged" 0
+    (Selfheal.suppressions heal);
+  Alcotest.(check bool) "every phase edge reconverged" true
+    (Selfheal.reconvergences heal >= 3);
+  Alcotest.(check (list (pair int int))) "ends with the link restored" []
+    (Selfheal.believed_down heal);
+  Alcotest.(check bool) "healing kept the flow alive" true
+    (Net.delivered_count net >= 50);
+  Alcotest.(check int) "engine drained" 0 (Engine.pending engine)
+
 let () =
   Alcotest.run "routing"
     [
@@ -524,5 +584,9 @@ let () =
             test_selfheal_partition_is_clean_no_route;
           Alcotest.test_case "flap inside detection window" `Quick
             test_selfheal_flap_within_detection_window_coalesces;
+          Alcotest.test_case "damping suppresses flap churn" `Quick
+            test_selfheal_damping_suppresses_flap_churn;
+          Alcotest.test_case "slow flap still reconverges" `Quick
+            test_selfheal_slow_flap_still_reconverges;
         ] );
     ]

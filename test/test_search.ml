@@ -67,7 +67,11 @@ let prop_mutants_valid =
           | Plan.Link_corrupt { w; _ }
           | Plan.Latency_spike { w; _ }
           | Plan.Node_crash { w; _ }
-          | Plan.Middlebox_break { w; _ } ->
+          | Plan.Middlebox_break { w; _ }
+          | Plan.Gray_loss { w; _ }
+          | Plan.Unidirectional_down { w; _ }
+          | Plan.Link_flap { w; _ }
+          | Plan.Blackhole { w; _ } ->
             w.Plan.from_s >= 0.0 && w.Plan.until_s <= cap)
         !plan)
 
@@ -192,29 +196,118 @@ let test_mutate_finds_planted () =
     (List.map Invariant.violation_string
        (Invariant.check_search_report report))
 
+(* ---------- gray failure vs hello-only healing ---------- *)
+
+(* The chaos gray-blind setup as a search target: a ring healed by
+   hello-only detection, claiming a covert-drop budget.  Legacy faults
+   are overt, so only the extended grammar — a Gray_loss episode
+   parked on the primary path — can bust the budget.  The mutate
+   backend must find it, shrink it to the gray episode alone, and
+   persist the reproducer. *)
+let gray_blind : Scenario.t =
+  let module Traffic = Tussle_netsim.Traffic in
+  let module Selfheal = Tussle_routing.Selfheal in
+  let edge = { Tussle_netsim.Topology.latency = 0.005; bandwidth_bps = 1e7 } in
+  let run ~seed ~plan =
+    let net =
+      Net.create
+        (Topology.to_links (Topology.ring ~edge 6))
+        (fun ~node:_ ~target:_ _ -> None)
+    in
+    let engine = Engine.create () in
+    let clock_start = Engine.now engine in
+    let heal = Selfheal.attach ~until:12.0 engine net in
+    Inject.install ~seed ~plan engine net;
+    let gen = Traffic.create (Rng.create (seed + 1)) in
+    for k = 0 to 79 do
+      let at = 0.2 +. (0.1 *. float_of_int k) in
+      ignore
+        (Engine.schedule engine at (fun engine ->
+             Net.inject net engine
+               (Traffic.next_packet gen ~src:0 ~dst:2
+                  ~created:(Engine.now engine) ())))
+    done;
+    Engine.run ~until:600.0 engine;
+    Invariant.observe ~reconvergences:(Selfheal.reconvergences heal)
+      ~covert_budget:16
+      ~fault_transitions:(Plan.transitions plan) ~clock_start engine net
+  in
+  { Scenario.name = "gray-blind-search";
+    links = [ (0, 1); (1, 2); (2, 3); (3, 4); (4, 5); (5, 0) ];
+    horizon = 10.0; run }
+
+let test_mutate_finds_gray_failure () =
+  let dir = fresh_corpus_dir () in
+  let o =
+    Mutate.search ~corpus_dir:dir ~scenarios:[ gray_blind ] ~seed:7
+      ~budget:300 ()
+  in
+  let gray_findings =
+    List.filter
+      (fun (f : Backend.found) ->
+        List.exists
+          (fun v -> v.Invariant.invariant = "no-silent-blackhole")
+          f.Backend.violations)
+      o.Backend.found
+  in
+  Alcotest.(check bool) "found a covert-budget violation" true
+    (gray_findings <> []);
+  List.iter
+    (fun (f : Backend.found) ->
+      (* the 1-minimal reproducer needs covert grammar: an overt
+         episode may ride along (steering traffic onto the grayed
+         path), but no legacy-only plan can bust the budget *)
+      Alcotest.(check bool) "minimal plan needs covert grammar" true
+        (List.exists
+           (function
+             | Plan.Gray_loss _ | Plan.Blackhole _ -> true
+             | _ -> false)
+           f.Backend.minimal);
+      Alcotest.(check bool) "minimal reproducer still fails" true
+        (Sweep.still_fails gray_blind ~seed:f.Backend.seed f.Backend.minimal);
+      match f.Backend.file with
+      | None -> Alcotest.fail "gray finding was not persisted"
+      | Some path -> (
+        match Corpus.load path with
+        | Error e -> Alcotest.fail e
+        | Ok e ->
+          Alcotest.(check bool) "corpus holds the minimal plan" true
+            (e.Corpus.plan = f.Backend.minimal)))
+    gray_findings
+
 (* ---------- bounded-exhaustive completeness ---------- *)
 
 let test_exhaust_complete_on_toy_box () =
-  (* 1 link x {down, loss} x 4 windows = 8 atoms; plans = empty +
-     singles + unordered pairs = 1 + 8 + 36 = 45 *)
-  let o = Exhaust.search ~scenarios:[ planted ] ~seed:5 ~budget:100 () in
-  Alcotest.(check int) "box fully enumerated" 45 o.Backend.runs;
-  Alcotest.(check int) "space matches" 45 o.Backend.space;
+  (* 1 link x {down, loss, gray, flap, uni x2} x 4 windows = 24 link
+     atoms, plus 2 nodes x blackhole x 4 windows = 8 node atoms; plans
+     = empty + singles + unordered pairs = 1 + 32 + 528 = 561 *)
+  let o = Exhaust.search ~scenarios:[ planted ] ~seed:5 ~budget:600 () in
+  Alcotest.(check int) "box fully enumerated" 561 o.Backend.runs;
+  Alcotest.(check int) "space matches" 561 o.Backend.space;
   Alcotest.(check bool) "violations forbid certification" false
     o.Backend.certified;
-  (* exactly the two atoms whose window [h/2, 1.5h) outlives the run:
-     Link_down and Link_loss over [2, 6) *)
+  (* exactly the atoms whose window [h/2, 1.5h) outlives the run:
+     every kind over [2, 6) *)
   let minimals =
     List.sort_uniq compare
       (List.map (fun f -> Plan.to_string f.Backend.minimal) o.Backend.found)
   in
-  Alcotest.(check (list string)) "exactly the two planted reproducers"
-    [ "link 0-1 down [2, 6)"; "link 0-1 loss p=0.2 [2, 6)" ]
+  Alcotest.(check (list string)) "exactly the planted reproducers"
+    [
+      "link 0-1 down [2, 6)";
+      "link 0-1 flap period=1s duty=0.5 [2, 6)";
+      "link 0-1 gray p=0.5 [2, 6)";
+      "link 0-1 loss p=0.2 [2, 6)";
+      "link 0->1 down [2, 6)";
+      "link 1->0 down [2, 6)";
+      "node 0 blackhole [2, 6)";
+      "node 1 blackhole [2, 6)";
+    ]
     minimals
 
 let test_exhaust_certifies_clean_box () =
-  let o = Exhaust.search ~scenarios:[ planted_clean ] ~seed:5 ~budget:100 () in
-  Alcotest.(check int) "box fully enumerated" 45 o.Backend.runs;
+  let o = Exhaust.search ~scenarios:[ planted_clean ] ~seed:5 ~budget:600 () in
+  Alcotest.(check int) "box fully enumerated" 561 o.Backend.runs;
   Alcotest.(check bool) "no findings" true (o.Backend.found = []);
   Alcotest.(check bool) "clean exhausted box certifies" true
     o.Backend.certified;
@@ -390,6 +483,8 @@ let () =
             test_random_sweep_misses_planted;
           Alcotest.test_case "mutate backend finds + shrinks + persists"
             `Quick test_mutate_finds_planted;
+          Alcotest.test_case "mutate finds the gray failure" `Slow
+            test_mutate_finds_gray_failure;
         ] );
       ( "bounded-exhaustive",
         [
